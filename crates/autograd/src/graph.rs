@@ -1,0 +1,497 @@
+//! The tape: node storage, forward value bookkeeping, and the backward pass.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wr_tensor::Tensor;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var {
+    pub(crate) id: usize,
+}
+
+/// Recorded operation. Inputs are stored as `Var` ids; constant data that
+/// participates in the forward pass but never receives gradients (masks,
+/// gather indices) is stored inline behind `Rc`.
+pub(crate) enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Exp(Var),
+    Ln(Var),
+    Relu(Var),
+    Gelu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Matmul(Var, Var),
+    Bmm(Var, Var),
+    BmmNt(Var, Var),
+    Transpose(Var),
+    Reshape(Var),
+    SliceCols(Var, usize, usize),
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    AddRowBroadcast(Var, Var),
+    MulRowBroadcast(Var, Var),
+    GatherRows(Var, Rc<Vec<usize>>),
+    SoftmaxRows(Var),
+    Softmax3dLast(Var),
+    AddMask2d(Var, Rc<Tensor>),
+    LayerNormRows { x: Var, gamma: Var, beta: Var },
+    Dropout(Var),
+    CrossEntropy { logits: Var, targets: Rc<Vec<usize>> },
+    L2NormalizeRows(Var),
+    MeanAll(Var),
+    SumAll(Var),
+    MaskRows(Var, Rc<Vec<f32>>),
+}
+
+/// Saved forward byproducts a backward rule needs.
+pub(crate) enum Aux {
+    None,
+    One(Tensor),
+    Two(Tensor, Tensor),
+}
+
+pub(crate) struct Inner {
+    pub values: Vec<Tensor>,
+    pub grads: Vec<Option<Tensor>>,
+    pub ops: Vec<Op>,
+    pub aux: Vec<Aux>,
+    pub requires: Vec<bool>,
+}
+
+/// A single-use computation tape.
+///
+/// Build one per forward/backward step. Interior mutability keeps the API
+/// ergonomic (`g.matmul(a, b)` with `&self`); the graph is intentionally
+/// `!Sync` — training steps are single-threaded, parallelism lives at the
+/// data level.
+pub struct Graph {
+    pub(crate) inner: RefCell<Inner>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph {
+            inner: RefCell::new(Inner {
+                values: Vec::new(),
+                grads: Vec::new(),
+                ops: Vec::new(),
+                aux: Vec::new(),
+                requires: Vec::new(),
+            }),
+        }
+    }
+
+    /// Register a trainable parameter. Gradients will be accumulated for it.
+    pub fn param(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, Aux::None, true)
+    }
+
+    /// Register a constant input. No gradient is ever computed for it.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, Aux::None, false)
+    }
+
+    /// Read a copy of a node's forward value.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.inner.borrow().values[v.id].clone()
+    }
+
+    /// Inspect a node's shape without cloning the data.
+    pub fn dims(&self, v: Var) -> Vec<usize> {
+        self.inner.borrow().values[v.id].dims().to_vec()
+    }
+
+    /// Gradient of the last `backward` call w.r.t. `v`, if any was produced.
+    pub fn grad(&self, v: Var) -> Option<Tensor> {
+        self.inner.borrow().grads[v.id].clone()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op, aux: Aux, requires: bool) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.values.len();
+        inner.values.push(value);
+        inner.grads.push(None);
+        inner.ops.push(op);
+        inner.aux.push(aux);
+        inner.requires.push(requires);
+        Var { id }
+    }
+
+    pub(crate) fn requires(&self, v: Var) -> bool {
+        self.inner.borrow().requires[v.id]
+    }
+
+    /// Run the backward pass from a scalar `loss` node.
+    ///
+    /// Panics if `loss` is not a single-element tensor. Gradients are
+    /// accumulated only into nodes that transitively depend on a parameter.
+    pub fn backward(&self, loss: Var) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.values[loss.id].numel(),
+            1,
+            "backward() must start from a scalar loss"
+        );
+        let seed_dims = inner.values[loss.id].dims().to_vec();
+        inner.grads[loss.id] = Some(Tensor::ones(&seed_dims));
+
+        for id in (0..=loss.id).rev() {
+            if inner.grads[id].is_none() || !inner.requires[id] {
+                continue;
+            }
+            let g = inner.grads[id].take().unwrap();
+            backward_step(&mut inner, id, &g);
+            inner.grads[id] = Some(g);
+        }
+    }
+}
+
+/// Accumulate `delta` into `grads[target]`, allocating on first touch.
+fn accumulate(inner: &mut Inner, target: usize, delta: Tensor) {
+    if !inner.requires[target] {
+        return;
+    }
+    match &mut inner.grads[target] {
+        Some(existing) => existing.add_assign_(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Dispatch one node's backward rule. `g` is the upstream gradient with the
+/// same shape as the node's value.
+fn backward_step(inner: &mut Inner, id: usize, g: &Tensor) {
+    // `ops` is only read here; split borrows via raw indexing on `inner`.
+    // Using a match on a reference keeps this a single dispatch point.
+    let op = std::mem::replace(&mut inner.ops[id], Op::Leaf);
+    match &op {
+        Op::Leaf => {}
+        Op::Add(a, b) => {
+            accumulate(inner, a.id, g.clone());
+            accumulate(inner, b.id, g.clone());
+        }
+        Op::Sub(a, b) => {
+            accumulate(inner, a.id, g.clone());
+            accumulate(inner, b.id, g.neg());
+        }
+        Op::Mul(a, b) => {
+            let da = g.mul(&inner.values[b.id]);
+            let db = g.mul(&inner.values[a.id]);
+            accumulate(inner, a.id, da);
+            accumulate(inner, b.id, db);
+        }
+        Op::Div(a, b) => {
+            let bv = &inner.values[b.id];
+            let da = g.div(bv);
+            let db = g.mul(&inner.values[a.id]).div(bv).div(bv).neg();
+            accumulate(inner, a.id, da);
+            accumulate(inner, b.id, db);
+        }
+        Op::Neg(a) => accumulate(inner, a.id, g.neg()),
+        Op::Scale(a, s) => accumulate(inner, a.id, g.scale(*s)),
+        Op::AddScalar(a) => accumulate(inner, a.id, g.clone()),
+        Op::Exp(a) => {
+            // y = exp(x) saved as the node's value
+            let da = g.mul(&inner.values[id]);
+            accumulate(inner, a.id, da);
+        }
+        Op::Ln(a) => {
+            let da = g.div(&inner.values[a.id]);
+            accumulate(inner, a.id, da);
+        }
+        Op::Relu(a) => {
+            let x = &inner.values[a.id];
+            let mut da = g.clone();
+            for (d, &xv) in da.data_mut().iter_mut().zip(x.data()) {
+                if xv <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::Gelu(a) => {
+            let x = &inner.values[a.id];
+            let mut da = g.clone();
+            for (d, &xv) in da.data_mut().iter_mut().zip(x.data()) {
+                *d *= gelu_derivative(xv);
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::Sigmoid(a) => {
+            let y = &inner.values[id];
+            let mut da = g.clone();
+            for (d, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                *d *= yv * (1.0 - yv);
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::Tanh(a) => {
+            let y = &inner.values[id];
+            let mut da = g.clone();
+            for (d, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                *d *= 1.0 - yv * yv;
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::Matmul(a, b) => {
+            let da = g.matmul_nt(&inner.values[b.id]);
+            let db = inner.values[a.id].matmul_tn(g);
+            accumulate(inner, a.id, da);
+            accumulate(inner, b.id, db);
+        }
+        Op::Bmm(a, b) => {
+            let da = g.bmm_nt(&inner.values[b.id]);
+            let db = inner.values[a.id].bmm_tn(g);
+            accumulate(inner, a.id, da);
+            accumulate(inner, b.id, db);
+        }
+        Op::BmmNt(a, b) => {
+            // C = A @ B^T  =>  dA = dC @ B,  dB = dC^T @ A
+            let da = g.bmm(&inner.values[b.id]);
+            let db = g.bmm_tn(&inner.values[a.id]);
+            accumulate(inner, a.id, da);
+            accumulate(inner, b.id, db);
+        }
+        Op::Transpose(a) => accumulate(inner, a.id, g.transpose()),
+        Op::Reshape(a) => {
+            let dims = inner.values[a.id].dims().to_vec();
+            accumulate(inner, a.id, g.reshape(&dims));
+        }
+        Op::SliceCols(a, start, _end) => {
+            let src = &inner.values[a.id];
+            let mut da = Tensor::zeros(src.dims());
+            let w = g.cols();
+            for r in 0..g.rows() {
+                let dst = da.row_mut(r);
+                dst[*start..*start + w].copy_from_slice(g.row(r));
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::ConcatCols(parts) => {
+            let mut offset = 0;
+            for p in parts {
+                let w = inner.values[p.id].cols();
+                let dp = g.slice_cols(offset, offset + w);
+                offset += w;
+                accumulate(inner, p.id, dp);
+            }
+        }
+        Op::ConcatRows(parts) => {
+            let mut offset = 0;
+            for p in parts {
+                let h = inner.values[p.id].rows();
+                let dp = g.slice_rows(offset, offset + h);
+                offset += h;
+                accumulate(inner, p.id, dp);
+            }
+        }
+        Op::AddRowBroadcast(a, row) => {
+            accumulate(inner, a.id, g.clone());
+            accumulate(inner, row.id, g.sum_rows());
+        }
+        Op::MulRowBroadcast(a, row) => {
+            let da = g.mul_row_broadcast(&inner.values[row.id]);
+            let drow = g.mul(&inner.values[a.id]).sum_rows();
+            accumulate(inner, a.id, da);
+            accumulate(inner, row.id, drow);
+        }
+        Op::GatherRows(table, indices) => {
+            let cols = inner.values[table.id].cols();
+            let mut dt = Tensor::zeros(inner.values[table.id].dims());
+            for (r, &ix) in indices.iter().enumerate() {
+                let grow = g.row(r);
+                let trow = dt.row_mut(ix);
+                for (t, &gv) in trow.iter_mut().zip(grow) {
+                    *t += gv;
+                }
+                debug_assert_eq!(grow.len(), cols);
+            }
+            accumulate(inner, table.id, dt);
+        }
+        Op::SoftmaxRows(a) => {
+            let y = &inner.values[id];
+            let mut da = g.clone();
+            for r in 0..y.rows() {
+                softmax_backward_row(da.row_mut(r), y.row(r));
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::Softmax3dLast(a) => {
+            let y = &inner.values[id];
+            let dims = y.dims().to_vec();
+            let last = dims[dims.len() - 1];
+            let rows = y.numel() / last;
+            let mut da = g.clone();
+            let yv = y.data();
+            for r in 0..rows {
+                let range = r * last..(r + 1) * last;
+                softmax_backward_row(&mut da.data_mut()[range.clone()], &yv[range]);
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::AddMask2d(a, _mask) => accumulate(inner, a.id, g.clone()),
+        Op::LayerNormRows { x, gamma, beta } => {
+            let (xhat, inv_std) = match &inner.aux[id] {
+                Aux::Two(a, b) => (a.clone(), b.clone()),
+                _ => unreachable!("LayerNorm aux missing"),
+            };
+            let gm = inner.values[gamma.id].clone();
+            let n = xhat.cols() as f32;
+
+            // dBeta and dGamma.
+            accumulate(inner, beta.id, g.sum_rows());
+            accumulate(inner, gamma.id, g.mul(&xhat).sum_rows());
+
+            // dX per row: inv_std/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+            let dxhat = g.mul_row_broadcast(&gm);
+            let mut dx = Tensor::zeros(xhat.dims());
+            for r in 0..xhat.rows() {
+                let dh = dxhat.row(r);
+                let xh = xhat.row(r);
+                let s1: f32 = dh.iter().sum();
+                let s2: f32 = dh.iter().zip(xh).map(|(a, b)| a * b).sum();
+                let is = inv_std.data()[r];
+                for (j, out) in dx.row_mut(r).iter_mut().enumerate() {
+                    *out = is / n * (n * dh[j] - s1 - xh[j] * s2);
+                }
+            }
+            accumulate(inner, x.id, dx);
+        }
+        Op::Dropout(a) => {
+            let mask = match &inner.aux[id] {
+                Aux::One(m) => m.clone(),
+                _ => unreachable!("Dropout aux missing"),
+            };
+            accumulate(inner, a.id, g.mul(&mask));
+        }
+        Op::CrossEntropy { logits, targets } => {
+            let softmax = match &inner.aux[id] {
+                Aux::One(s) => s.clone(),
+                _ => unreachable!("CrossEntropy aux missing"),
+            };
+            let b = targets.len() as f32;
+            let scale = g.item() / b;
+            let mut dl = softmax;
+            for (r, &t) in targets.iter().enumerate() {
+                *dl.at2_mut(r, t) -= 1.0;
+            }
+            dl.scale_(scale);
+            accumulate(inner, logits.id, dl);
+        }
+        Op::L2NormalizeRows(a) => {
+            let (y, norms) = match &inner.aux[id] {
+                Aux::Two(y, n) => (y.clone(), n.clone()),
+                _ => unreachable!("L2Normalize aux missing"),
+            };
+            let mut da = Tensor::zeros(y.dims());
+            for r in 0..y.rows() {
+                let yr = y.row(r);
+                let gr = g.row(r);
+                let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                let n = norms.data()[r];
+                for (j, out) in da.row_mut(r).iter_mut().enumerate() {
+                    *out = (gr[j] - yr[j] * dot) / n;
+                }
+            }
+            accumulate(inner, a.id, da);
+        }
+        Op::MeanAll(a) => {
+            let numel = inner.values[a.id].numel() as f32;
+            let dims = inner.values[a.id].dims().to_vec();
+            accumulate(inner, a.id, Tensor::full(&dims, g.item() / numel));
+        }
+        Op::SumAll(a) => {
+            let dims = inner.values[a.id].dims().to_vec();
+            accumulate(inner, a.id, Tensor::full(&dims, g.item()));
+        }
+        Op::MaskRows(a, mask) => {
+            let mut da = g.clone();
+            for r in 0..da.rows() {
+                let m = mask[r];
+                for v in da.row_mut(r) {
+                    *v *= m;
+                }
+            }
+            accumulate(inner, a.id, da);
+        }
+    }
+    inner.ops[id] = op;
+}
+
+/// In-place `dy → dx` for one softmax row: `dx = y ⊙ (dy − (dy·y))`.
+fn softmax_backward_row(dy: &mut [f32], y: &[f32]) {
+    let dot: f32 = dy.iter().zip(y).map(|(a, b)| a * b).sum();
+    for (d, &yv) in dy.iter_mut().zip(y) {
+        *d = yv * (*d - dot);
+    }
+}
+
+/// Derivative of the tanh-approximated GELU.
+fn gelu_derivative(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044_715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_bookkeeping() {
+        let g = Graph::new();
+        let p = g.param(Tensor::ones(&[2, 2]));
+        let c = g.constant(Tensor::zeros(&[3]));
+        assert!(g.requires(p));
+        assert!(!g.requires(c));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.dims(p), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let g = Graph::new();
+        let p = g.param(Tensor::ones(&[2, 2]));
+        g.backward(p);
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let g = Graph::new();
+        let p = g.param(Tensor::ones(&[1, 2]));
+        let c = g.constant(Tensor::ones(&[1, 2]));
+        let s = g.add(p, c);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert!(g.grad(p).is_some());
+        assert!(g.grad(c).is_none());
+    }
+}

@@ -1,0 +1,351 @@
+//! Forward constructors: each method runs the op eagerly and records it on
+//! the tape.
+
+use std::rc::Rc;
+
+use crate::graph::{Aux, Graph, Op, Var};
+use wr_tensor::{Rng64, Tensor};
+
+impl Graph {
+    fn any_requires(&self, vars: &[Var]) -> bool {
+        vars.iter().any(|&v| self.requires(v))
+    }
+
+    fn val(&self, v: Var) -> Tensor {
+        self.inner.borrow().values[v.id].clone()
+    }
+
+    // ----- arithmetic -----------------------------------------------------
+
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).add(&self.val(b));
+        self.push(out, Op::Add(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).sub(&self.val(b));
+        self.push(out, Op::Sub(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).mul(&self.val(b));
+        self.push(out, Op::Mul(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).div(&self.val(b));
+        self.push(out, Op::Div(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    pub fn neg(&self, a: Var) -> Var {
+        let out = self.val(a).neg();
+        self.push(out, Op::Neg(a), Aux::None, self.requires(a))
+    }
+
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        let out = self.val(a).scale(s);
+        self.push(out, Op::Scale(a, s), Aux::None, self.requires(a))
+    }
+
+    pub fn add_scalar(&self, a: Var, s: f32) -> Var {
+        let out = self.val(a).add_scalar(s);
+        self.push(out, Op::AddScalar(a), Aux::None, self.requires(a))
+    }
+
+    pub fn exp(&self, a: Var) -> Var {
+        let out = self.val(a).exp();
+        self.push(out, Op::Exp(a), Aux::None, self.requires(a))
+    }
+
+    /// Natural log; caller must ensure strictly positive inputs.
+    pub fn ln(&self, a: Var) -> Var {
+        let out = self.val(a).ln();
+        self.push(out, Op::Ln(a), Aux::None, self.requires(a))
+    }
+
+    // ----- nonlinearities ---------------------------------------------------
+
+    pub fn relu(&self, a: Var) -> Var {
+        let out = self.val(a).relu();
+        self.push(out, Op::Relu(a), Aux::None, self.requires(a))
+    }
+
+    pub fn gelu(&self, a: Var) -> Var {
+        let out = self.val(a).gelu();
+        self.push(out, Op::Gelu(a), Aux::None, self.requires(a))
+    }
+
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let out = self.val(a).sigmoid();
+        self.push(out, Op::Sigmoid(a), Aux::None, self.requires(a))
+    }
+
+    pub fn tanh(&self, a: Var) -> Var {
+        let out = self.val(a).tanh();
+        self.push(out, Op::Tanh(a), Aux::None, self.requires(a))
+    }
+
+    // ----- linear algebra ---------------------------------------------------
+
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).matmul(&self.val(b));
+        self.push(out, Op::Matmul(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    /// Batched matmul of rank-3 tensors `[b,m,k] @ [b,k,n]`.
+    pub fn bmm(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).bmm(&self.val(b));
+        self.push(out, Op::Bmm(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    /// Batched `A @ Bᵀ`: `[b,m,k] @ [b,n,k]ᵀ → [b,m,n]` (attention scores).
+    pub fn bmm_nt(&self, a: Var, b: Var) -> Var {
+        let out = self.val(a).bmm_nt(&self.val(b));
+        self.push(out, Op::BmmNt(a, b), Aux::None, self.any_requires(&[a, b]))
+    }
+
+    pub fn transpose(&self, a: Var) -> Var {
+        let out = self.val(a).transpose();
+        self.push(out, Op::Transpose(a), Aux::None, self.requires(a))
+    }
+
+    pub fn reshape(&self, a: Var, dims: &[usize]) -> Var {
+        let out = self.val(a).reshape(dims);
+        self.push(out, Op::Reshape(a), Aux::None, self.requires(a))
+    }
+
+    // ----- structural -------------------------------------------------------
+
+    /// Copy columns `start..end` of a matrix node.
+    pub fn slice_cols(&self, a: Var, start: usize, end: usize) -> Var {
+        let out = self.val(a).slice_cols(start, end);
+        self.push(out, Op::SliceCols(a, start, end), Aux::None, self.requires(a))
+    }
+
+    /// Concatenate matrix nodes along columns.
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        let vals: Vec<Tensor> = parts.iter().map(|&p| self.val(p)).collect();
+        let refs: Vec<&Tensor> = vals.iter().collect();
+        let out = Tensor::concat_cols(&refs);
+        let requires = self.any_requires(parts);
+        self.push(out, Op::ConcatCols(parts.to_vec()), Aux::None, requires)
+    }
+
+    /// Concatenate matrix nodes along rows.
+    pub fn concat_rows(&self, parts: &[Var]) -> Var {
+        let vals: Vec<Tensor> = parts.iter().map(|&p| self.val(p)).collect();
+        let refs: Vec<&Tensor> = vals.iter().collect();
+        let out = Tensor::concat_rows(&refs);
+        let requires = self.any_requires(parts);
+        self.push(out, Op::ConcatRows(parts.to_vec()), Aux::None, requires)
+    }
+
+    /// Add a length-`cols` vector node to every row of a matrix node
+    /// (bias add).
+    pub fn add_row_broadcast(&self, a: Var, row: Var) -> Var {
+        let out = self.val(a).add_row_broadcast(&self.val(row));
+        self.push(
+            out,
+            Op::AddRowBroadcast(a, row),
+            Aux::None,
+            self.any_requires(&[a, row]),
+        )
+    }
+
+    /// Multiply every row of a matrix node elementwise by a vector node.
+    pub fn mul_row_broadcast(&self, a: Var, row: Var) -> Var {
+        let out = self.val(a).mul_row_broadcast(&self.val(row));
+        self.push(
+            out,
+            Op::MulRowBroadcast(a, row),
+            Aux::None,
+            self.any_requires(&[a, row]),
+        )
+    }
+
+    /// Embedding lookup: gather rows of `table` at `indices`.
+    pub fn gather_rows(&self, table: Var, indices: &[usize]) -> Var {
+        let out = self.val(table).gather_rows(indices);
+        self.push(
+            out,
+            Op::GatherRows(table, Rc::new(indices.to_vec())),
+            Aux::None,
+            self.requires(table),
+        )
+    }
+
+    /// Zero out entire rows (padding positions): row `r` is multiplied by
+    /// `mask[r]` (typically 0.0 or 1.0).
+    pub fn mask_rows(&self, a: Var, mask: &[f32]) -> Var {
+        let mut out = self.val(a);
+        assert_eq!(out.rows(), mask.len(), "mask_rows: length mismatch");
+        for r in 0..out.rows() {
+            let m = mask[r];
+            for v in out.row_mut(r) {
+                *v *= m;
+            }
+        }
+        self.push(
+            out,
+            Op::MaskRows(a, Rc::new(mask.to_vec())),
+            Aux::None,
+            self.requires(a),
+        )
+    }
+
+    // ----- normalization / attention helpers --------------------------------
+
+    /// Row-wise softmax of a matrix node.
+    pub fn softmax_rows(&self, a: Var) -> Var {
+        let out = self.val(a).softmax_rows();
+        self.push(out, Op::SoftmaxRows(a), Aux::None, self.requires(a))
+    }
+
+    /// Softmax over the last axis of a rank-3 node (attention weights).
+    pub fn softmax3d_last(&self, a: Var) -> Var {
+        let v = self.val(a);
+        assert_eq!(v.rank(), 3, "softmax3d_last requires rank-3");
+        let dims = v.dims().to_vec();
+        let last = dims[2];
+        let rows = v.numel() / last;
+        let mut out = v;
+        for r in 0..rows {
+            wr_tensor::softmax_in_place(&mut out.data_mut()[r * last..(r + 1) * last]);
+        }
+        self.push(out, Op::Softmax3dLast(a), Aux::None, self.requires(a))
+    }
+
+    /// Add a constant `[t, t]` mask to every batch slice of a `[b, t, t]`
+    /// node (causal masking: forbidden entries hold large negatives).
+    pub fn add_mask2d(&self, a: Var, mask: &Tensor) -> Var {
+        let v = self.val(a);
+        assert_eq!(v.rank(), 3, "add_mask2d requires rank-3");
+        let (b, t1, t2) = (v.dims()[0], v.dims()[1], v.dims()[2]);
+        assert_eq!(mask.dims(), &[t1, t2], "add_mask2d: mask shape mismatch");
+        let mut out = v;
+        let md = mask.data();
+        for i in 0..b {
+            for (o, &m) in out.data_mut()[i * t1 * t2..(i + 1) * t1 * t2]
+                .iter_mut()
+                .zip(md)
+            {
+                *o += m;
+            }
+        }
+        self.push(
+            out,
+            Op::AddMask2d(a, Rc::new(mask.clone())),
+            Aux::None,
+            self.requires(a),
+        )
+    }
+
+    /// LayerNorm over the last axis of a matrix node:
+    /// `y = γ ⊙ (x − mean)/sqrt(var + eps) + β` per row.
+    pub fn layer_norm_rows(&self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.val(x);
+        assert!(xv.rank() == 2, "layer_norm_rows requires a matrix");
+        let (rows, cols) = (xv.rows(), xv.cols());
+        let mut xhat = Tensor::zeros(&[rows, cols]);
+        let mut inv_std = Tensor::zeros(&[rows]);
+        for r in 0..rows {
+            let row = xv.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            inv_std.data_mut()[r] = is;
+            for (o, &v) in xhat.row_mut(r).iter_mut().zip(row) {
+                *o = (v - mean) * is;
+            }
+        }
+        let out = xhat
+            .mul_row_broadcast(&self.val(gamma))
+            .add_row_broadcast(&self.val(beta));
+        self.push(
+            out,
+            Op::LayerNormRows { x, gamma, beta },
+            Aux::Two(xhat, inv_std),
+            self.any_requires(&[x, gamma, beta]),
+        )
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`. Pass `p = 0` (or use
+    /// eval-mode code paths) to disable.
+    pub fn dropout(&self, a: Var, p: f32, rng: &mut Rng64) -> Var {
+        if p <= 0.0 {
+            return a;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let v = self.val(a);
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..v.numel())
+            .map(|_| if rng.chance(keep) { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, v.dims());
+        let out = v.mul(&mask);
+        self.push(out, Op::Dropout(a), Aux::One(mask), self.requires(a))
+    }
+
+    /// Normalize each row of a matrix node to unit L2 norm.
+    pub fn l2_normalize_rows(&self, a: Var) -> Var {
+        let v = self.val(a);
+        assert!(v.rank() == 2, "l2_normalize_rows requires a matrix");
+        let mut y = v.clone();
+        let mut norms = Tensor::zeros(&[v.rows()]);
+        for r in 0..v.rows() {
+            let norm = v.row(r).iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            norms.data_mut()[r] = norm;
+            for o in y.row_mut(r) {
+                *o /= norm;
+            }
+        }
+        let out = y.clone();
+        self.push(
+            out,
+            Op::L2NormalizeRows(a),
+            Aux::Two(y, norms),
+            self.requires(a),
+        )
+    }
+
+    // ----- losses / reductions -----------------------------------------------
+
+    /// Mean cross-entropy between row logits and integer targets.
+    ///
+    /// Fused softmax + NLL: numerically stable and avoids materializing the
+    /// log-probabilities on the tape.
+    pub fn cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.val(logits);
+        assert!(lv.rank() == 2, "cross_entropy requires matrix logits");
+        assert_eq!(lv.rows(), targets.len(), "cross_entropy: batch mismatch");
+        let softmax = lv.softmax_rows();
+        let mut loss = 0.0f64;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "cross_entropy: target {t} out of range");
+            loss -= (softmax.at2(r, t).max(1e-12) as f64).ln();
+        }
+        let loss = (loss / targets.len() as f64) as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropy {
+                logits,
+                targets: Rc::new(targets.to_vec()),
+            },
+            Aux::One(softmax),
+            self.requires(logits),
+        )
+    }
+
+    /// Mean of all elements → scalar node.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let out = Tensor::scalar(self.val(a).mean());
+        self.push(out, Op::MeanAll(a), Aux::None, self.requires(a))
+    }
+
+    /// Sum of all elements → scalar node.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let out = Tensor::scalar(self.val(a).sum());
+        self.push(out, Op::SumAll(a), Aux::None, self.requires(a))
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests over the autograd engine: linearity of the
+//! backward pass, gradient accumulation, and tape independence.
+
+use proptest::prelude::*;
+use wr_autograd::Graph;
+use wr_tensor::{Rng64, Tensor};
+
+fn rnd(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng64::seed_from(seed);
+    Tensor::randn(&[rows, cols], &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// d(sum(αx))/dx = α everywhere.
+    #[test]
+    fn scale_gradient_is_constant(alpha in -3.0f32..3.0, seed in 0u64..300) {
+        let g = Graph::new();
+        let x = g.param(rnd(3, 4, seed));
+        let y = g.scale(x, alpha);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let grad = g.grad(x).unwrap();
+        for &v in grad.data() {
+            prop_assert!((v - alpha).abs() < 1e-5);
+        }
+    }
+
+    /// Gradients accumulate across use sites: d(sum(x) + sum(x))/dx = 2.
+    #[test]
+    fn fanout_accumulates(seed in 0u64..300) {
+        let g = Graph::new();
+        let x = g.param(rnd(2, 3, seed));
+        let s1 = g.sum_all(x);
+        let s2 = g.sum_all(x);
+        let loss = g.add(s1, s2);
+        g.backward(loss);
+        let grad = g.grad(x).unwrap();
+        for &v in grad.data() {
+            prop_assert!((v - 2.0).abs() < 1e-5);
+        }
+    }
+
+    /// The chain rule is linear in the upstream gradient: grad of (αL) is
+    /// α × grad of L.
+    #[test]
+    fn backward_is_linear(alpha in 0.1f32..4.0, seed in 0u64..300) {
+        let run = |scale: f32| -> Tensor {
+            let g = Graph::new();
+            let x = g.param(rnd(3, 3, seed));
+            let w = g.constant(rnd(3, 3, seed + 1));
+            let y = g.matmul(x, w);
+            let y = g.tanh(y);
+            let loss = g.scale(g.sum_all(y), scale);
+            g.backward(loss);
+            g.grad(x).unwrap()
+        };
+        let g1 = run(1.0);
+        let ga = run(alpha);
+        for (a, b) in g1.data().iter().zip(ga.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-4 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Graphs are independent: building a second graph never perturbs the
+    /// gradients computed on the first.
+    #[test]
+    fn tapes_are_isolated(seed in 0u64..300) {
+        let g1 = Graph::new();
+        let x1 = g1.param(rnd(2, 2, seed));
+        let l1 = g1.sum_all(g1.mul(x1, x1));
+        g1.backward(l1);
+        let before = g1.grad(x1).unwrap();
+
+        let g2 = Graph::new();
+        let x2 = g2.param(rnd(2, 2, seed + 7));
+        let l2 = g2.sum_all(g2.exp(x2));
+        g2.backward(l2);
+
+        let after = g1.grad(x1).unwrap();
+        prop_assert_eq!(before.data(), after.data());
+    }
+
+    /// Constants never get gradients, whatever the expression.
+    #[test]
+    fn constants_stay_gradient_free(seed in 0u64..300) {
+        let g = Graph::new();
+        let c = g.constant(rnd(2, 3, seed));
+        let p = g.param(rnd(2, 3, seed + 1));
+        let y = g.mul(g.add(c, p), c);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        prop_assert!(g.grad(c).is_none());
+        prop_assert!(g.grad(p).is_some());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion bench: symmetric eigendecomposition and Cholesky scaling —
+//! the numeric kernels behind every whitening fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wr_linalg::{cholesky, pinv, sym_eig};
+use wr_tensor::{Rng64, Tensor};
+
+fn spd(n: usize) -> Tensor {
+    let mut rng = Rng64::seed_from(3);
+    let b = Tensor::randn(&[n + 8, n], &mut rng);
+    let mut a = b.matmul_tn(&b).scale(1.0 / (n + 8) as f32);
+    for i in 0..n {
+        *a.at2_mut(i, i) += 0.1;
+    }
+    a
+}
+
+fn bench_eig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eig");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| sym_eig(a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(20);
+    for n in [32usize, 64, 128] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| cholesky(a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_pinv(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(4);
+    let a = Tensor::randn(&[200, 48], &mut rng);
+    let mut group = c.benchmark_group("pinv");
+    group.sample_size(10);
+    group.bench_function("200x48", |b| {
+        b.iter(|| pinv(&a).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eig, bench_cholesky, bench_pinv);
+criterion_main!(benches);

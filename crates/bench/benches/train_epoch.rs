@@ -1,0 +1,50 @@
+//! Criterion bench: one full training step per model family — the numbers
+//! behind Table IX's `s/Epoch` column (epoch cost = steps × this).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wr_data::Batch;
+use wr_models::{zoo, ModelConfig};
+use wr_tensor::{Rng64, Tensor};
+use wr_train::{Adam, AdamConfig};
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(5);
+    let n_items = 500;
+    let embeddings = Tensor::randn(&[n_items, 128], &mut rng);
+    let categories: Vec<usize> = (0..n_items).map(|i| i % 12).collect();
+    let sequences: Vec<Vec<usize>> = (0..64)
+        .map(|u| (0..8).map(|t| (u * 13 + t * 7) % n_items).collect())
+        .collect();
+    let inputs = zoo::ZooInputs {
+        embeddings: &embeddings,
+        item_categories: &categories,
+        train_sequences: &sequences,
+        relaxed_groups: 4,
+    };
+    let config = ModelConfig::default();
+    let refs: Vec<&[usize]> = sequences.iter().map(|s| s.as_slice()).collect();
+    let batch = Batch::from_sequences(&refs, config.max_seq);
+
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for name in [
+        "SASRec(ID)",
+        "SASRec(T)",
+        "UniSRec(T)",
+        "UniSRec(T+ID)",
+        "WhitenRec",
+        "WhitenRec+",
+        "WhitenRec+(T+ID)",
+    ] {
+        let mut step_rng = Rng64::seed_from(6);
+        let mut model = zoo::build(name, &inputs, config, &mut step_rng);
+        let mut opt = Adam::new(AdamConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| model.train_step(&batch, &mut opt, &mut step_rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 4: CDF of item-pair cosine similarity under different whitening
+//! strengths G on Arts.
+//!
+//! Paper reference: full whitening (G=1) concentrates the CDF around
+//! cos ≈ 0; weaker whitening (larger G) and raw embeddings spread toward
+//! high similarity, with Raw concentrated near 0.85.
+
+use wr_bench::context;
+use wr_data::DatasetKind;
+use wr_whiten::{group_whiten, pairwise_cosine_cdf, WhiteningMethod, DEFAULT_EPS};
+use whitenrec::TableWriter;
+
+fn main() {
+    let ctx = context(DatasetKind::Arts);
+    let emb = &ctx.dataset.embeddings;
+
+    let grid_header = ["Setting", "cos=-0.5", "-0.25", "0.0", "0.25", "0.5", "0.75", "1.0"];
+    let mut t = TableWriter::new("Fig 4: CDF of pairwise cosine (Arts)", &grid_header);
+
+    let mut push = |name: &str, x: &wr_tensor::Tensor| {
+        let (grid, cdf) = pairwise_cosine_cdf(x, 4000, 81, 13);
+        let probe = [-0.5f32, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0];
+        let mut cells = vec![name.to_string()];
+        for p in probe {
+            let idx = grid.iter().position(|&g| g >= p).unwrap_or(grid.len() - 1);
+            cells.push(format!("{:.3}", cdf[idx]));
+        }
+        t.row(&cells);
+    };
+
+    for g in [1usize, 4, 8, 32, 128] {
+        if emb.cols() % g != 0 {
+            continue;
+        }
+        let z = group_whiten(emb, g, WhiteningMethod::Zca, DEFAULT_EPS);
+        push(&format!("G={g}"), &z);
+    }
+    push("Raw", emb);
+
+    t.print();
+    println!(
+        "Shape check: G=1 reaches CDF ~1.0 well before cos=0.5 (tightly\n\
+         concentrated near 0); Raw stays near 0 until large cosines (pairs\n\
+         are all similar); intermediate G interpolates."
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 5: WhitenRec performance vs whitening group count G.
+//!
+//! Paper reference: best performance at small G (strong decorrelation);
+//! performance degrades as G grows on Arts/Toys/Tools.
+
+use wr_bench::{context, datasets, m4};
+use wr_data::DatasetKind;
+use whitenrec::TableWriter;
+
+fn main() {
+    let kinds: Vec<DatasetKind> = datasets();
+    let mut t = TableWriter::new(
+        "Fig 5: WhitenRec with relaxed whitening, by G (R@20 / N@20)",
+        &["Dataset", "G=1", "G=4", "G=8", "G=16", "G=32"],
+    );
+    for kind in kinds {
+        let ctx = context(kind);
+        let mut cells = vec![kind.name().to_string()];
+        for g in [1usize, 4, 8, 16, 32] {
+            if ctx.dataset.embeddings.cols() % g != 0 {
+                cells.push("n/a".into());
+                continue;
+            }
+            let name = if g == 1 {
+                "WhitenRec".to_string()
+            } else {
+                format!("WhitenRec@G={g}")
+            };
+            let trained = ctx.run_warm(&name);
+            cells.push(format!(
+                "{}/{}",
+                m4(trained.test_metrics.recall_at(20)),
+                m4(trained.test_metrics.ndcg_at(20))
+            ));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!("Shape check: the G=1 column should dominate; quality decays with G.");
+}

@@ -1,0 +1,50 @@
+//! Table IV: cold-start comparison (15 % of items unseen in training;
+//! targets are cold items).
+//!
+//! Paper reference (shape): SASRec(T) weakest; UniSRec(T) strong;
+//! relaxed whitening (WhitenRec G>1) beats full whitening (G=1) in the
+//! cold setting; WhitenRec+ best everywhere.
+
+use wr_bench::{context, datasets, m4};
+use whitenrec::TableWriter;
+
+const COLD_ROSTER: [&str; 5] = [
+    "SASRec(T)",
+    "UniSRec(T)",
+    "WhitenRec",      // G = 1 (full whitening)
+    "WhitenRec@G=4",  // relaxed whitening
+    "WhitenRec+",
+];
+
+fn main() {
+    let kinds = datasets();
+    let mut header = vec!["Model".to_string()];
+    header.extend(kinds.iter().map(|k| k.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TableWriter::new("Table IV: cold-start (R@20 / N@20)", &header_refs);
+    let mut rows: Vec<Vec<String>> = COLD_ROSTER
+        .iter()
+        .map(|n| vec![n.to_string()])
+        .collect();
+    for kind in &kinds {
+        let ctx = context(*kind);
+        for (i, name) in COLD_ROSTER.iter().enumerate() {
+            eprintln!("  cold-training {name} on {}", kind.name());
+            let trained = ctx.run_cold(name);
+            rows[i].push(format!(
+                "{}/{}",
+                m4(trained.test_metrics.recall_at(20)),
+                m4(trained.test_metrics.ndcg_at(20))
+            ));
+        }
+    }
+    for row in &rows {
+        t.row(row);
+    }
+    t.print();
+    println!(
+        "Shape check: only text reaches cold items, so SASRec(T) floor,\n\
+         relaxed whitening (G=4) > full whitening (G=1), WhitenRec+ on top\n\
+         (paper: +8.5%/+17.9%/+64.5% N@50 over the best baseline)."
+    );
+}

@@ -1,0 +1,37 @@
+//! Table VII: ensemble strategies for WhitenRec+ — Sum, Concat, Attn.
+//!
+//! Paper reference (shape): Sum and Attn comparable, both above Concat on
+//! the Amazon datasets; all three close on Food.
+
+use wr_bench::{context, datasets, m4};
+use whitenrec::TableWriter;
+
+fn main() {
+    let modes = ["Sum", "Concat", "Attn"];
+    let mut rows: Vec<Vec<String>> = modes.iter().map(|m| vec![m.to_string()]).collect();
+    for kind in datasets() {
+        let ctx = context(kind);
+        for (i, mode) in modes.iter().enumerate() {
+            eprintln!("  ensemble {mode} on {}", kind.name());
+            let trained = ctx.run_warm(&format!("WhitenRec+@{mode}"));
+            rows[i].push(format!(
+                "{}/{}",
+                m4(trained.test_metrics.recall_at(20)),
+                m4(trained.test_metrics.ndcg_at(20))
+            ));
+        }
+    }
+    let kinds = wr_bench::datasets();
+    let mut header = vec!["Ensemble".to_string()];
+    header.extend(kinds.iter().map(|k| k.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TableWriter::new(
+        "Table VII: ensemble methods for WhitenRec+ (R@20 / N@20)",
+        &header_refs,
+    );
+    for row in &rows {
+        t.row(row);
+    }
+    t.print();
+    println!("Shape check: Sum ≥ Attn > Concat on the Amazon-style datasets.");
+}

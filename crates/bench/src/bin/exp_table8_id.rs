@@ -1,0 +1,39 @@
+//! Table VIII: does adding ID embeddings help WhitenRec / WhitenRec+?
+//!
+//! Paper reference (shape): no — on all four datasets the (T+ID) variants
+//! fall below the text-only versions on R@20.
+
+use wr_bench::{context, datasets, m4};
+use whitenrec::TableWriter;
+
+fn main() {
+    let variants = [
+        "WhitenRec",
+        "WhitenRec(T+ID)",
+        "WhitenRec+",
+        "WhitenRec+(T+ID)",
+    ];
+    let mut rows: Vec<Vec<String>> = variants.iter().map(|v| vec![v.to_string()]).collect();
+    for kind in datasets() {
+        let ctx = context(kind);
+        for (i, name) in variants.iter().enumerate() {
+            eprintln!("  training {name} on {}", kind.name());
+            let trained = ctx.run_warm(name);
+            rows[i].push(format!(
+                "{}/{}",
+                m4(trained.test_metrics.recall_at(20)),
+                m4(trained.test_metrics.ndcg_at(20))
+            ));
+        }
+    }
+    let kinds = wr_bench::datasets();
+    let mut header = vec!["Model".to_string()];
+    header.extend(kinds.iter().map(|k| k.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TableWriter::new("Table VIII: text vs text+ID (R@20 / N@20)", &header_refs);
+    for row in &rows {
+        t.row(row);
+    }
+    t.print();
+    println!("Shape check: each (T+ID) row should trail its text-only sibling on R@20.");
+}

@@ -1,0 +1,22 @@
+//! Calibration probe: the four models whose ordering defines the paper's
+//! headline (Tables I/III). Not part of the paper's tables.
+
+use wr_bench::{context, datasets, m4};
+
+fn main() {
+    for kind in datasets() {
+        let ctx = context(kind);
+        println!("-- {} --", kind.name());
+        for name in ["SASRec(ID)", "SASRec(T+ID)", "WhitenRec", "WhitenRec+"] {
+            let t = ctx.run_warm(name);
+            println!(
+                "{:<14} R@20 {}  N@20 {}  (best epoch {}, {:.1}s/epoch)",
+                name,
+                m4(t.test_metrics.recall_at(20)),
+                m4(t.test_metrics.ndcg_at(20)),
+                t.report.best_epoch,
+                t.report.seconds_per_epoch(),
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Timing probe: seconds/epoch at the current WR_SCALE, to calibrate the
+//! harness for the available hardware. Not part of the paper's tables.
+
+use wr_bench::{context, scale};
+use wr_data::DatasetKind;
+
+fn main() {
+    let mut ctx = context(DatasetKind::Arts);
+    ctx.train_config.max_epochs = 2;
+    let t0 = std::time::Instant::now();
+    let trained = ctx.run_warm("WhitenRec");
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "scale {} | {} epochs in {:.1}s ({:.2}s/epoch) | test {}",
+        scale(),
+        trained.report.epochs.len(),
+        elapsed,
+        trained.report.seconds_per_epoch(),
+        trained.test_metrics
+    );
+}

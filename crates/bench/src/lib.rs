@@ -1,0 +1,111 @@
+//! Shared plumbing for the experiment binaries (`exp_*`).
+//!
+//! Every binary regenerates one table or figure of the paper as text. The
+//! harness runs at a reduced scale sized for a single CPU core; set
+//! `WR_SCALE` (default 0.25, multiplier on the ~1/10-of-paper presets) and
+//! `WR_EPOCHS` (default 15) to trade fidelity for time.
+
+use whitenrec::models::ModelConfig;
+use whitenrec::ExperimentContext;
+use wr_data::DatasetKind;
+
+/// Harness-wide scale, from `WR_SCALE` (default 0.25).
+pub fn scale() -> f32 {
+    std::env::var("WR_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Harness-wide epoch cap, from `WR_EPOCHS` (default 15).
+pub fn max_epochs() -> usize {
+    std::env::var("WR_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15)
+}
+
+/// Datasets to sweep, from `WR_DATASETS` (comma-separated names; default
+/// all four).
+pub fn datasets() -> Vec<DatasetKind> {
+    match std::env::var("WR_DATASETS") {
+        Ok(s) => s
+            .split(',')
+            .map(|name| match name.trim() {
+                "Arts" => DatasetKind::Arts,
+                "Toys" => DatasetKind::Toys,
+                "Tools" => DatasetKind::Tools,
+                "Food" => DatasetKind::Food,
+                other => panic!("unknown dataset {other}"),
+            })
+            .collect(),
+        Err(_) => DatasetKind::ALL.to_vec(),
+    }
+}
+
+/// Catalog-size multiplier applied on top of `WR_SCALE`, from
+/// `WR_ITEM_SCALE` (default 2.0). Growing the catalog at fixed users thins
+/// interactions per item, reproducing the paper's overparameterized-ID
+/// regime (its catalogs hold 18× more ID parameters than interactions).
+pub fn item_scale() -> f32 {
+    std::env::var("WR_ITEM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0)
+}
+
+/// Standard context the binaries share: preset scaled by [`scale`], epochs
+/// capped by [`max_epochs`].
+pub fn context(kind: DatasetKind) -> ExperimentContext {
+    use whitenrec::data::DatasetSpec;
+    let spec = DatasetSpec::preset(kind)
+        .scaled(scale())
+        .scaled_items(item_scale());
+    let mut ctx = ExperimentContext::from_spec(spec);
+    ctx.model_config = ModelConfig::default();
+    ctx.train_config.max_epochs = max_epochs();
+    ctx.train_config.patience = 4;
+    ctx.eval_cap = 1200;
+    eprintln!(
+        "[{}] {} users, {} items, {} train seqs (scale {})",
+        kind.name(),
+        ctx.dataset.n_users(),
+        ctx.dataset.n_items(),
+        ctx.warm.train.len(),
+        scale()
+    );
+    ctx
+}
+
+/// Format a metric to the paper's 4 decimal places.
+pub fn m4(x: f32) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m4_formats() {
+        assert_eq!(m4(0.16881), "0.1688");
+        assert_eq!(m4(0.0), "0.0000");
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Only meaningful when the harness env vars are unset.
+        if std::env::var("WR_SCALE").is_err() {
+            assert!((scale() - 0.25).abs() < 1e-6);
+        }
+        if std::env::var("WR_EPOCHS").is_err() {
+            assert_eq!(max_epochs(), 15);
+        }
+        if std::env::var("WR_ITEM_SCALE").is_err() {
+            assert!((item_scale() - 2.0).abs() < 1e-6);
+        }
+        if std::env::var("WR_DATASETS").is_err() {
+            assert_eq!(datasets().len(), 4);
+        }
+    }
+}

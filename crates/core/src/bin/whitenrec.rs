@@ -1,0 +1,166 @@
+//! `whitenrec` — command-line interface to the reproduction.
+//!
+//! ```text
+//! whitenrec analyze --dataset Arts [--scale 0.2]
+//!     Anisotropy report + per-method whiteness of the dataset's embeddings.
+//!
+//! whitenrec train --model WhitenRec+ --dataset Arts [--scale 0.2]
+//!     [--epochs 15] [--cold] [--save model.wrck] [--records out.jsonl]
+//!     Train one zoo model, print metrics, optionally checkpoint + export.
+//!
+//! whitenrec list-models
+//!     Print every model name the zoo accepts.
+//! ```
+//!
+//! Arguments are deliberately parsed by hand — the CLI has three verbs and
+//! a flat flag set; a dependency would be heavier than the code.
+
+use std::process::ExitCode;
+
+use whitenrec::data::{DatasetKind, DatasetSpec};
+use whitenrec::models::zoo::WARM_ROSTER;
+use whitenrec::nn::save_params;
+use whitenrec::textsim::EmbeddingReport;
+use whitenrec::train::SeqRecModel;
+use whitenrec::whiten::{whiteness_error, WhiteningMethod, WhiteningTransform, DEFAULT_EPS};
+use whitenrec::{append_records, ExperimentContext, ExperimentRecord};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("train") => train(&args[1..]),
+        Some("list-models") => {
+            for name in WARM_ROSTER {
+                println!("{name}");
+            }
+            for extra in ["GRU4Rec", "BERT4Rec", "Pop", "DIF-SR", "WhitenRec(T+ID)", "WhitenRec+(T+ID)", "WhitenRec+(GatedID)"] {
+                println!("{extra}");
+            }
+            println!("WhitenRec@G=<n>  WhitenRec+@G=<n>  WhitenRec+@<Sum|Concat|Attn>");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: whitenrec <analyze|train|list-models> [flags]\n(see crate docs)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_dataset(args: &[String]) -> Result<DatasetKind, String> {
+    match flag(args, "--dataset").as_deref() {
+        Some("Arts") | None => Ok(DatasetKind::Arts),
+        Some("Toys") => Ok(DatasetKind::Toys),
+        Some("Tools") => Ok(DatasetKind::Tools),
+        Some("Food") => Ok(DatasetKind::Food),
+        Some(other) => Err(format!("unknown dataset {other} (Arts|Toys|Tools|Food)")),
+    }
+}
+
+fn build_context(args: &[String]) -> Result<ExperimentContext, String> {
+    let kind = parse_dataset(args)?;
+    let scale: f32 = flag(args, "--scale")
+        .map(|s| s.parse().map_err(|_| format!("bad --scale {s}")))
+        .transpose()?
+        .unwrap_or(0.2);
+    let spec = DatasetSpec::preset(kind).scaled(scale).scaled_items(2.0);
+    let mut ctx = ExperimentContext::from_spec(spec);
+    if let Some(e) = flag(args, "--epochs") {
+        ctx.train_config.max_epochs = e.parse().map_err(|_| format!("bad --epochs {e}"))?;
+    }
+    Ok(ctx)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let ctx = match build_context(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let emb = &ctx.dataset.embeddings;
+    println!(
+        "dataset: {} | {} users, {} items, {}-dim embeddings",
+        ctx.dataset.spec.kind.name(),
+        ctx.dataset.n_users(),
+        ctx.dataset.n_items(),
+        emb.cols()
+    );
+    match EmbeddingReport::compute(emb, 2000, 7) {
+        Ok(r) => println!("raw embeddings: {r}"),
+        Err(e) => eprintln!("report failed: {e}"),
+    }
+    println!("\nwhiteness error after each transform (0 = perfectly white):");
+    for method in WhiteningMethod::ALL {
+        let z = WhiteningTransform::fit(emb, method, DEFAULT_EPS).apply(emb);
+        println!("  {:<4} {:.4}", method.name(), whiteness_error(&z));
+    }
+    ExitCode::SUCCESS
+}
+
+fn train(args: &[String]) -> ExitCode {
+    let model_name = flag(args, "--model").unwrap_or_else(|| "WhitenRec+".into());
+    let ctx = match build_context(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cold = has_flag(args, "--cold");
+    println!(
+        "training {model_name} on {} ({}; {} items, {} users)…",
+        ctx.dataset.spec.kind.name(),
+        if cold { "cold-start" } else { "warm-start" },
+        ctx.dataset.n_items(),
+        ctx.dataset.n_users(),
+    );
+    let trained = if cold {
+        ctx.run_cold(&model_name)
+    } else {
+        ctx.run_warm(&model_name)
+    };
+    println!(
+        "done: {} epochs (best {}), {:.1}s total, {} params",
+        trained.report.epochs.len(),
+        trained.report.best_epoch,
+        trained.report.total_seconds,
+        trained.report.param_count
+    );
+    println!("test: {}", trained.test_metrics);
+
+    if let Some(path) = flag(args, "--save") {
+        match save_params(&path, &trained.model.params()) {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(e) => {
+                eprintln!("checkpoint failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = flag(args, "--records") {
+        let record = ExperimentRecord::from_trained(
+            &trained,
+            ctx.dataset.spec.kind.name(),
+            if cold { "cold" } else { "warm" },
+        );
+        if let Err(e) = append_records(&path, &[record]) {
+            eprintln!("record export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("record appended to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,224 @@
+//! Shared context for the per-table/figure experiment binaries.
+
+use wr_data::{cold_split, warm_split, ColdSplit, DatasetKind, DatasetSpec, ReadyDataset, WarmSplit};
+use wr_eval::MetricSet;
+use wr_models::{zoo, ModelConfig};
+use wr_tensor::Rng64;
+use wr_train::{fit, Adam, AdamConfig, EpochRecord, SeqRecModel, TrainConfig, TrainReport};
+
+/// A materialized dataset with its warm and cold splits, plus the shared
+/// model/training configuration — one per (dataset, scale) pair.
+pub struct ExperimentContext {
+    pub dataset: ReadyDataset,
+    pub warm: WarmSplit,
+    pub cold: ColdSplit,
+    pub model_config: ModelConfig,
+    pub train_config: TrainConfig,
+    /// Default relaxed-group count for WhitenRec+ (the paper uses small G).
+    pub relaxed_groups: usize,
+    /// Cap on evaluation cases (keeps single-core runs tractable; 0 = all).
+    pub eval_cap: usize,
+}
+
+impl ExperimentContext {
+    /// Build a context at `scale` × the ~1/10-of-paper preset.
+    ///
+    /// `scale = 1.0` is the largest the harness defaults to on one core;
+    /// tests use ≤ 0.3.
+    pub fn prepare(kind: DatasetKind, scale: f32) -> Self {
+        let spec = DatasetSpec::preset(kind).scaled(scale);
+        Self::from_spec(spec)
+    }
+
+    pub fn from_spec(spec: DatasetSpec) -> Self {
+        let dataset = spec.build();
+        let warm = warm_split(&dataset.sequences);
+        let cold = cold_split(&dataset.sequences, dataset.n_items(), 0.15, spec.catalog.seed ^ 0xC01D);
+        ExperimentContext {
+            dataset,
+            warm,
+            cold,
+            model_config: ModelConfig::default(),
+            train_config: TrainConfig {
+                max_epochs: 30,
+                patience: 5,
+                batch_size: 256,
+                max_seq: ModelConfig::default().max_seq,
+                eval_batch: 256,
+                seed: 77,
+                eval_every: 1,
+                lr_schedule: None,
+            },
+            relaxed_groups: 4,
+            eval_cap: 2000,
+        }
+    }
+
+    /// Category id per (dense) item — the attribute table for S³-Rec.
+    pub fn item_categories(&self) -> Vec<usize> {
+        (0..self.dataset.n_items())
+            .map(|i| self.dataset.category_of(i))
+            .collect()
+    }
+
+    /// Instantiate a zoo model by name against this dataset.
+    pub fn build_model(&self, name: &str) -> Box<dyn SeqRecModel> {
+        let cats = self.item_categories();
+        let inputs = zoo::ZooInputs {
+            embeddings: &self.dataset.embeddings,
+            item_categories: &cats,
+            train_sequences: &self.warm.train,
+            relaxed_groups: self.relaxed_groups,
+        };
+        let mut rng = Rng64::seed_from(self.model_config.seed);
+        zoo::build(name, &inputs, self.model_config, &mut rng)
+    }
+
+    /// Train `name` on the warm split and evaluate on the warm test set.
+    pub fn run_warm(&self, name: &str) -> TrainedModel {
+        self.run_warm_with_hook(name, |_, _| {})
+    }
+
+    /// As [`Self::run_warm`], with a per-epoch hook (Fig. 6/7 trackers).
+    pub fn run_warm_with_hook(
+        &self,
+        name: &str,
+        hook: impl FnMut(&Box<dyn SeqRecModel>, &EpochRecord),
+    ) -> TrainedModel {
+        let mut model = self.build_model(name);
+        let mut optimizer = Adam::new(AdamConfig {
+            lr: 1e-3,
+            weight_decay: 1e-6,
+            ..AdamConfig::default()
+        });
+        let valid = cap(&self.warm.validation, self.eval_cap);
+        let report = fit(
+            &mut model,
+            &mut optimizer,
+            self.warm.train.clone(),
+            &valid,
+            self.train_config,
+            hook,
+        );
+        let test = cap(&self.warm.test, self.eval_cap);
+        let metrics = self.evaluate(model.as_ref(), &test);
+        TrainedModel {
+            model,
+            report,
+            test_metrics: metrics,
+        }
+    }
+
+    /// Train on the cold split's warm-only sequences; evaluate on cold
+    /// targets (Table IV's protocol).
+    pub fn run_cold(&self, name: &str) -> TrainedModel {
+        let mut model = self.build_model(name);
+        // Cold items are outside the training catalog: keep them out of the
+        // training softmax so they aren't suppressed as perpetual
+        // negatives (scoring still spans the full catalog).
+        let warm: Vec<usize> = (0..self.dataset.n_items())
+            .filter(|&i| !self.cold.is_cold[i])
+            .collect();
+        model.set_train_candidates(Some(warm));
+        let mut optimizer = Adam::new(AdamConfig {
+            lr: 1e-3,
+            weight_decay: 1e-6,
+            ..AdamConfig::default()
+        });
+        let valid = cap(&self.cold.validation, self.eval_cap);
+        let report = fit(
+            &mut model,
+            &mut optimizer,
+            self.cold.train.clone(),
+            &valid,
+            self.train_config,
+            |_, _| {},
+        );
+        let test = cap(&self.cold.test, self.eval_cap);
+        let metrics = self.evaluate(model.as_ref(), &test);
+        TrainedModel {
+            model,
+            report,
+            test_metrics: metrics,
+        }
+    }
+
+    /// Full-ranking evaluation with history exclusion at K ∈ {20, 50}.
+    pub fn evaluate(&self, model: &dyn SeqRecModel, cases: &[wr_data::EvalCase]) -> MetricSet {
+        wr_eval::evaluate_cases(cases, &[20, 50], self.train_config.eval_batch, true, |ctx| {
+            model.score(ctx)
+        })
+    }
+}
+
+fn cap(cases: &[wr_data::EvalCase], limit: usize) -> Vec<wr_data::EvalCase> {
+    if limit == 0 || cases.len() <= limit {
+        cases.to_vec()
+    } else {
+        // Deterministic spread over users rather than a prefix.
+        let stride = cases.len() as f64 / limit as f64;
+        (0..limit)
+            .map(|i| cases[(i as f64 * stride) as usize].clone())
+            .collect()
+    }
+}
+
+/// A model after training, with its training curve and test metrics.
+pub struct TrainedModel {
+    pub model: Box<dyn SeqRecModel>,
+    pub report: TrainReport,
+    pub test_metrics: MetricSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_context() -> ExperimentContext {
+        let spec = DatasetSpec::tiny(DatasetKind::Arts);
+        let mut ctx = ExperimentContext::from_spec(spec);
+        ctx.model_config = ModelConfig {
+            dim: 16,
+            blocks: 1,
+            max_seq: 10,
+            dropout: 0.1,
+            ..ModelConfig::default()
+        };
+        ctx.train_config.max_epochs = 2;
+        ctx.train_config.max_seq = 10;
+        ctx.eval_cap = 100;
+        ctx
+    }
+
+    #[test]
+    fn warm_pipeline_end_to_end() {
+        let ctx = tiny_context();
+        let trained = ctx.run_warm("WhitenRec");
+        assert!(trained.test_metrics.n_cases > 0);
+        assert!(trained.report.epochs.len() <= 2);
+        assert!(trained.test_metrics.recall_at(50) >= trained.test_metrics.recall_at(20));
+    }
+
+    #[test]
+    fn cold_pipeline_end_to_end() {
+        let ctx = tiny_context();
+        let trained = ctx.run_cold("WhitenRec+");
+        assert!(trained.test_metrics.n_cases > 0);
+    }
+
+    #[test]
+    fn cap_spreads_cases() {
+        let cases: Vec<wr_data::EvalCase> = (0..100)
+            .map(|u| wr_data::EvalCase {
+                user: u,
+                context: vec![0, 1],
+                target: 2,
+            })
+            .collect();
+        let capped = cap(&cases, 10);
+        assert_eq!(capped.len(), 10);
+        assert_eq!(capped[0].user, 0);
+        assert!(capped[9].user >= 80);
+        assert_eq!(cap(&cases, 0).len(), 100);
+    }
+}

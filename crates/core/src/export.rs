@@ -1,0 +1,124 @@
+//! JSON export of experiment outcomes.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TrainedModel;
+use wr_eval::MetricSet;
+
+/// A flat, diff-friendly record of one (model, dataset, protocol) run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    pub model: String,
+    pub dataset: String,
+    /// "warm" or "cold".
+    pub protocol: String,
+    pub recall_at_20: f32,
+    pub recall_at_50: f32,
+    pub ndcg_at_20: f32,
+    pub ndcg_at_50: f32,
+    pub n_eval_cases: usize,
+    pub param_count: usize,
+    pub epochs_trained: usize,
+    pub best_epoch: usize,
+    pub best_valid_ndcg: f32,
+    pub seconds_per_epoch: f64,
+}
+
+impl ExperimentRecord {
+    pub fn from_trained(
+        trained: &TrainedModel,
+        dataset: impl Into<String>,
+        protocol: impl Into<String>,
+    ) -> Self {
+        let m: &MetricSet = &trained.test_metrics;
+        ExperimentRecord {
+            model: trained.report.model_name.clone(),
+            dataset: dataset.into(),
+            protocol: protocol.into(),
+            recall_at_20: m.recall_at(20),
+            recall_at_50: m.recall_at(50),
+            ndcg_at_20: m.ndcg_at(20),
+            ndcg_at_50: m.ndcg_at(50),
+            n_eval_cases: m.n_cases,
+            param_count: trained.report.param_count,
+            epochs_trained: trained.report.epochs.len(),
+            best_epoch: trained.report.best_epoch,
+            best_valid_ndcg: trained.report.best_valid_ndcg,
+            seconds_per_epoch: trained.report.seconds_per_epoch(),
+        }
+    }
+}
+
+/// Append-or-create a JSON-lines results file (one record per line — easy
+/// to `grep`, `jq`, or load incrementally).
+pub fn append_records(
+    path: impl AsRef<Path>,
+    records: &[ExperimentRecord],
+) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for r in records {
+        let line = serde_json::to_string(r)?;
+        writeln!(file, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Load every record from a JSON-lines results file.
+pub fn load_records(path: impl AsRef<Path>) -> std::io::Result<Vec<ExperimentRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(std::io::Error::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(model: &str) -> ExperimentRecord {
+        ExperimentRecord {
+            model: model.into(),
+            dataset: "Arts".into(),
+            protocol: "warm".into(),
+            recall_at_20: 0.16,
+            recall_at_50: 0.24,
+            ndcg_at_20: 0.08,
+            ndcg_at_50: 0.09,
+            n_eval_cases: 1000,
+            param_count: 27072,
+            epochs_trained: 10,
+            best_epoch: 7,
+            best_valid_ndcg: 0.081,
+            seconds_per_epoch: 1.4,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let path = std::env::temp_dir().join(format!("wr_records_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        append_records(&path, &[record("WhitenRec"), record("WhitenRec+")]).unwrap();
+        append_records(&path, &[record("SASRec(ID)")]).unwrap();
+        let loaded = load_records(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[0].model, "WhitenRec");
+        assert_eq!(loaded[2].model, "SASRec(ID)");
+        assert_eq!(loaded[1], record("WhitenRec+"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let path = std::env::temp_dir().join(format!("wr_bad_{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{not json}\n").unwrap();
+        assert!(load_records(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,83 @@
+//! Persist materialized datasets so experiments can share one generation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use wr_tensor::Tensor;
+
+/// Write sequences as JSON-lines (one user per line).
+pub fn save_sequences(path: impl AsRef<Path>, sequences: &[Vec<usize>]) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for s in sequences {
+        let line = serde_json::to_string(s)?;
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// Read sequences written by [`save_sequences`].
+pub fn load_sequences(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<usize>>> {
+    let file = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for line in file.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line)?);
+    }
+    Ok(out)
+}
+
+/// Write an embedding matrix as JSON (`{dims, data}` via `wr_tensor`'s
+/// serde impl).
+pub fn save_embeddings(path: impl AsRef<Path>, embeddings: &Tensor) -> std::io::Result<()> {
+    let json = serde_json::to_string(embeddings)?;
+    std::fs::write(path, json)
+}
+
+/// Read an embedding matrix written by [`save_embeddings`].
+pub fn load_embeddings(path: impl AsRef<Path>) -> std::io::Result<Tensor> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_tensor::Rng64;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wrdata_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn sequences_roundtrip() {
+        let seqs = vec![vec![0usize, 3, 7], vec![], vec![42]];
+        let path = tmp("seqs.jsonl");
+        save_sequences(&path, &seqs).unwrap();
+        let back = load_sequences(&path).unwrap();
+        assert_eq!(back, seqs);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn embeddings_roundtrip() {
+        let mut rng = Rng64::seed_from(1);
+        let e = Tensor::randn(&[7, 5], &mut rng);
+        let path = tmp("emb.json");
+        save_embeddings(&path, &e).unwrap();
+        let back = load_embeddings(&path).unwrap();
+        assert_eq!(back, e);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_error_cleanly() {
+        let path = tmp("bad.json");
+        std::fs::write(&path, "definitely not json").unwrap();
+        assert!(load_embeddings(&path).is_err());
+        assert!(load_sequences(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! Datasets for the WhitenRec experiments.
+//!
+//! The paper evaluates on Amazon Arts/Toys/Tools and Food. Those logs are
+//! unavailable offline, so this crate pairs a [`wr_textsim::Catalog`] with
+//! a *latent-factor behaviour simulator*: users carry preference vectors in
+//! the same semantic-factor space the text encoder uses, and sessions mix
+//! preference affinity, Zipf popularity, and Markov co-consumption chains.
+//! That gives the three properties the experiments rely on:
+//!
+//! * text semantics genuinely predict the next item (text-based models can
+//!   win),
+//! * sequences have order structure (sequence encoders beat popularity),
+//! * cold items are reachable only through their text.
+//!
+//! Pipeline: [`generate_interactions`] → [`five_core_filter`] →
+//! [`warm_split`] / [`cold_split`] → [`Batcher`]. Dataset presets matching
+//! Table II's shape at ~1/10 scale live in [`DatasetSpec`].
+
+mod batch;
+mod filter;
+mod interactions;
+mod io;
+mod spec;
+mod split;
+mod stats;
+
+pub use batch::{Batch, Batcher};
+pub use filter::{five_core_filter, FilteredData};
+pub use interactions::{generate_interactions, InteractionConfig};
+pub use io::{load_embeddings, load_sequences, save_embeddings, save_sequences};
+pub use spec::{DatasetKind, DatasetSpec, ReadyDataset};
+pub use split::{cold_split, warm_split, ColdSplit, EvalCase, WarmSplit};
+pub use stats::{dataset_stats, DatasetStats};
+
+/// Maximum items kept per user sequence before splitting (the paper uses
+/// max length 50; our scaled default is 30 — see `TransformerConfig`).
+pub const DEFAULT_MAX_SEQ: usize = 30;

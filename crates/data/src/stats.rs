@@ -1,0 +1,73 @@
+//! Dataset statistics (Table II).
+
+/// The row format of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub n_users: usize,
+    pub n_items: usize,
+    pub n_interactions: usize,
+    /// Average user-sequence length ("Avg. n").
+    pub avg_seq_len: f32,
+    /// Average actions per item ("Avg. i").
+    pub avg_item_actions: f32,
+}
+
+/// Compute Table II statistics for a set of sequences over `n_items` items.
+pub fn dataset_stats(sequences: &[Vec<usize>], n_items: usize) -> DatasetStats {
+    let n_users = sequences.len();
+    let n_interactions: usize = sequences.iter().map(Vec::len).sum();
+    DatasetStats {
+        n_users,
+        n_items,
+        n_interactions,
+        avg_seq_len: if n_users == 0 {
+            0.0
+        } else {
+            n_interactions as f32 / n_users as f32
+        },
+        avg_item_actions: if n_items == 0 {
+            0.0
+        } else {
+            n_interactions as f32 / n_items as f32
+        },
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} users, {} items, {} inter., avg n {:.2}, avg i {:.2}",
+            self.n_users, self.n_items, self.n_interactions, self.avg_seq_len, self.avg_item_actions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let seqs = vec![vec![0, 1, 2], vec![1, 2, 0, 1]];
+        let s = dataset_stats(&seqs, 3);
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.n_items, 3);
+        assert_eq!(s.n_interactions, 7);
+        assert!((s.avg_seq_len - 3.5).abs() < 1e-6);
+        assert!((s.avg_item_actions - 7.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = dataset_stats(&[], 0);
+        assert_eq!(s.avg_seq_len, 0.0);
+        assert_eq!(s.avg_item_actions, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let s = dataset_stats(&[vec![0, 1]], 2);
+        assert!(s.to_string().contains("1 users"));
+    }
+}

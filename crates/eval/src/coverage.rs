@@ -1,0 +1,98 @@
+//! Beyond-accuracy metrics: catalog coverage and popularity bias of the
+//! top-K recommendations. Standard companions to Recall/NDCG when judging
+//! whether a model only recommends blockbusters.
+
+use std::collections::HashSet;
+
+use wr_tensor::Tensor;
+
+/// Top-K item ids per row of a score matrix (ties broken by lower id).
+pub fn top_k(scores: &Tensor, k: usize) -> Vec<Vec<usize>> {
+    assert!(scores.rank() == 2, "top_k expects [batch, n_items]");
+    let n = scores.cols();
+    let k = k.min(n);
+    (0..scores.rows())
+        .map(|r| {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                scores.at2(r, b)
+                    .partial_cmp(&scores.at2(r, a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            idx
+        })
+        .collect()
+}
+
+/// Fraction of the catalog that appears in at least one top-K list.
+pub fn catalog_coverage(top_lists: &[Vec<usize>], n_items: usize) -> f32 {
+    if n_items == 0 {
+        return 0.0;
+    }
+    let seen: HashSet<usize> = top_lists.iter().flatten().copied().collect();
+    seen.len() as f32 / n_items as f32
+}
+
+/// Mean popularity percentile of recommended items (0 = only the single
+/// most popular item, 1 = only the least popular). ~0.5 is
+/// popularity-neutral; low values flag blockbuster bias.
+pub fn popularity_percentile(top_lists: &[Vec<usize>], item_counts: &[usize]) -> f32 {
+    // Rank items by descending popularity once.
+    let n = item_counts.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| item_counts[b].cmp(&item_counts[a]).then(a.cmp(&b)));
+    let mut percentile = vec![0.0f32; n];
+    for (rank, &item) in order.iter().enumerate() {
+        percentile[item] = rank as f32 / (n - 1).max(1) as f32;
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for list in top_lists {
+        for &i in list {
+            total += percentile[i] as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (total / count as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let s = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.3], &[1, 4]);
+        let t = top_k(&s, 2);
+        assert_eq!(t[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let s = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[1, 3]);
+        assert_eq!(top_k(&s, 3)[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let lists = vec![vec![0, 1], vec![1, 2]];
+        assert!((catalog_coverage(&lists, 10) - 0.3).abs() < 1e-6);
+        assert_eq!(catalog_coverage(&[], 10), 0.0);
+        assert_eq!(catalog_coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn popularity_percentile_detects_blockbuster_bias() {
+        let counts = vec![100usize, 50, 10, 1]; // item 0 most popular
+        let head_only = vec![vec![0usize, 1]];
+        let tail_only = vec![vec![2usize, 3]];
+        assert!(popularity_percentile(&head_only, &counts) < 0.3);
+        assert!(popularity_percentile(&tail_only, &counts) > 0.7);
+    }
+}

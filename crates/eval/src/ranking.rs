@@ -1,0 +1,279 @@
+//! Full-ranking Recall@K and NDCG@K.
+
+use std::collections::HashMap;
+
+use wr_data::EvalCase;
+use wr_tensor::Tensor;
+
+/// Cutoffs reported by the paper.
+pub const DEFAULT_KS: [usize; 2] = [20, 50];
+
+/// Recall@K / NDCG@K at a set of cutoffs, plus per-user NDCG@20 samples for
+/// significance testing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSet {
+    pub ks: Vec<usize>,
+    pub recall: Vec<f32>,
+    pub ndcg: Vec<f32>,
+    pub n_cases: usize,
+    /// Per-case NDCG at the first cutoff (input to the paired t-test).
+    pub per_case_ndcg: Vec<f32>,
+}
+
+impl MetricSet {
+    pub fn recall_at(&self, k: usize) -> f32 {
+        let i = self.ks.iter().position(|&x| x == k).expect("unknown cutoff");
+        self.recall[i]
+    }
+
+    pub fn ndcg_at(&self, k: usize) -> f32 {
+        let i = self.ks.iter().position(|&x| x == k).expect("unknown cutoff");
+        self.ndcg[i]
+    }
+}
+
+impl std::fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .ks
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("R@{k} {:.4} N@{k} {:.4}", self.recall[i], self.ndcg[i]))
+            .collect();
+        write!(f, "{}", parts.join(" | "))
+    }
+}
+
+/// Streaming accumulator over evaluation cases.
+#[derive(Debug, Clone)]
+pub struct RankAccumulator {
+    ks: Vec<usize>,
+    hits: Vec<usize>,
+    dcg: Vec<f64>,
+    n: usize,
+    per_case_ndcg: Vec<f32>,
+}
+
+impl RankAccumulator {
+    pub fn new(ks: &[usize]) -> Self {
+        assert!(!ks.is_empty());
+        RankAccumulator {
+            ks: ks.to_vec(),
+            hits: vec![0; ks.len()],
+            dcg: vec![0.0; ks.len()],
+            n: 0,
+            per_case_ndcg: Vec::new(),
+        }
+    }
+
+    /// Record one case given the 0-based rank of the target
+    /// (0 = ranked first). With a single relevant item, ideal DCG = 1, so
+    /// NDCG@K = 1/log2(rank+2) when rank < K.
+    pub fn push_rank(&mut self, rank: usize) {
+        self.n += 1;
+        for (i, &k) in self.ks.iter().enumerate() {
+            if rank < k {
+                self.hits[i] += 1;
+                self.dcg[i] += 1.0 / ((rank as f64) + 2.0).log2();
+            }
+        }
+        let k0 = self.ks[0];
+        let nd = if rank < k0 {
+            (1.0 / ((rank as f64) + 2.0).log2()) as f32
+        } else {
+            0.0
+        };
+        self.per_case_ndcg.push(nd);
+    }
+
+    pub fn finish(self) -> MetricSet {
+        let n = self.n.max(1) as f64;
+        MetricSet {
+            recall: self.hits.iter().map(|&h| (h as f64 / n) as f32).collect(),
+            ndcg: self.dcg.iter().map(|&d| (d / n) as f32).collect(),
+            ks: self.ks,
+            n_cases: self.n,
+            per_case_ndcg: self.per_case_ndcg,
+        }
+    }
+}
+
+/// 0-based rank of `target` in `scores`, ignoring `excluded` item ids.
+///
+/// Ties are broken pessimistically (tied items count as ranked above the
+/// target), which keeps a constant scorer from looking good by luck.
+pub fn rank_of_target(scores: &[f32], target: usize, excluded: &[usize]) -> usize {
+    let ts = scores[target];
+    let mut excluded_mask: Option<Vec<bool>> = None;
+    if !excluded.is_empty() {
+        let mut m = vec![false; scores.len()];
+        for &e in excluded {
+            if e < m.len() {
+                m[e] = true;
+            }
+        }
+        excluded_mask = Some(m);
+    }
+    let mut rank = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == target {
+            continue;
+        }
+        if let Some(m) = &excluded_mask {
+            if m[i] {
+                continue;
+            }
+        }
+        if s >= ts {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Evaluate a scorer over `cases`, batched.
+///
+/// `score_fn` receives a batch of contexts and must return `[batch,
+/// n_items]` scores. When `exclude_history` is set, every item in a case's
+/// context is removed from its candidate set (the RecBole convention).
+pub fn evaluate_cases(
+    cases: &[EvalCase],
+    ks: &[usize],
+    batch_size: usize,
+    exclude_history: bool,
+    mut score_fn: impl FnMut(&[&[usize]]) -> Tensor,
+) -> MetricSet {
+    let mut acc = RankAccumulator::new(ks);
+    for chunk in cases.chunks(batch_size.max(1)) {
+        let contexts: Vec<&[usize]> = chunk.iter().map(|c| c.context.as_slice()).collect();
+        let scores = score_fn(&contexts);
+        assert_eq!(scores.rows(), chunk.len(), "score batch size mismatch");
+        for (row, case) in chunk.iter().enumerate() {
+            let excluded: &[usize] = if exclude_history { &case.context } else { &[] };
+            let rank = rank_of_target(scores.row(row), case.target, excluded);
+            acc.push_rank(rank);
+        }
+    }
+    acc.finish()
+}
+
+/// Convenience: evaluate case NDCG vectors of two models for a t-test.
+pub fn per_case_pairs(a: &MetricSet, b: &MetricSet) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(a.per_case_ndcg.len(), b.per_case_ndcg.len(), "case mismatch");
+    (a.per_case_ndcg.clone(), b.per_case_ndcg.clone())
+}
+
+/// Build a map from user id to that user's training items, for callers that
+/// need custom exclusion sets.
+pub fn history_map(train: &[Vec<usize>]) -> HashMap<usize, Vec<usize>> {
+    train
+        .iter()
+        .enumerate()
+        .map(|(u, s)| (u, s.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_basic() {
+        let scores = [0.1, 0.9, 0.5, 0.2];
+        assert_eq!(rank_of_target(&scores, 1, &[]), 0);
+        assert_eq!(rank_of_target(&scores, 2, &[]), 1);
+        assert_eq!(rank_of_target(&scores, 0, &[]), 3);
+    }
+
+    #[test]
+    fn rank_with_exclusion() {
+        let scores = [0.9, 0.8, 0.5];
+        // target 2 normally ranked 2; excluding items 0 and 1 → rank 0
+        assert_eq!(rank_of_target(&scores, 2, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of_target(&scores, 1, &[]), 2);
+    }
+
+    #[test]
+    fn ndcg_formula() {
+        let mut acc = RankAccumulator::new(&[20]);
+        acc.push_rank(0); // NDCG = 1/log2(2) = 1
+        acc.push_rank(1); // 1/log2(3) ≈ 0.6309
+        acc.push_rank(30); // miss
+        let m = acc.finish();
+        assert_eq!(m.n_cases, 3);
+        assert!((m.recall_at(20) - 2.0 / 3.0).abs() < 1e-6);
+        let expected = (1.0 + 1.0 / 3f64.log2()) / 3.0;
+        assert!((m.ndcg_at(20) as f64 - expected).abs() < 1e-6);
+        assert_eq!(m.per_case_ndcg.len(), 3);
+        assert_eq!(m.per_case_ndcg[2], 0.0);
+    }
+
+    #[test]
+    fn recall_at_multiple_cutoffs() {
+        let mut acc = RankAccumulator::new(&[1, 5]);
+        acc.push_rank(0);
+        acc.push_rank(3);
+        let m = acc.finish();
+        assert!((m.recall_at(1) - 0.5).abs() < 1e-6);
+        assert!((m.recall_at(5) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_with_perfect_oracle() {
+        let cases = vec![
+            EvalCase {
+                user: 0,
+                context: vec![1, 2],
+                target: 3,
+            },
+            EvalCase {
+                user: 1,
+                context: vec![0],
+                target: 1,
+            },
+        ];
+        let m = evaluate_cases(&cases, &[1, 20], 1, true, |contexts| {
+            // Oracle: highest score on (last context item + 1).
+            let mut t = Tensor::zeros(&[contexts.len(), 5]);
+            for (r, ctx) in contexts.iter().enumerate() {
+                let predict = ctx.last().unwrap() + 1;
+                *t.at2_mut(r, predict) = 1.0;
+            }
+            t
+        });
+        assert_eq!(m.recall_at(1), 1.0);
+        assert_eq!(m.ndcg_at(20), 1.0);
+    }
+
+    #[test]
+    fn history_exclusion_changes_rank() {
+        let cases = vec![EvalCase {
+            user: 0,
+            context: vec![0, 1],
+            target: 2,
+        }];
+        let scorer = |contexts: &[&[usize]]| {
+            let mut t = Tensor::zeros(&[contexts.len(), 4]);
+            t.row_mut(0).copy_from_slice(&[0.9, 0.8, 0.7, 0.1]);
+            t
+        };
+        let with = evaluate_cases(&cases, &[1], 8, true, scorer);
+        let without = evaluate_cases(&cases, &[1], 8, false, scorer);
+        assert_eq!(with.recall_at(1), 1.0); // history 0,1 excluded → target first
+        assert_eq!(without.recall_at(1), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut acc = RankAccumulator::new(&[20, 50]);
+        acc.push_rank(0);
+        let m = acc.finish();
+        let s = m.to_string();
+        assert!(s.contains("R@20") && s.contains("N@50"));
+    }
+}

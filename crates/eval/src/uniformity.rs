@@ -1,0 +1,132 @@
+//! Alignment and uniformity of representations (Eq. 7, Fig. 6).
+
+use wr_tensor::{Rng64, Tensor};
+
+/// `l_align = E ‖f(s_u) − f(v_i)‖²` over positive user–item pairs, with
+/// `f` = L2 normalization. `users` and `items` are row-aligned positives.
+pub fn alignment(users: &Tensor, items: &Tensor) -> f32 {
+    assert_eq!(users.dims(), items.dims(), "positives must be row-aligned");
+    let u = users.l2_normalize_rows();
+    let v = items.l2_normalize_rows();
+    let mut total = 0.0f64;
+    for r in 0..u.rows() {
+        let d: f32 = u
+            .row(r)
+            .iter()
+            .zip(v.row(r))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        total += d as f64;
+    }
+    (total / u.rows() as f64) as f32
+}
+
+/// `l_uniform = log E exp(−2‖f(x) − f(y)‖²)` over random same-set pairs.
+/// Lower is more uniform.
+pub fn uniformity(x: &Tensor, samples: usize, seed: u64) -> f32 {
+    assert!(x.rows() >= 2, "uniformity needs at least two rows");
+    let xn = x.l2_normalize_rows();
+    let mut rng = Rng64::seed_from(seed);
+    let mut acc = 0.0f64;
+    for _ in 0..samples {
+        let i = rng.below(xn.rows());
+        let mut j = rng.below(xn.rows());
+        while j == i {
+            j = rng.below(xn.rows());
+        }
+        let d2: f32 = xn
+            .row(i)
+            .iter()
+            .zip(xn.row(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        acc += (-2.0 * d2 as f64).exp();
+    }
+    ((acc / samples as f64).ln()) as f32
+}
+
+/// The per-epoch point plotted in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityReport {
+    pub align: f32,
+    pub uniform_user: f32,
+    pub uniform_item: f32,
+}
+
+impl UniformityReport {
+    pub fn compute(
+        users: &Tensor,
+        positive_items: &Tensor,
+        all_items: &Tensor,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        UniformityReport {
+            align: alignment(users, positive_items),
+            uniform_user: uniformity(users, samples, seed),
+            uniform_item: uniformity(all_items, samples, seed.wrapping_add(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_zero_for_identical() {
+        let mut rng = Rng64::seed_from(1);
+        let x = Tensor::randn(&[10, 4], &mut rng);
+        assert!(alignment(&x, &x) < 1e-10);
+    }
+
+    #[test]
+    fn alignment_positive_for_different() {
+        let mut rng = Rng64::seed_from(2);
+        let a = Tensor::randn(&[50, 8], &mut rng);
+        let b = Tensor::randn(&[50, 8], &mut rng);
+        let l = alignment(&a, &b);
+        // random unit vectors: E||a-b||² = 2
+        assert!((l - 2.0).abs() < 0.3, "alignment {l}");
+    }
+
+    #[test]
+    fn uniform_distribution_scores_lower() {
+        let mut rng = Rng64::seed_from(3);
+        // spread: random directions
+        let spread = Tensor::randn(&[300, 16], &mut rng);
+        // collapsed: tiny perturbations of one direction
+        let mut collapsed = Tensor::zeros(&[300, 16]);
+        for r in 0..300 {
+            collapsed.row_mut(r)[0] = 1.0;
+            collapsed.row_mut(r)[1] = 0.01 * rng.normal();
+        }
+        let lu_spread = uniformity(&spread, 2000, 4);
+        let lu_collapsed = uniformity(&collapsed, 2000, 4);
+        assert!(
+            lu_spread < lu_collapsed - 0.5,
+            "spread {lu_spread} vs collapsed {lu_collapsed}"
+        );
+    }
+
+    #[test]
+    fn uniformity_bounds() {
+        // exp(-2 d²) ≤ 1 ⇒ log-mean ≤ 0, and ≥ exp(-2·4) for unit vectors.
+        let mut rng = Rng64::seed_from(5);
+        let x = Tensor::randn(&[100, 8], &mut rng);
+        let lu = uniformity(&x, 1000, 6);
+        assert!(lu <= 0.0 && lu >= -8.0, "lu = {lu}");
+    }
+
+    #[test]
+    fn report_bundles_all_three() {
+        let mut rng = Rng64::seed_from(7);
+        let u = Tensor::randn(&[40, 8], &mut rng);
+        let v = Tensor::randn(&[40, 8], &mut rng);
+        let all = Tensor::randn(&[100, 8], &mut rng);
+        let r = UniformityReport::compute(&u, &v, &all, 500, 8);
+        assert!(r.align > 0.0);
+        assert!(r.uniform_user < 0.0);
+        assert!(r.uniform_item < 0.0);
+    }
+}

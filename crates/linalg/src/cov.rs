@@ -1,0 +1,143 @@
+//! Covariance, condition number and spectral statistics.
+
+use crate::{jacobi::sym_eig, Result};
+use wr_tensor::Tensor;
+
+/// Covariance of a `d × n` matrix whose *columns* are samples
+/// (the paper's `X ∈ R^{d_t × |I|}` layout):
+/// `Σ = (X - μ1ᵀ)(X - μ1ᵀ)ᵀ / n + ε I`.
+pub fn covariance(x: &Tensor, eps: f32) -> Tensor {
+    assert!(x.rank() == 2, "covariance requires a matrix");
+    let (d, n) = (x.rows(), x.cols());
+    assert!(n > 0, "covariance of zero samples");
+    // Column-sample layout: mean over columns = mean of each row.
+    let mu = x.mean_cols(); // length d
+    let centered = x.add_col_broadcast(&mu.scale(-1.0));
+    let mut cov = centered.matmul_nt(&centered).scale(1.0 / n as f32);
+    for i in 0..d {
+        *cov.at2_mut(i, i) += eps;
+    }
+    cov
+}
+
+/// Covariance of an `n × d` matrix whose *rows* are samples (the layout the
+/// models use for item-embedding matrices).
+pub fn covariance_of_rows(x: &Tensor, eps: f32) -> Tensor {
+    assert!(x.rank() == 2, "covariance_of_rows requires a matrix");
+    let (n, d) = (x.rows(), x.cols());
+    assert!(n > 0, "covariance of zero samples");
+    let mu = x.mean_rows(); // length d
+    let centered = x.sub_row_broadcast(&mu);
+    let mut cov = centered.matmul_tn(&centered).scale(1.0 / n as f32);
+    for i in 0..d {
+        *cov.at2_mut(i, i) += eps;
+    }
+    cov
+}
+
+/// Condition number `κ(A) = λ_max / λ_min` of a symmetric PSD matrix.
+///
+/// The smallest eigenvalue is floored at `floor` to keep κ finite for
+/// numerically singular matrices; the paper plots κ on a log scale, so a
+/// huge-but-finite value carries the same signal as infinity.
+pub fn condition_number(a: &Tensor, floor: f32) -> Result<f32> {
+    let eig = sym_eig(a)?;
+    let lmax = eig.values.first().copied().unwrap_or(0.0).max(floor);
+    let lmin = eig.values.last().copied().unwrap_or(0.0).max(floor);
+    Ok(lmax / lmin)
+}
+
+/// Effective rank: `exp(H(p))` where `p` is the eigenvalue distribution.
+///
+/// A fully whitened `d × d` covariance has effective rank ≈ `d`; an
+/// anisotropic one collapses toward 1.
+pub fn effective_rank(a: &Tensor) -> Result<f32> {
+    let eig = sym_eig(a)?;
+    let positive: Vec<f32> = eig.values.iter().cloned().filter(|&l| l > 0.0).collect();
+    let total: f32 = positive.iter().sum();
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let entropy: f32 = positive
+        .iter()
+        .map(|&l| {
+            let p = l / total;
+            -p * p.ln()
+        })
+        .sum();
+    Ok(entropy.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_tensor::Rng64;
+
+    #[test]
+    fn covariance_of_isotropic_samples() {
+        let mut rng = Rng64::seed_from(1);
+        let x = Tensor::randn(&[4, 5000], &mut rng); // d=4, n=5000 columns
+        let cov = covariance(&x, 0.0);
+        // Should be close to identity.
+        let err = cov.sub(&Tensor::eye(4)).frob_norm();
+        assert!(err < 0.15, "covariance deviates from I by {err}");
+    }
+
+    #[test]
+    fn row_layout_matches_column_layout() {
+        let mut rng = Rng64::seed_from(2);
+        let xr = Tensor::randn(&[100, 6], &mut rng); // rows are samples
+        let c1 = covariance_of_rows(&xr, 1e-5);
+        let c2 = covariance(&xr.transpose(), 1e-5);
+        assert!(c1.sub(&c2).frob_norm() < 1e-4);
+    }
+
+    #[test]
+    fn eps_regularizes_diagonal() {
+        let x = Tensor::zeros(&[3, 10]);
+        let cov = covariance(&x, 0.5);
+        assert!(cov.sub(&Tensor::eye(3).scale(0.5)).frob_norm() < 1e-6);
+    }
+
+    #[test]
+    fn condition_number_diagonal() {
+        let a = Tensor::from_vec(vec![8.0, 0.0, 0.0, 2.0], &[2, 2]);
+        let k = condition_number(&a, 1e-12).unwrap();
+        assert!((k - 4.0).abs() < 1e-4);
+        assert!((condition_number(&Tensor::eye(5), 1e-12).unwrap() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn effective_rank_extremes() {
+        // isotropic: effective rank = d
+        let er = effective_rank(&Tensor::eye(6)).unwrap();
+        assert!((er - 6.0).abs() < 1e-3);
+        // rank-1: effective rank = 1
+        let mut a = Tensor::zeros(&[6, 6]);
+        *a.at2_mut(0, 0) = 10.0;
+        let er1 = effective_rank(&a).unwrap();
+        assert!((er1 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn anisotropic_has_high_condition_number() {
+        let mut rng = Rng64::seed_from(5);
+        // samples dominated by one direction
+        let n = 2000;
+        let mut data = Vec::with_capacity(3 * n);
+        for _ in 0..n {
+            let shared = rng.normal() * 10.0;
+            data.push(shared + 0.1 * rng.normal());
+        }
+        for _ in 0..n {
+            data.push(0.1 * rng.normal());
+        }
+        for _ in 0..n {
+            data.push(0.1 * rng.normal());
+        }
+        let x = Tensor::from_vec(data, &[3, n]);
+        let cov = covariance(&x, 1e-6);
+        let k = condition_number(&cov, 1e-12).unwrap();
+        assert!(k > 100.0, "expected ill-conditioned covariance, κ={k}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+
+use crate::{LinalgError, Result};
+use wr_tensor::Tensor;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in descending order; `vectors` holds the
+/// corresponding eigenvectors as *columns*.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f32>,
+    /// Eigenvectors as columns, same order as `values`.
+    pub vectors: Tensor,
+}
+
+impl SymEig {
+    /// Reconstruct `V diag(f(λ)) Vᵀ` — the workhorse for whitening, where
+    /// `f` is `λ → (λ+ε)^(-1/2)` and friends.
+    pub fn rebuild_with(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let n = self.values.len();
+        let v = &self.vectors;
+        // V * diag(f(λ))
+        let mut vd = v.clone();
+        for i in 0..n {
+            for j in 0..n {
+                *vd.at2_mut(i, j) *= f(self.values[j]);
+            }
+        }
+        vd.matmul_nt(v)
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Convergence threshold on the off-diagonal Frobenius norm, relative to
+/// the matrix norm.
+const TOL: f64 = 1e-12;
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// The input is symmetrized (`(A + Aᵀ)/2`) to absorb round-off asymmetry.
+/// Internal arithmetic is `f64`.
+pub fn sym_eig(a: &Tensor) -> Result<SymEig> {
+    if a.rank() != 2 || a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: if a.rank() == 2 { a.rows() } else { 0 },
+            cols: if a.rank() == 2 { a.cols() } else { 0 },
+        });
+    }
+    if a.non_finite_count() > 0 {
+        return Err(LinalgError::NonFinite);
+    }
+    let n = a.rows();
+    // Symmetrize into an f64 working copy.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] = 0.5 * (a.at2(i, j) as f64 + a.at2(j, i) as f64);
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let frob: f64 = m.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if (2.0 * off).sqrt() <= TOL * frob {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Rotation that annihilates m[p][q].
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        // One more check: after the final sweep the matrix may have landed
+        // within tolerance without re-testing.
+        if (2.0 * off).sqrt() > TOL.max(1e-9) * frob {
+            return Err(LinalgError::NoConvergence {
+                off_diagonal_norm: (2.0 * off).sqrt(),
+            });
+        }
+    }
+
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigvals: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+
+    let values: Vec<f32> = order.iter().map(|&i| eigvals[i] as f32).collect();
+    let mut vectors = Tensor::zeros(&[n, n]);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            *vectors.at2_mut(row, new_col) = v[row * n + old_col] as f32;
+        }
+    }
+    Ok(SymEig { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEig) -> Tensor {
+        e.rebuild_with(|x| x)
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Tensor::from_vec(vec![3.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let e = sym_eig(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]);
+        let e = sym_eig(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+        // eigenvector for λ=3 is (1,1)/sqrt(2) up to sign
+        let v0 = (e.vectors.at2(0, 0), e.vectors.at2(1, 0));
+        assert!((v0.0.abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-5);
+        assert!((v0.0 - v0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_random_spd() {
+        let n = 24;
+        let mut state = 123u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        let b = Tensor::from_vec((0..n * n).map(|_| next()).collect(), &[n, n]);
+        let a = b.matmul_tn(&b); // b^T b is SPSD
+        let e = sym_eig(&a).unwrap();
+        let r = reconstruct(&e);
+        let err = a.sub(&r).frob_norm() / a.frob_norm();
+        assert!(err < 1e-4, "reconstruction error {err}");
+        // eigenvalues nonincreasing and nonnegative
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-5);
+        }
+        assert!(e.values[n - 1] > -1e-4);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Tensor::from_vec(
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
+            &[3, 3],
+        );
+        let e = sym_eig(&a).unwrap();
+        let vtv = e.vectors.matmul_tn(&e.vectors);
+        let err = vtv.sub(&Tensor::eye(3)).frob_norm();
+        assert!(err < 1e-5, "V^T V deviates from I by {err}");
+    }
+
+    #[test]
+    fn rebuild_with_inverse_sqrt_whitens() {
+        let a = Tensor::from_vec(vec![4.0, 0.0, 0.0, 9.0], &[2, 2]);
+        let e = sym_eig(&a).unwrap();
+        let w = e.rebuild_with(|l| 1.0 / l.sqrt());
+        // w a w should be identity
+        let waw = w.matmul(&a).matmul(&w);
+        assert!(waw.sub(&Tensor::eye(2)).frob_norm() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            sym_eig(&Tensor::zeros(&[2, 3])),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let a = Tensor::from_vec(vec![1.0, f32::NAN, f32::NAN, 1.0], &[2, 2]);
+        assert!(matches!(sym_eig(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn identity_stays_identity() {
+        let e = sym_eig(&Tensor::eye(5)).unwrap();
+        for v in &e.values {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Moore–Penrose pseudoinverse.
+
+use crate::{svd::svd_thin, Result};
+use wr_tensor::Tensor;
+
+/// Relative cutoff below which singular values are treated as zero.
+const PINV_RCOND: f32 = 1e-5;
+
+/// Moore–Penrose pseudoinverse `A⁺ = V diag(σ⁺) Uᵀ`.
+///
+/// Used by the Proposition IV.1 verification (`K_Z = Z⁺ Z`) and the flow
+/// whitening inverse checks.
+pub fn pinv(a: &Tensor) -> Result<Tensor> {
+    let svd = svd_thin(a)?;
+    let smax = svd.sigma.first().copied().unwrap_or(0.0);
+    let r = svd.sigma.len();
+    // V diag(σ⁺)
+    let mut vs = svd.v.clone();
+    for j in 0..r {
+        let s = svd.sigma[j];
+        let inv = if s > PINV_RCOND * smax { 1.0 / s } else { 0.0 };
+        for i in 0..vs.rows() {
+            *vs.at2_mut(i, j) *= inv;
+        }
+    }
+    Ok(vs.matmul_nt(&svd.u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(m: usize, n: usize, seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        Tensor::from_vec((0..m * n).map(|_| next()).collect(), &[m, n])
+    }
+
+    #[test]
+    fn inverse_of_square_invertible() {
+        let mut a = pseudo(6, 6, 2);
+        for i in 0..6 {
+            *a.at2_mut(i, i) += 2.0; // well conditioned
+        }
+        let ainv = pinv(&a).unwrap();
+        let err = a.matmul(&ainv).sub(&Tensor::eye(6)).frob_norm();
+        assert!(err < 1e-3, "A A+ deviates from I by {err}");
+    }
+
+    #[test]
+    fn penrose_condition_one() {
+        // A A+ A = A for a rectangular matrix.
+        let a = pseudo(10, 4, 3);
+        let ap = pinv(&a).unwrap();
+        assert_eq!(ap.dims(), &[4, 10]);
+        let aapa = a.matmul(&ap).matmul(&a);
+        let err = aapa.sub(&a).frob_norm() / a.frob_norm();
+        assert!(err < 1e-3, "Penrose-1 error {err}");
+    }
+
+    #[test]
+    fn penrose_condition_two() {
+        // A+ A A+ = A+
+        let a = pseudo(5, 9, 4);
+        let ap = pinv(&a).unwrap();
+        let apaap = ap.matmul(&a).matmul(&ap);
+        let err = apaap.sub(&ap).frob_norm() / ap.frob_norm();
+        assert!(err < 1e-3, "Penrose-2 error {err}");
+    }
+
+    #[test]
+    fn pinv_of_rank_deficient() {
+        let u = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4, 1]);
+        let v = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let a = u.matmul(&v); // rank 1, 4x2
+        let ap = pinv(&a).unwrap();
+        let aapa = a.matmul(&ap).matmul(&a);
+        assert!(aapa.sub(&a).frob_norm() / a.frob_norm() < 1e-3);
+    }
+}

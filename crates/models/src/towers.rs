@@ -1,0 +1,411 @@
+//! Item towers: everything that can produce the item matrix `V` of Eq. (2).
+
+use wr_autograd::Var;
+use wr_nn::{Embedding, FrozenTable, Linear, MoEAdaptor, Module, Param, ProjectionHead, Session};
+use wr_tensor::{Rng64, Tensor};
+use wr_whiten::EnsembleMode;
+
+/// An item encoder `f_θ1`: maps the full catalog to `V ∈ R^{n_items × d}`
+/// inside a session.
+pub trait ItemTower {
+    /// Build the `[n_items, d]` item representation node.
+    fn all_items(&self, sess: &mut Session) -> Var;
+
+    /// Trainable parameters of the tower.
+    fn params(&self) -> Vec<Param>;
+
+    fn n_items(&self) -> usize;
+
+    fn dim(&self) -> usize;
+
+    /// Total trainable scalars in the tower.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Param::numel).sum()
+    }
+}
+
+/// Classic trainable ID embeddings (SASRec^ID).
+pub struct IdTower {
+    pub emb: Embedding,
+}
+
+impl IdTower {
+    pub fn new(n_items: usize, dim: usize, rng: &mut Rng64) -> Self {
+        IdTower {
+            emb: Embedding::new(n_items, dim, rng),
+        }
+    }
+}
+
+impl ItemTower for IdTower {
+    fn all_items(&self, sess: &mut Session) -> Var {
+        sess.bind(&self.emb.table)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.emb.params()
+    }
+
+    fn n_items(&self) -> usize {
+        self.emb.vocab()
+    }
+
+    fn dim(&self) -> usize {
+        self.emb.dim()
+    }
+}
+
+/// Frozen text embeddings (raw or pre-whitened) through a projection head
+/// (SASRec^T when fed raw embeddings; WhitenRec when fed ZCA-whitened ones).
+pub struct TextTower {
+    pub table: FrozenTable,
+    pub head: ProjectionHead,
+    dim: usize,
+}
+
+impl TextTower {
+    pub fn new(embeddings: Tensor, dim: usize, proj_layers: usize, rng: &mut Rng64) -> Self {
+        let head = ProjectionHead::new(embeddings.cols(), dim, proj_layers, rng);
+        TextTower {
+            table: FrozenTable::new(embeddings),
+            head,
+            dim,
+        }
+    }
+}
+
+impl ItemTower for TextTower {
+    fn all_items(&self, sess: &mut Session) -> Var {
+        let x = self.table.all(sess);
+        self.head.forward(sess, x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.head.params()
+    }
+
+    fn n_items(&self) -> usize {
+        self.table.vocab()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Text projection + trainable ID embeddings, merged by element-wise sum
+/// (SASRec^T+ID; also WhitenRec(T+ID) in Table VIII).
+pub struct TextIdTower {
+    pub text: TextTower,
+    pub id: Embedding,
+}
+
+impl TextIdTower {
+    pub fn new(embeddings: Tensor, dim: usize, proj_layers: usize, rng: &mut Rng64) -> Self {
+        let n = embeddings.rows();
+        TextIdTower {
+            text: TextTower::new(embeddings, dim, proj_layers, rng),
+            id: Embedding::new(n, dim, rng),
+        }
+    }
+}
+
+impl ItemTower for TextIdTower {
+    fn all_items(&self, sess: &mut Session) -> Var {
+        let t = self.text.all_items(sess);
+        let i = sess.bind(&self.id.table);
+        sess.graph.add(t, i)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.text.params();
+        ps.extend(self.id.params());
+        ps
+    }
+
+    fn n_items(&self) -> usize {
+        self.text.n_items()
+    }
+
+    fn dim(&self) -> usize {
+        self.text.dim()
+    }
+}
+
+/// WhitenRec+'s ensemble tower (Eq. 6): fully whitened and relaxed
+/// whitened views through a *shared* projection head, combined by Sum,
+/// Concat+linear, or learned attention (Table VII).
+pub struct EnsembleTower {
+    pub z_full: FrozenTable,
+    pub z_relaxed: FrozenTable,
+    pub head: ProjectionHead,
+    pub mode: EnsembleMode,
+    /// `Concat` mode: `[2d, d]` merge layer.
+    concat_merge: Option<Linear>,
+    /// `Attn` mode: scoring vector `[d, 1]`.
+    attn_query: Option<Linear>,
+    dim: usize,
+}
+
+impl EnsembleTower {
+    pub fn new(
+        z_full: Tensor,
+        z_relaxed: Tensor,
+        dim: usize,
+        proj_layers: usize,
+        mode: EnsembleMode,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert_eq!(z_full.dims(), z_relaxed.dims(), "whitened views must align");
+        let head = ProjectionHead::new(z_full.cols(), dim, proj_layers, rng);
+        let concat_merge = matches!(mode, EnsembleMode::Concat)
+            .then(|| Linear::new(2 * dim, dim, true, rng));
+        let attn_query =
+            matches!(mode, EnsembleMode::Attn).then(|| Linear::new(dim, 1, false, rng));
+        EnsembleTower {
+            z_full: FrozenTable::new(z_full),
+            z_relaxed: FrozenTable::new(z_relaxed),
+            head,
+            mode,
+            concat_merge,
+            attn_query,
+            dim,
+        }
+    }
+}
+
+impl ItemTower for EnsembleTower {
+    fn all_items(&self, sess: &mut Session) -> Var {
+        let g = sess.graph;
+        let x1 = self.z_full.all(sess);
+        let x2 = self.z_relaxed.all(sess);
+        // Shared head: the session de-duplicates the weight bindings, so
+        // gradients from both views accumulate into the same parameters.
+        let h1 = self.head.forward(sess, x1);
+        let h2 = self.head.forward(sess, x2);
+        match self.mode {
+            EnsembleMode::Sum => g.add(h1, h2),
+            EnsembleMode::Concat => {
+                let cat = g.concat_cols(&[h1, h2]);
+                self.concat_merge
+                    .as_ref()
+                    .expect("concat merge layer")
+                    .forward(sess, cat)
+            }
+            EnsembleMode::Attn => {
+                let q = self.attn_query.as_ref().expect("attention query");
+                let s1 = q.forward(sess, h1); // [n, 1]
+                let s2 = q.forward(sess, h2);
+                let scores = g.concat_cols(&[s1, s2]); // [n, 2]
+                let alpha = g.softmax_rows(scores);
+                let ones = g.constant(Tensor::ones(&[1, self.dim]));
+                let a1 = g.matmul(g.slice_cols(alpha, 0, 1), ones);
+                let a2 = g.matmul(g.slice_cols(alpha, 1, 2), ones);
+                g.add(g.mul(h1, a1), g.mul(h2, a2))
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.head.params();
+        if let Some(l) = &self.concat_merge {
+            ps.extend(l.params());
+        }
+        if let Some(l) = &self.attn_query {
+            ps.extend(l.params());
+        }
+        ps
+    }
+
+    fn n_items(&self) -> usize {
+        self.z_full.vocab()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Parametric whitening (UniSRec's PW, the Table VI baseline): a trainable
+/// affine map `z = (x − b) W` in place of a pre-computed whitening, feeding
+/// the usual projection head. A linear layer cannot guarantee decorrelated
+/// outputs — which is exactly the deficiency Table VI demonstrates.
+pub struct PwTower {
+    pub pw: Linear,
+    pub head: ProjectionHead,
+    dim: usize,
+    table: FrozenTable,
+}
+
+impl PwTower {
+    pub fn new(embeddings: Tensor, dim: usize, proj_layers: usize, rng: &mut Rng64) -> Self {
+        let dt = embeddings.cols();
+        PwTower {
+            pw: Linear::new(dt, dt, true, rng),
+            head: ProjectionHead::new(dt, dim, proj_layers, rng),
+            dim,
+            table: FrozenTable::new(embeddings),
+        }
+    }
+}
+
+impl ItemTower for PwTower {
+    fn all_items(&self, sess: &mut Session) -> Var {
+        let x = self.table.all(sess);
+        let z = self.pw.forward(sess, x);
+        self.head.forward(sess, z)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.pw.params();
+        ps.extend(self.head.params());
+        ps
+    }
+
+    fn n_items(&self) -> usize {
+        self.table.vocab()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// UniSRec's item encoder: parametric whitening is the linear part of each
+/// expert, wrapped in a Mixture-of-Experts adaptor over the frozen text.
+pub struct MoeTower {
+    pub table: FrozenTable,
+    pub moe: MoEAdaptor,
+    dim: usize,
+}
+
+impl MoeTower {
+    pub fn new(embeddings: Tensor, dim: usize, n_experts: usize, rng: &mut Rng64) -> Self {
+        let moe = MoEAdaptor::new(embeddings.cols(), dim, n_experts, 0.01, rng);
+        MoeTower {
+            table: FrozenTable::new(embeddings),
+            moe,
+            dim,
+        }
+    }
+}
+
+impl ItemTower for MoeTower {
+    fn all_items(&self, sess: &mut Session) -> Var {
+        let x = self.table.all(sess);
+        self.moe.forward(sess, x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.moe.params()
+    }
+
+    fn n_items(&self) -> usize {
+        self.table.vocab()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_autograd::Graph;
+
+    fn embeddings(n: usize, dt: usize) -> Tensor {
+        let mut rng = Rng64::seed_from(9);
+        Tensor::randn(&[n, dt], &mut rng)
+    }
+
+    #[test]
+    fn id_tower_is_the_embedding_table() {
+        let mut rng = Rng64::seed_from(1);
+        let tower = IdTower::new(20, 8, &mut rng);
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let v = tower.all_items(&mut s);
+        assert_eq!(g.dims(v), vec![20, 8]);
+        assert_eq!(tower.params().len(), 1);
+    }
+
+    #[test]
+    fn text_tower_has_no_table_params() {
+        let mut rng = Rng64::seed_from(2);
+        let tower = TextTower::new(embeddings(30, 16), 8, 2, &mut rng);
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let v = tower.all_items(&mut s);
+        assert_eq!(g.dims(v), vec![30, 8]);
+        // only the projection head is trainable
+        let head_params: usize = tower.params().iter().map(|p| p.numel()).sum();
+        assert_eq!(head_params, 16 * 8 + 8 + 8 * 8 + 8);
+    }
+
+    #[test]
+    fn text_id_tower_parameter_count() {
+        let mut rng = Rng64::seed_from(3);
+        let tower = TextIdTower::new(embeddings(30, 16), 8, 2, &mut rng);
+        let id_part = 30 * 8;
+        let text_part = 16 * 8 + 8 + 8 * 8 + 8;
+        let total: usize = tower.params().iter().map(|p| p.numel()).sum();
+        assert_eq!(total, id_part + text_part);
+    }
+
+    #[test]
+    fn ensemble_modes_produce_valid_output() {
+        let mut rng = Rng64::seed_from(4);
+        for mode in EnsembleMode::ALL {
+            let tower = EnsembleTower::new(
+                embeddings(25, 16),
+                embeddings(25, 16).scale(0.5),
+                8,
+                2,
+                mode,
+                &mut rng,
+            );
+            let g = Graph::new();
+            let mut s = Session::eval(&g);
+            let v = tower.all_items(&mut s);
+            assert_eq!(g.dims(v), vec![25, 8], "mode {mode:?}");
+            assert_eq!(g.value(v).non_finite_count(), 0);
+        }
+    }
+
+    #[test]
+    fn ensemble_sum_shares_head_gradients() {
+        let mut rng = Rng64::seed_from(5);
+        let tower = EnsembleTower::new(
+            embeddings(10, 8),
+            embeddings(10, 8),
+            4,
+            1,
+            EnsembleMode::Sum,
+            &mut rng,
+        );
+        let g = Graph::new();
+        let mut s = Session::train(&g, Rng64::seed_from(6));
+        let v = tower.all_items(&mut s);
+        let loss = g.sum_all(v);
+        g.backward(loss);
+        // The shared head binds each param exactly once.
+        let n_bound = s.bindings().len();
+        assert_eq!(n_bound, tower.params().len());
+        for (p, var) in s.bindings() {
+            assert!(g.grad(*var).is_some(), "no grad for shared {}", p.name());
+        }
+    }
+
+    #[test]
+    fn moe_tower_output() {
+        let mut rng = Rng64::seed_from(7);
+        let tower = MoeTower::new(embeddings(15, 12), 6, 3, &mut rng);
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let v = tower.all_items(&mut s);
+        assert_eq!(g.dims(v), vec![15, 6]);
+        assert_eq!(tower.dim(), 6);
+        assert_eq!(tower.n_items(), 15);
+    }
+}

@@ -1,0 +1,265 @@
+//! Binary model checkpoints.
+//!
+//! Format (`WRCK` v1, little-endian, length-prefixed):
+//!
+//! ```text
+//! magic "WRCK" | u32 version | u32 n_entries
+//! per entry: u32 name_len | name bytes (utf-8)
+//!            u32 n_dims   | u64 dims…
+//!            u64 n_values | f32 values…
+//! ```
+//!
+//! Buffered writes, single pass, no intermediate allocation beyond the
+//! entry being encoded — checkpoints are the only large artifacts the
+//! library persists, so the path is kept boring and fast.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::Param;
+use wr_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"WRCK";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(io::Error),
+    /// Not a checkpoint file / wrong version.
+    Format(String),
+    /// A parameter expected by `restore` is absent or mis-shaped.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Stable checkpoint key for the `i`-th parameter: layer names repeat
+/// across identical blocks, so entries are keyed by position + name.
+fn entry_key(index: usize, p: &Param) -> String {
+    format!("{index:04}:{}", p.name())
+}
+
+/// Save parameters to `path`, keyed by position + name (a model's
+/// `params()` order is deterministic for a given architecture).
+pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> Result<(), CheckpointError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(params.len() as u32).to_le_bytes())?;
+    let mut buf = BytesMut::new();
+    for (i, p) in params.iter().enumerate() {
+        buf.clear();
+        let key = entry_key(i, p);
+        let name = key.as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        let value = p.get();
+        buf.put_u32_le(value.rank() as u32);
+        for &d in value.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        buf.put_u64_le(value.numel() as u64);
+        for &v in value.data() {
+            buf.put_f32_le(v);
+        }
+        out.write_all(&buf)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Load all entries of a checkpoint into a name → tensor map.
+pub fn load_params(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut raw = Vec::new();
+    input.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Format("file too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!("unsupported version {version}")));
+    }
+    let n = buf.get_u32_le() as usize;
+
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Format("truncated entry header".into()));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(CheckpointError::Format("truncated name".into()));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| CheckpointError::Format("non-utf8 name".into()))?;
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Format("truncated rank".into()));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if buf.remaining() < rank * 8 + 8 {
+            return Err(CheckpointError::Format("truncated dims".into()));
+        }
+        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
+        let numel = buf.get_u64_le() as usize;
+        if numel != dims.iter().product::<usize>() {
+            return Err(CheckpointError::Format(format!(
+                "entry {name}: {numel} values vs dims {dims:?}"
+            )));
+        }
+        if buf.remaining() < numel * 4 {
+            return Err(CheckpointError::Format("truncated values".into()));
+        }
+        let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
+        map.insert(name, Tensor::from_vec(data, &dims));
+    }
+    Ok(map)
+}
+
+/// Restore parameter values in place from a loaded map. Every parameter
+/// must be present (by position+name key) with matching shape; extra
+/// checkpoint entries are ignored (forward compatibility).
+pub fn restore_params(
+    params: &[Param],
+    loaded: &HashMap<String, Tensor>,
+) -> Result<(), CheckpointError> {
+    for (i, p) in params.iter().enumerate() {
+        let key = entry_key(i, p);
+        let t = loaded.get(&key).ok_or_else(|| {
+            CheckpointError::Mismatch(format!("parameter {key:?} missing from checkpoint"))
+        })?;
+        if t.dims() != p.dims() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {:?}: checkpoint {:?} vs model {:?}",
+                p.name(),
+                t.dims(),
+                p.dims()
+            )));
+        }
+        p.set(t.clone());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_tensor::Rng64;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wrck_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = Rng64::seed_from(1);
+        let a = Param::new("layer.w", Tensor::randn(&[3, 4], &mut rng));
+        let b = Param::new("layer.b", Tensor::randn(&[4], &mut rng));
+        let path = tmp("roundtrip");
+        save_params(&path, &[a.clone(), b.clone()]).unwrap();
+
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["0000:layer.w"], a.get());
+        assert_eq!(loaded["0001:layer.b"], b.get());
+
+        // Mutate then restore.
+        a.update(|t| t.scale_(0.0));
+        restore_params(&[a.clone(), b], &loaded).unwrap();
+        assert_eq!(a.get(), loaded["0000:layer.w"]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn duplicate_layer_names_are_fine() {
+        // Identical blocks produce identical layer names; position keys
+        // disambiguate.
+        let a = Param::new("block.w", Tensor::from_slice(&[1.0]));
+        let b = Param::new("block.w", Tensor::from_slice(&[2.0]));
+        let path = tmp("dup");
+        save_params(&path, &[a.clone(), b.clone()]).unwrap();
+        let loaded = load_params(&path).unwrap();
+        a.update(|t| t.scale_(0.0));
+        b.update(|t| t.scale_(0.0));
+        restore_params(&[a.clone(), b.clone()], &loaded).unwrap();
+        assert_eq!(a.get().data(), &[1.0]);
+        assert_eq!(b.get().data(), &[2.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_file() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(matches!(load_params(&path), Err(CheckpointError::Format(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut rng = Rng64::seed_from(2);
+        let a = Param::new("w", Tensor::randn(&[8, 8], &mut rng));
+        let path = tmp("trunc");
+        save_params(&path, &[a]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_params(&path), Err(CheckpointError::Format(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn restore_detects_shape_mismatch() {
+        let a = Param::new("w", Tensor::zeros(&[2, 2]));
+        let path = tmp("shape");
+        save_params(&path, &[a]).unwrap();
+        let loaded = load_params(&path).unwrap();
+        let reshaped = Param::new("w", Tensor::zeros(&[4, 1]));
+        assert!(matches!(
+            restore_params(&[reshaped], &loaded),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn restore_detects_missing_param() {
+        let a = Param::new("present", Tensor::zeros(&[1]));
+        let path = tmp("missing");
+        save_params(&path, &[a]).unwrap();
+        let loaded = load_params(&path).unwrap();
+        let other = Param::new("absent", Tensor::zeros(&[1]));
+        assert!(matches!(
+            restore_params(&[other], &loaded),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Shared trainable parameters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wr_tensor::Tensor;
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+struct ParamInner {
+    id: u64,
+    name: String,
+    value: RefCell<Tensor>,
+}
+
+/// A trainable tensor shared between a module and the optimizer.
+///
+/// Cloning a `Param` clones the handle, not the data; all clones see the
+/// same underlying tensor. Identity (for optimizer state and session
+/// de-duplication) is the stable `id`, unique per allocation.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<ParamInner>,
+}
+
+impl Param {
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param {
+            inner: Rc::new(ParamInner {
+                id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+                name: name.into(),
+                value: RefCell::new(value),
+            }),
+        }
+    }
+
+    /// Stable unique id of this parameter allocation.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Copy of the current value.
+    pub fn get(&self) -> Tensor {
+        self.inner.value.borrow().clone()
+    }
+
+    /// Replace the value (optimizer update).
+    pub fn set(&self, value: Tensor) {
+        let mut slot = self.inner.value.borrow_mut();
+        debug_assert_eq!(
+            slot.dims(),
+            value.dims(),
+            "Param::set must preserve shape for {}",
+            self.inner.name
+        );
+        *slot = value;
+    }
+
+    /// Apply an in-place update to the value.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.inner.value.borrow_mut());
+    }
+
+    pub fn dims(&self) -> Vec<usize> {
+        self.inner.value.borrow().dims().to_vec()
+    }
+
+    pub fn numel(&self) -> usize {
+        self.inner.value.borrow().numel()
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Param(#{} {:?} {:?})",
+            self.inner.id,
+            self.inner.name,
+            self.dims()
+        )
+    }
+}
+
+/// Anything that owns trainable parameters.
+pub trait Module {
+    /// All parameters, including those of submodules.
+    fn params(&self) -> Vec<Param>;
+
+    /// Total trainable scalar count (Table IX's `#Params`).
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Param::numel).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_clones_share() {
+        let a = Param::new("a", Tensor::zeros(&[2]));
+        let b = Param::new("b", Tensor::zeros(&[2]));
+        assert_ne!(a.id(), b.id());
+        let a2 = a.clone();
+        assert_eq!(a.id(), a2.id());
+        a.set(Tensor::from_slice(&[1.0, 2.0]));
+        assert_eq!(a2.get().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let p = Param::new("p", Tensor::ones(&[3]));
+        p.update(|t| t.scale_(2.0));
+        assert_eq!(p.get().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "preserve shape")]
+    fn set_shape_guard() {
+        let p = Param::new("p", Tensor::ones(&[3]));
+        p.set(Tensor::ones(&[4]));
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-sequence isolation: results for one sequence must not depend on
+//! what else is in the batch — the invariant that makes batched training
+//! and single-sequence inference interchangeable.
+
+use wr_autograd::Graph;
+use wr_nn::{GruStack, Session, TransformerConfig, TransformerEncoder};
+use wr_tensor::{Rng64, Tensor};
+
+fn config() -> TransformerConfig {
+    TransformerConfig {
+        dim: 16,
+        heads: 2,
+        blocks: 2,
+        ff_mult: 2,
+        max_seq: 8,
+        dropout: 0.0,
+        bidirectional: false,
+    }
+}
+
+#[test]
+fn transformer_user_repr_is_batch_independent() {
+    let mut rng = Rng64::seed_from(1);
+    let enc = TransformerEncoder::new(config(), &mut rng);
+    let seq_a = Tensor::randn(&[8, 16], &mut rng);
+    let seq_b = Tensor::randn(&[8, 16], &mut rng);
+
+    // Alone.
+    let alone = {
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let x = g.constant(seq_a.clone());
+        g.value(enc.forward_user(&mut s, x, 1, 8, &[5]))
+    };
+    // Batched with an unrelated sequence.
+    let batched = {
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let x = g.constant(Tensor::concat_rows(&[&seq_a, &seq_b]));
+        let u = enc.forward_user(&mut s, x, 2, 8, &[5, 8]);
+        g.value(u)
+    };
+    for (a, b) in alone.row(0).iter().zip(batched.row(0)) {
+        assert!((a - b).abs() < 1e-4, "batching changed the result: {a} vs {b}");
+    }
+}
+
+#[test]
+fn gru_user_repr_is_batch_independent() {
+    let mut rng = Rng64::seed_from(2);
+    let gru = GruStack::new(16, 12, 2, &mut rng);
+    let seq_a = Tensor::randn(&[6, 16], &mut rng);
+    let seq_b = Tensor::randn(&[6, 16], &mut rng).scale(3.0);
+
+    let alone = {
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let x = g.constant(seq_a.clone());
+        g.value(gru.forward_user(&mut s, x, 1, 6, &[4]))
+    };
+    let batched = {
+        let g = Graph::new();
+        let mut s = Session::eval(&g);
+        let x = g.constant(Tensor::concat_rows(&[&seq_a, &seq_b]));
+        g.value(gru.forward_user(&mut s, x, 2, 6, &[4, 6]))
+    };
+    for (a, b) in alone.row(0).iter().zip(batched.row(0)) {
+        assert!((a - b).abs() < 1e-4, "GRU batching changed the result");
+    }
+}
+
+#[test]
+fn transformer_respects_max_seq_assertion() {
+    let mut rng = Rng64::seed_from(3);
+    let enc = TransformerEncoder::new(config(), &mut rng);
+    let g = Graph::new();
+    let mut s = Session::eval(&g);
+    let x = g.constant(Tensor::zeros(&[16, 16]));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        enc.forward_user(&mut s, x, 1, 16, &[16])
+    }));
+    assert!(result.is_err(), "seq > max_seq must be rejected");
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors surfaced by the fallible (`try_*`) tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes were expected to match (or be compatible) but were not.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    /// The number of elements implied by a shape does not match the data.
+    ElementCount {
+        op: &'static str,
+        expected: usize,
+        actual: usize,
+    },
+    /// An index or axis was out of bounds for the tensor's shape.
+    OutOfBounds {
+        op: &'static str,
+        index: usize,
+        bound: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        op: &'static str,
+        expected: usize,
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::ElementCount {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected {expected} elements, got {actual}"),
+            TensorError::OutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds (< {bound} required)")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert_eq!(e.to_string(), "matmul: incompatible shapes [2, 3] and [4, 5]");
+    }
+
+    #[test]
+    fn display_rank_mismatch() {
+        let e = TensorError::RankMismatch {
+            op: "bmm",
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected rank 3"));
+    }
+}

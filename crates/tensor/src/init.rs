@@ -1,0 +1,190 @@
+//! Random tensor initialization.
+//!
+//! All randomness in the workspace flows through seeded [`Rng64`] instances
+//! so every experiment is reproducible from a single `u64`.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator used across the workspace.
+///
+/// Thin wrapper over `StdRng` so downstream crates depend on one type and
+/// the generator can be swapped in a single place.
+pub struct Rng64 {
+    inner: StdRng,
+}
+
+impl Rng64 {
+    pub fn seed_from(seed: u64) -> Self {
+        Rng64 {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.inner.gen::<f32>().max(1e-12);
+        let u2: f32 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Sample from unnormalized non-negative weights. Panics if all zero.
+    pub fn weighted(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "weighted: all weights are zero");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derive an independent child generator (for parallel workloads).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::seed_from(self.inner.gen::<u64>())
+    }
+}
+
+/// Weight-initialization schemes for tensors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// Every element `N(0, std²)`.
+    Normal { std: f32 },
+    /// Every element uniform in `[-bound, bound]`.
+    Uniform { bound: f32 },
+    /// Xavier/Glorot uniform: bound = sqrt(6 / (fan_in + fan_out)).
+    XavierUniform,
+    /// Zeros (bias default).
+    Zeros,
+}
+
+impl Initializer {
+    /// Materialize a `[rows, cols]` matrix under this scheme.
+    pub fn init_matrix(&self, rows: usize, cols: usize, rng: &mut Rng64) -> Tensor {
+        let n = rows * cols;
+        let data: Vec<f32> = match self {
+            Initializer::Normal { std } => (0..n).map(|_| rng.normal() * std).collect(),
+            Initializer::Uniform { bound } => {
+                (0..n).map(|_| rng.uniform_in(-bound, *bound)).collect()
+            }
+            Initializer::XavierUniform => {
+                let bound = (6.0 / (rows + cols) as f32).sqrt();
+                (0..n).map(|_| rng.uniform_in(-bound, bound)).collect()
+            }
+            Initializer::Zeros => vec![0.0; n],
+        };
+        Tensor::from_vec(data, &[rows, cols])
+    }
+}
+
+impl Tensor {
+    /// Standard-normal-filled tensor.
+    pub fn randn(dims: &[usize], rng: &mut Rng64) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data = (0..n).map(|_| rng.normal()).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Uniform `[lo, hi)`-filled tensor.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng64) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data = (0..n).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor::from_vec(data, dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng64::seed_from(7);
+        let mut b = Rng64::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::seed_from(1);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = Rng64::seed_from(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..9000 {
+            counts[rng.weighted(&[1.0, 2.0, 6.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        assert!((counts[2] as f32 / 9000.0 - 2.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = Rng64::seed_from(5);
+        let w = Initializer::XavierUniform.init_matrix(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|x| x.abs() <= bound + 1e-6));
+        assert!(w.data().iter().any(|x| x.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng64::seed_from(11);
+        let mut xs: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn randn_shape() {
+        let mut rng = Rng64::seed_from(2);
+        let t = Tensor::randn(&[3, 4, 5], &mut rng);
+        assert_eq!(t.dims(), &[3, 4, 5]);
+        assert_eq!(t.non_finite_count(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Dense `f32` tensor library underpinning the WhitenRec reproduction.
+//!
+//! Tensors are always contiguous and row-major. The library favours a small,
+//! predictable API over generality: everything the autograd tape, the
+//! whitening transforms, and the linear-algebra kernels need — and nothing
+//! more. Shape mismatches are programming errors in this codebase, so the
+//! convenience methods panic with a descriptive message; fallible `try_*`
+//! variants are provided where callers want to recover.
+//!
+//! # Example
+//! ```
+//! use wr_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod error;
+mod init;
+mod matmul;
+mod ops;
+mod reduce;
+mod serde_impl;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{Initializer, Rng64};
+pub use matmul::{dot, gemm};
+pub use ops::softmax_in_place;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,388 @@
+//! Matrix multiplication kernels.
+//!
+//! The workloads in this repository multiply matrices in the range
+//! ~[64..4096] × [64..512]; a cache-blocked `ikj` kernel with an explicit
+//! inner loop over contiguous rows is fast enough on one core and keeps the
+//! crate dependency-free.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Tile edge for the blocked kernel; 64 f32 = 256 B per row strip.
+const TILE: usize = 64;
+
+impl Tensor {
+    /// Matrix product `self @ other`. Panics on shape mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.try_matmul(other).expect("Tensor::matmul")
+    }
+
+    /// Fallible matrix product.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        if self.cols() != other.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), other.data(), &mut out, m, k, n);
+        Ok(Tensor::from_vec(out, &[m, n]))
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert!(self.rank() == 2 && other.rank() == 2, "matmul_tn needs matrices");
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn: inner dimensions {} vs {} differ",
+            self.rows(),
+            other.rows()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = vec![0.0f32; m * n];
+        // out[i][j] = sum_k a[k][i] * b[k][j]; iterate k outermost so both
+        // reads stream contiguously.
+        for p in 0..k {
+            let arow = &self.data()[p * m..(p + 1) * m];
+            let brow = &other.data()[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert!(self.rank() == 2 && other.rank() == 2, "matmul_nt needs matrices");
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt: inner dimensions {} vs {} differ",
+            self.cols(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data()[j * k..(j + 1) * k];
+                *o = dot(arow, brow);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix multiply of two rank-3 tensors `[b, m, k] @ [b, k, n]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert!(
+            self.rank() == 3 && other.rank() == 3,
+            "bmm requires rank-3 tensors, got {} and {}",
+            self.rank(),
+            other.rank()
+        );
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert!(
+            b == b2 && k == k2,
+            "bmm: incompatible shapes {:?} and {:?}",
+            self.dims(),
+            other.dims()
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            gemm(
+                &self.data()[i * m * k..(i + 1) * m * k],
+                &other.data()[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched `self @ otherᵀ`: `[b, m, k] @ [b, n, k]ᵀ → [b, m, n]`.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        assert!(self.rank() == 3 && other.rank() == 3, "bmm_nt requires rank-3");
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, n, k2) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert!(
+            b == b2 && k == k2,
+            "bmm_nt: incompatible shapes {:?} and {:?}",
+            self.dims(),
+            other.dims()
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            let a = &self.data()[i * m * k..(i + 1) * m * k];
+            let bb = &other.data()[i * n * k..(i + 1) * n * k];
+            let c = &mut out[i * m * n..(i + 1) * m * n];
+            for r in 0..m {
+                let arow = &a[r * k..(r + 1) * k];
+                for col in 0..n {
+                    c[r * n + col] = dot(arow, &bb[col * k..(col + 1) * k]);
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched `selfᵀ @ other`: `[b, k, m]ᵀ @ [b, k, n] → [b, m, n]`.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        assert!(self.rank() == 3 && other.rank() == 3, "bmm_tn requires rank-3");
+        let (b, k, m) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert!(
+            b == b2 && k == k2,
+            "bmm_tn: incompatible shapes {:?} and {:?}",
+            self.dims(),
+            other.dims()
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            let a = &self.data()[i * k * m..(i + 1) * k * m];
+            let bb = &other.data()[i * k * n..(i + 1) * k * n];
+            let c = &mut out[i * m * n..(i + 1) * m * n];
+            // out[r][col] = sum_p a[p][r] * b[p][col]
+            for p in 0..k {
+                let arow = &a[p * m..(p + 1) * m];
+                let brow = &bb[p * n..(p + 1) * n];
+                for (r, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut c[r * n..(r + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Matrix–vector product `self @ v` for a rank-1 `v`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert!(self.rank() == 2 && v.rank() == 1, "matvec: need matrix and vector");
+        assert_eq!(self.cols(), v.numel(), "matvec: size mismatch");
+        let out: Vec<f32> = (0..self.rows()).map(|i| dot(self.row(i), v.data())).collect();
+        Tensor::from_vec(out, &[self.rows()])
+    }
+
+    /// Frobenius inner product of two same-shaped tensors.
+    pub fn dot_all(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "dot_all: shape mismatch");
+        dot(self.data(), other.data())
+    }
+}
+
+/// Dense dot product with 4-way unrolling (helps LLVM vectorize).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Cache-blocked `C += A(m×k) · B(k×n)` over contiguous row-major slices.
+/// `c` must be zero-initialized by the caller (it is accumulated into).
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for p0 in (0..k).step_by(TILE) {
+            let p1 = (p0 + TILE).min(k);
+            for i in i0..i1 {
+                let crow = &mut c[i * n..(i + 1) * n];
+                for p in p0..p1 {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at2(i, p) * b.at2(p, j);
+                }
+                *out.at2_mut(i, j) = s;
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(dims: &[usize], seed: u32) -> Tensor {
+        // deterministic fill; avoids pulling rand into the unit tests
+        let n: usize = dims.iter().product();
+        let mut state = seed as u64 | 1;
+        let data = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (u32::MAX as f32)) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = pseudo_random(&[7, 7], 1);
+        assert_eq!(a.matmul(&Tensor::eye(7)).dims(), &[7, 7]);
+        let prod = a.matmul(&Tensor::eye(7));
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(3, 4, 5), (65, 70, 67), (1, 128, 1)] {
+            let a = pseudo_random(&[m, k], 42);
+            let b = pseudo_random(&[k, n], 7);
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.try_matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(v.try_matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let a = pseudo_random(&[13, 9], 3);
+        let b = pseudo_random(&[13, 11], 4);
+        let tn = a.matmul_tn(&b); // a^T b : [9,11]
+        let reference = a.transpose().matmul(&b);
+        for (x, y) in tn.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        let c = pseudo_random(&[9, 11], 5);
+        let nt = c.matmul_nt(&b); // c([9,11]) @ b([13,11])^T -> [9,13]
+        let reference = c.matmul(&b.transpose());
+        assert_eq!(nt.dims(), reference.dims());
+        for (x, y) in nt.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_slice() {
+        let a = pseudo_random(&[4, 3, 5], 11);
+        let b = pseudo_random(&[4, 5, 2], 12);
+        let c = a.bmm(&b);
+        assert_eq!(c.dims(), &[4, 3, 2]);
+        for i in 0..4 {
+            let ai = Tensor::from_vec(a.data()[i * 15..(i + 1) * 15].to_vec(), &[3, 5]);
+            let bi = Tensor::from_vec(b.data()[i * 10..(i + 1) * 10].to_vec(), &[5, 2]);
+            let ci = ai.matmul(&bi);
+            for (x, y) in c.data()[i * 6..(i + 1) * 6].iter().zip(ci.data()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_transposed_variants() {
+        let a = pseudo_random(&[3, 4, 5], 21);
+        let b = pseudo_random(&[3, 6, 5], 22);
+        let nt = a.bmm_nt(&b); // [3,4,6]
+        assert_eq!(nt.dims(), &[3, 4, 6]);
+        for i in 0..3 {
+            let ai = Tensor::from_vec(a.data()[i * 20..(i + 1) * 20].to_vec(), &[4, 5]);
+            let bi = Tensor::from_vec(b.data()[i * 30..(i + 1) * 30].to_vec(), &[6, 5]);
+            let ci = ai.matmul(&bi.transpose());
+            for (x, y) in nt.data()[i * 24..(i + 1) * 24].iter().zip(ci.data()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        let c = pseudo_random(&[3, 5, 4], 23);
+        let d = pseudo_random(&[3, 5, 7], 24);
+        let tn = c.bmm_tn(&d); // [3,4,7]
+        assert_eq!(tn.dims(), &[3, 4, 7]);
+        for i in 0..3 {
+            let ci = Tensor::from_vec(c.data()[i * 20..(i + 1) * 20].to_vec(), &[5, 4]);
+            let di = Tensor::from_vec(d.data()[i * 35..(i + 1) * 35].to_vec(), &[5, 7]);
+            let ri = ci.transpose().matmul(&di);
+            for (x, y) in tn.data()[i * 28..(i + 1) * 28].iter().zip(ri.data()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = Tensor::from_slice(&[1.0, -1.0]);
+        assert_eq!(m.matvec(&v).data(), &[-1.0, -1.0]);
+        assert_eq!(dot(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 1.0, 1.0, 1.0, 1.0]), 15.0);
+        assert_eq!(m.dot_all(&m), 30.0);
+    }
+}

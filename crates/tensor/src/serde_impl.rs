@@ -1,0 +1,96 @@
+//! Serde support for [`Tensor`] — serialized as `{ dims, data }`.
+
+use crate::{Shape, Tensor};
+use serde::de::{self, MapAccess, Visitor};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for Tensor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Tensor", 2)?;
+        st.serialize_field("dims", self.dims())?;
+        st.serialize_field("data", self.data())?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Tensor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct TensorVisitor;
+
+        impl<'de> Visitor<'de> for TensorVisitor {
+            type Value = Tensor;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                f.write_str("a struct with dims and data fields")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Tensor, A::Error> {
+                let mut dims: Option<Vec<usize>> = None;
+                let mut data: Option<Vec<f32>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "dims" => dims = Some(map.next_value()?),
+                        "data" => data = Some(map.next_value()?),
+                        other => {
+                            return Err(de::Error::unknown_field(other, &["dims", "data"]))
+                        }
+                    }
+                }
+                let dims = dims.ok_or_else(|| de::Error::missing_field("dims"))?;
+                let data = data.ok_or_else(|| de::Error::missing_field("data"))?;
+                Tensor::try_from_vec(data, &dims).map_err(|e| de::Error::custom(e.to_string()))
+            }
+        }
+
+        deserializer.deserialize_struct("Tensor", &["dims", "data"], TensorVisitor)
+    }
+}
+
+impl Serialize for Shape {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.dims().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Shape {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let dims: Vec<usize> = Vec::deserialize(deserializer)?;
+        Ok(Shape::from(dims))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrap {
+        t: Tensor,
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.5, -3.0, 4.0, 0.0, 9.5], &[2, 3]);
+        let json = serde_json::to_string(&Wrap { t: t.clone() }).unwrap();
+        assert!(json.contains("\"dims\":[2,3]"));
+        let back: Wrap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.t, t);
+    }
+
+    #[test]
+    fn mismatched_dims_rejected_on_load() {
+        let bad = r#"{"dims":[2,2],"data":[1.0,2.0,3.0]}"#;
+        let res: Result<Tensor, _> = serde_json::from_str(bad);
+        assert!(res.is_err(), "3 values cannot fill a 2x2 tensor");
+    }
+
+    #[test]
+    fn shape_roundtrip() {
+        let s = Shape::new(&[4, 5, 6]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "[4,5,6]");
+        let back: Shape = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

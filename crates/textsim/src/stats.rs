@@ -1,0 +1,113 @@
+//! Embedding-space statistics for the anisotropy analysis (Fig. 2, §III-B).
+
+use wr_linalg::{singular_values, LinalgError};
+use wr_tensor::Tensor;
+use wr_whiten::{average_pairwise_cosine, whiteness_error};
+
+/// Singular values of the centered embedding matrix, normalized so the
+/// largest is 1 (the y-axis of Fig. 2).
+pub fn normalized_singular_values(embeddings: &Tensor) -> Result<Vec<f32>, LinalgError> {
+    let centered = embeddings.sub_row_broadcast(&embeddings.mean_rows());
+    let mut sv = singular_values(&centered)?;
+    let top = sv.first().copied().unwrap_or(0.0).max(1e-30);
+    for s in &mut sv {
+        *s /= top;
+    }
+    Ok(sv)
+}
+
+/// Summary report on one embedding matrix, bundling the statistics the
+/// paper quotes for pre-trained text embeddings.
+#[derive(Debug, Clone)]
+pub struct EmbeddingReport {
+    pub n_items: usize,
+    pub dim: usize,
+    pub average_cosine: f32,
+    pub whiteness_error: f32,
+    /// Fraction of spectral energy in the top-1 singular value.
+    pub top1_energy: f32,
+    /// Number of singular values above 10% of the maximum.
+    pub effective_directions: usize,
+}
+
+impl EmbeddingReport {
+    pub fn compute(embeddings: &Tensor, cosine_samples: usize, seed: u64) -> Result<Self, LinalgError> {
+        let sv = normalized_singular_values(embeddings)?;
+        let energy: f32 = sv.iter().map(|s| s * s).sum();
+        let top1_energy = sv[0] * sv[0] / energy.max(1e-30);
+        let effective_directions = sv.iter().filter(|&&s| s > 0.1).count();
+        Ok(EmbeddingReport {
+            n_items: embeddings.rows(),
+            dim: embeddings.cols(),
+            average_cosine: average_pairwise_cosine(embeddings, cosine_samples, seed),
+            whiteness_error: whiteness_error(embeddings),
+            top1_energy,
+            effective_directions,
+        })
+    }
+}
+
+impl std::fmt::Display for EmbeddingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} items × {} dims | avg cos {:.3} | whiteness err {:.3} | top-1 energy {:.1}% | {} effective dirs",
+            self.n_items,
+            self.dim,
+            self.average_cosine,
+            self.whiteness_error,
+            self.top1_energy * 100.0,
+            self.effective_directions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_tensor::Rng64;
+
+    #[test]
+    fn isotropic_data_report() {
+        let mut rng = Rng64::seed_from(1);
+        let e = Tensor::randn(&[600, 16], &mut rng);
+        let r = EmbeddingReport::compute(&e, 500, 2).unwrap();
+        assert!(r.average_cosine.abs() < 0.1);
+        assert!(r.effective_directions >= 14, "{r}");
+        assert!(r.top1_energy < 0.2);
+    }
+
+    #[test]
+    fn dominant_direction_report() {
+        let mut rng = Rng64::seed_from(3);
+        let mut e = Tensor::randn(&[600, 16], &mut rng).scale(0.05);
+        for r in 0..600 {
+            let a = 1.0 + 0.2 * rng.normal();
+            e.row_mut(r)[0] += 5.0 * a;
+        }
+        let r = EmbeddingReport::compute(&e, 500, 4).unwrap();
+        assert!(r.average_cosine > 0.8, "{r}");
+        assert!(r.top1_energy > 0.5, "{r}");
+        assert!(r.effective_directions < 5, "{r}");
+    }
+
+    #[test]
+    fn normalized_spectrum_starts_at_one() {
+        let mut rng = Rng64::seed_from(5);
+        let e = Tensor::randn(&[100, 8], &mut rng);
+        let sv = normalized_singular_values(&e).unwrap();
+        assert!((sv[0] - 1.0).abs() < 1e-6);
+        for w in sv.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut rng = Rng64::seed_from(6);
+        let e = Tensor::randn(&[50, 4], &mut rng);
+        let r = EmbeddingReport::compute(&e, 100, 7).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("50 items"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Training infrastructure: Adam, the training loop, early stopping.
+//!
+//! Models implement [`SeqRecModel`]; [`fit`] drives epochs of shuffled
+//! mini-batches, evaluates NDCG@20 on validation after each epoch, applies
+//! the paper's early-stopping rule (stop after 10 stagnant epochs), and
+//! restores the best parameters.
+
+mod adam;
+mod schedule;
+mod trainer;
+
+pub use adam::{Adam, AdamConfig};
+pub use schedule::LrSchedule;
+pub use trainer::{fit, EpochRecord, SeqRecModel, TrainConfig, TrainReport};

@@ -1,0 +1,122 @@
+//! Learning-rate schedules.
+//!
+//! The paper tunes a fixed LR per dataset; production training of the same
+//! architectures typically adds linear warmup (Transformer stability) and
+//! a decay phase. The trainer applies a schedule by mutating the
+//! optimizer's LR before each epoch.
+
+/// A learning-rate schedule over epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant LR (the paper's setting).
+    Constant { lr: f32 },
+    /// Linear warmup from 0 over `warmup` epochs, then constant.
+    Warmup { lr: f32, warmup: usize },
+    /// Linear warmup, then cosine decay to `floor` by `total` epochs.
+    WarmupCosine {
+        lr: f32,
+        warmup: usize,
+        total: usize,
+        floor: f32,
+    },
+    /// Multiply by `gamma` every `every` epochs.
+    Step { lr: f32, gamma: f32, every: usize },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { lr, warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    lr
+                } else {
+                    lr * (epoch + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::WarmupCosine {
+                lr,
+                warmup,
+                total,
+                floor,
+            } => {
+                if warmup > 0 && epoch < warmup {
+                    return lr * (epoch + 1) as f32 / warmup as f32;
+                }
+                if epoch >= total {
+                    return floor;
+                }
+                let progress = (epoch - warmup) as f32 / (total - warmup).max(1) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                floor + (lr - floor) * cos
+            }
+            LrSchedule::Step { lr, gamma, every } => {
+                let steps = if every == 0 { 0 } else { epoch / every };
+                lr * gamma.powi(steps as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 1e-3 };
+        assert_eq!(s.at(0), 1e-3);
+        assert_eq!(s.at(100), 1e-3);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { lr: 1.0, warmup: 4 };
+        assert!((s.at(0) - 0.25).abs() < 1e-6);
+        assert!((s.at(1) - 0.5).abs() < 1e-6);
+        assert!((s.at(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.at(10), 1.0);
+    }
+
+    #[test]
+    fn warmup_cosine_decays_to_floor() {
+        let s = LrSchedule::WarmupCosine {
+            lr: 1.0,
+            warmup: 2,
+            total: 10,
+            floor: 0.1,
+        };
+        assert!(s.at(0) < s.at(1));
+        assert!((s.at(2) - 1.0).abs() < 1e-5, "peak right after warmup");
+        assert!(s.at(5) < s.at(2));
+        assert!((s.at(10) - 0.1).abs() < 1e-6);
+        assert!((s.at(50) - 0.1).abs() < 1e-6);
+        // monotone decay after warmup
+        for e in 2..9 {
+            assert!(s.at(e + 1) <= s.at(e) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn step_decay() {
+        let s = LrSchedule::Step {
+            lr: 1.0,
+            gamma: 0.5,
+            every: 3,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(2), 1.0);
+        assert_eq!(s.at(3), 0.5);
+        assert_eq!(s.at(6), 0.25);
+    }
+
+    #[test]
+    fn degenerate_configs_are_safe() {
+        assert_eq!(LrSchedule::Warmup { lr: 1.0, warmup: 0 }.at(0), 1.0);
+        assert_eq!(
+            LrSchedule::Step { lr: 1.0, gamma: 0.5, every: 0 }.at(9),
+            1.0
+        );
+    }
+}

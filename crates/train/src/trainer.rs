@@ -1,0 +1,494 @@
+//! The training loop with validation-based early stopping.
+
+use std::time::Instant;
+
+use crate::{Adam, LrSchedule};
+use wr_data::{Batch, Batcher, EvalCase};
+use wr_nn::Param;
+use wr_tensor::{Rng64, Tensor};
+
+/// Interface every model in the zoo implements.
+pub trait SeqRecModel {
+    /// Display name (Table III row label).
+    fn name(&self) -> String;
+
+    /// All trainable parameters (for counting and snapshotting).
+    fn params(&self) -> Vec<Param>;
+
+    /// One optimization step on `batch`; returns the training loss.
+    fn train_step(&mut self, batch: &Batch, optimizer: &mut Adam, rng: &mut Rng64) -> f32;
+
+    /// Score every item for each context → `[batch, n_items]`.
+    fn score(&self, contexts: &[&[usize]]) -> Tensor;
+
+    /// Projected item representation matrix `V` (for Fig. 6/7 analyses).
+    fn item_representations(&self) -> Tensor;
+
+    /// User representations for the given contexts → `[batch, d]`.
+    fn user_representations(&self, contexts: &[&[usize]]) -> Tensor;
+
+    /// Restrict the *training* softmax to a candidate item set (cold-start
+    /// protocol: items absent from the training catalog must not receive
+    /// gradients as perpetual negatives). Scoring remains over the full
+    /// catalog. Default: ignored.
+    fn set_train_candidates(&mut self, _candidates: Option<Vec<usize>>) {}
+
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Param::numel).sum()
+    }
+}
+
+impl SeqRecModel for Box<dyn SeqRecModel> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+
+    fn train_step(&mut self, batch: &Batch, optimizer: &mut Adam, rng: &mut Rng64) -> f32 {
+        (**self).train_step(batch, optimizer, rng)
+    }
+
+    fn score(&self, contexts: &[&[usize]]) -> Tensor {
+        (**self).score(contexts)
+    }
+
+    fn item_representations(&self) -> Tensor {
+        (**self).item_representations()
+    }
+
+    fn user_representations(&self, contexts: &[&[usize]]) -> Tensor {
+        (**self).user_representations(contexts)
+    }
+
+    fn set_train_candidates(&mut self, candidates: Option<Vec<usize>>) {
+        (**self).set_train_candidates(candidates)
+    }
+}
+
+/// Loop hyper-parameters (paper defaults scaled to this codebase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    pub max_epochs: usize,
+    pub batch_size: usize,
+    pub max_seq: usize,
+    /// Early-stopping patience in epochs (paper: 10 on validation N@20).
+    pub patience: usize,
+    pub eval_batch: usize,
+    pub seed: u64,
+    /// Evaluate validation every `eval_every` epochs (1 = every epoch).
+    pub eval_every: usize,
+    /// Optional learning-rate schedule applied before each epoch
+    /// (None = keep the optimizer's configured LR).
+    pub lr_schedule: Option<LrSchedule>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_epochs: 60,
+            batch_size: 128,
+            max_seq: 30,
+            patience: 10,
+            eval_batch: 128,
+            seed: 2024,
+            eval_every: 1,
+            lr_schedule: None,
+        }
+    }
+}
+
+/// Per-epoch measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub train_loss: f32,
+    /// Validation NDCG@20 (None on epochs where eval was skipped).
+    pub valid_ndcg: Option<f32>,
+    pub seconds: f64,
+}
+
+/// Outcome of [`fit`].
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    pub model_name: String,
+    pub epochs: Vec<EpochRecord>,
+    pub best_valid_ndcg: f32,
+    pub best_epoch: usize,
+    pub total_seconds: f64,
+    pub param_count: usize,
+}
+
+impl TrainReport {
+    /// Mean wall-clock seconds per epoch (Table IX's `s/Epoch`).
+    pub fn seconds_per_epoch(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.total_seconds / self.epochs.len() as f64
+        }
+    }
+}
+
+/// Train `model` with early stopping on validation NDCG@20, restoring the
+/// best parameters before returning. `epoch_hook` runs after each epoch —
+/// the Fig. 6/7 analyses collect their per-epoch statistics there.
+pub fn fit<M: SeqRecModel>(
+    model: &mut M,
+    optimizer: &mut Adam,
+    train_sequences: Vec<Vec<usize>>,
+    validation: &[EvalCase],
+    config: TrainConfig,
+    mut epoch_hook: impl FnMut(&M, &EpochRecord),
+) -> TrainReport {
+    let mut rng = Rng64::seed_from(config.seed);
+    let batcher = Batcher::new(train_sequences, config.batch_size, config.max_seq);
+    assert!(batcher.n_sequences() > 0, "no trainable sequences");
+
+    let params = model.params();
+    let mut best_snapshot: Vec<Tensor> = params.iter().map(Param::get).collect();
+    let mut best_valid = f32::NEG_INFINITY;
+    let mut best_epoch = 0usize;
+    let mut stale = 0usize;
+    let mut epochs = Vec::new();
+    let start = Instant::now();
+
+    for epoch in 0..config.max_epochs {
+        if let Some(schedule) = config.lr_schedule {
+            optimizer.config.lr = schedule.at(epoch);
+        }
+        let epoch_start = Instant::now();
+        let mut loss_sum = 0.0f64;
+        let mut n_batches = 0usize;
+        for batch in batcher.epoch(&mut rng) {
+            let loss = model.train_step(&batch, optimizer, &mut rng);
+            debug_assert!(loss.is_finite(), "non-finite training loss at epoch {epoch}");
+            loss_sum += loss as f64;
+            n_batches += 1;
+        }
+        let train_loss = (loss_sum / n_batches.max(1) as f64) as f32;
+
+        let valid_ndcg = if !validation.is_empty() && epoch % config.eval_every == 0 {
+            Some(validation_ndcg(model, validation, config))
+        } else {
+            None
+        };
+
+        let record = EpochRecord {
+            epoch,
+            train_loss,
+            valid_ndcg,
+            seconds: epoch_start.elapsed().as_secs_f64(),
+        };
+        epoch_hook(model, &record);
+        epochs.push(record);
+
+        if let Some(v) = valid_ndcg {
+            if v > best_valid {
+                best_valid = v;
+                best_epoch = epoch;
+                stale = 0;
+                for (snap, p) in best_snapshot.iter_mut().zip(&params) {
+                    *snap = p.get();
+                }
+            } else {
+                stale += 1;
+                if stale >= config.patience {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Restore the best weights.
+    if best_valid > f32::NEG_INFINITY {
+        for (snap, p) in best_snapshot.iter().zip(&params) {
+            p.set(snap.clone());
+        }
+    }
+
+    TrainReport {
+        model_name: model.name(),
+        best_valid_ndcg: best_valid.max(0.0),
+        best_epoch,
+        total_seconds: start.elapsed().as_secs_f64(),
+        param_count: model.param_count(),
+        epochs,
+    }
+}
+
+/// NDCG@20 of `model` on validation cases (history-excluded full ranking).
+fn validation_ndcg<M: SeqRecModel>(model: &M, cases: &[EvalCase], config: TrainConfig) -> f32 {
+    let metrics = wr_eval_shim::evaluate(model, cases, config.eval_batch);
+    metrics
+}
+
+/// Minimal inline evaluator (full wr-eval integration lives in the harness;
+/// the trainer only needs NDCG@20 for early stopping, and keeping this
+/// local avoids a circular dev-dependency).
+mod wr_eval_shim {
+    use super::SeqRecModel;
+    use wr_data::EvalCase;
+
+    pub fn evaluate<M: SeqRecModel>(model: &M, cases: &[EvalCase], batch: usize) -> f32 {
+        let mut dcg = 0.0f64;
+        for chunk in cases.chunks(batch.max(1)) {
+            let contexts: Vec<&[usize]> = chunk.iter().map(|c| c.context.as_slice()).collect();
+            let scores = model.score(&contexts);
+            for (row, case) in chunk.iter().enumerate() {
+                let s = scores.row(row);
+                let ts = s[case.target];
+                let mut rank = 0usize;
+                for (i, &v) in s.iter().enumerate() {
+                    if i != case.target && !case.context.contains(&i) && v >= ts {
+                        rank += 1;
+                    }
+                }
+                if rank < 20 {
+                    dcg += 1.0 / ((rank as f64) + 2.0).log2();
+                }
+            }
+        }
+        (dcg / cases.len().max(1) as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdamConfig;
+    use wr_autograd::Graph;
+    use wr_nn::{Embedding, Module, Session};
+
+    /// A deliberately tiny model: average of item embeddings in the context
+    /// scored against all item embeddings. Enough to exercise the loop.
+    struct ToyModel {
+        emb: Embedding,
+        n_items: usize,
+    }
+
+    impl ToyModel {
+        fn new(n_items: usize, seed: u64) -> Self {
+            let mut rng = Rng64::seed_from(seed);
+            ToyModel {
+                emb: Embedding::new(n_items, 8, &mut rng),
+                n_items,
+            }
+        }
+
+        fn user_vec(&self, context: &[usize]) -> Vec<f32> {
+            let table = self.emb.table.get();
+            let mut acc = vec![0.0f32; 8];
+            for &i in context {
+                for (a, &b) in acc.iter_mut().zip(table.row(i)) {
+                    *a += b;
+                }
+            }
+            for a in &mut acc {
+                *a /= context.len().max(1) as f32;
+            }
+            acc
+        }
+    }
+
+    impl SeqRecModel for ToyModel {
+        fn name(&self) -> String {
+            "Toy".into()
+        }
+
+        fn params(&self) -> Vec<Param> {
+            self.emb.params()
+        }
+
+        fn train_step(&mut self, batch: &Batch, optimizer: &mut Adam, rng: &mut Rng64) -> f32 {
+            let g = Graph::new();
+            let mut sess = Session::train(&g, rng.fork());
+            // last real item's embedding predicts the target
+            let last_rows: Vec<usize> = (0..batch.batch)
+                .map(|b| batch.items[b * batch.seq + batch.seq - 1])
+                .collect();
+            let u = self.emb.forward(&mut sess, &last_rows);
+            let table = sess.bind(&self.emb.table);
+            let logits = g.matmul(u, g.transpose(table));
+            let targets: Vec<usize> = (0..batch.batch)
+                .map(|b| {
+                    // final target of each sequence
+                    let mut t = 0;
+                    for (p, &tgt) in batch.loss_positions.iter().zip(&batch.targets) {
+                        if p / batch.seq == b {
+                            t = tgt;
+                        }
+                    }
+                    t
+                })
+                .collect();
+            let loss = g.cross_entropy(logits, &targets);
+            let value = g.value(loss).item();
+            g.backward(loss);
+            optimizer.step(&g, sess.bindings());
+            value
+        }
+
+        fn score(&self, contexts: &[&[usize]]) -> Tensor {
+            let table = self.emb.table.get();
+            let mut out = Tensor::zeros(&[contexts.len(), self.n_items]);
+            for (r, ctx) in contexts.iter().enumerate() {
+                let u = self.user_vec(ctx);
+                for i in 0..self.n_items {
+                    out.row_mut(r)[i] = u.iter().zip(table.row(i)).map(|(a, b)| a * b).sum();
+                }
+            }
+            out
+        }
+
+        fn item_representations(&self) -> Tensor {
+            self.emb.table.get()
+        }
+
+        fn user_representations(&self, contexts: &[&[usize]]) -> Tensor {
+            let mut out = Tensor::zeros(&[contexts.len(), 8]);
+            for (r, ctx) in contexts.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(&self.user_vec(ctx));
+            }
+            out
+        }
+    }
+
+    fn toy_data(n_items: usize, n_users: usize) -> (Vec<Vec<usize>>, Vec<EvalCase>) {
+        // Cyclic sequences: item i is followed by (i+1) % n_items.
+        let mut train = Vec::new();
+        let mut valid = Vec::new();
+        for u in 0..n_users {
+            let start = u % n_items;
+            let seq: Vec<usize> = (0..8).map(|t| (start + t) % n_items).collect();
+            valid.push(EvalCase {
+                user: u,
+                context: seq.clone(),
+                target: (start + 8) % n_items,
+            });
+            train.push(seq);
+        }
+        (train, valid)
+    }
+
+    #[test]
+    fn fit_improves_validation_metric() {
+        let (train, valid) = toy_data(12, 60);
+        let mut model = ToyModel::new(12, 5);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        });
+        let config = TrainConfig {
+            max_epochs: 25,
+            batch_size: 16,
+            max_seq: 10,
+            patience: 25,
+            ..TrainConfig::default()
+        };
+        let report = fit(&mut model, &mut opt, train, &valid, config, |_, _| {});
+        assert!(report.best_valid_ndcg > 0.3, "{}", report.best_valid_ndcg);
+        assert!(!report.epochs.is_empty());
+        // Loss decreased over training.
+        let first = report.epochs.first().unwrap().train_loss;
+        let last = report.epochs.last().unwrap().train_loss;
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn early_stopping_triggers() {
+        let (train, valid) = toy_data(10, 30);
+        let mut model = ToyModel::new(10, 6);
+        // Zero learning rate: validation can never improve after epoch 0.
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.0,
+            ..AdamConfig::default()
+        });
+        let config = TrainConfig {
+            max_epochs: 50,
+            batch_size: 16,
+            max_seq: 10,
+            patience: 3,
+            ..TrainConfig::default()
+        };
+        let report = fit(&mut model, &mut opt, train, &valid, config, |_, _| {});
+        assert!(
+            report.epochs.len() <= 5,
+            "expected early stop, ran {} epochs",
+            report.epochs.len()
+        );
+    }
+
+    #[test]
+    fn best_weights_are_restored() {
+        let (train, valid) = toy_data(10, 40);
+        let mut model = ToyModel::new(10, 7);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        });
+        let config = TrainConfig {
+            max_epochs: 10,
+            batch_size: 16,
+            max_seq: 10,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        let report = fit(&mut model, &mut opt, train, &valid.clone(), config, |_, _| {});
+        // Re-evaluating restored weights reproduces the best metric.
+        let again = super::wr_eval_shim::evaluate(&model, &valid, 64);
+        assert!(
+            (again - report.best_valid_ndcg).abs() < 1e-5,
+            "restored {again} vs best {}",
+            report.best_valid_ndcg
+        );
+    }
+
+    #[test]
+    fn lr_schedule_is_applied_per_epoch() {
+        let (train, valid) = toy_data(8, 20);
+        let mut model = ToyModel::new(8, 9);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 123.0, // overwritten by the schedule
+            ..AdamConfig::default()
+        });
+        let config = TrainConfig {
+            max_epochs: 3,
+            batch_size: 8,
+            max_seq: 10,
+            patience: 10,
+            lr_schedule: Some(crate::LrSchedule::Step {
+                lr: 0.4,
+                gamma: 0.5,
+                every: 1,
+            }),
+            ..TrainConfig::default()
+        };
+        fit(&mut model, &mut opt, train, &valid, config, |_, _| {});
+        // After epoch 2 the schedule set lr = 0.4 * 0.5^2 = 0.1.
+        assert!((opt.config.lr - 0.1).abs() < 1e-6, "lr = {}", opt.config.lr);
+    }
+
+    #[test]
+    fn hook_sees_every_epoch() {
+        let (train, valid) = toy_data(8, 20);
+        let mut model = ToyModel::new(8, 8);
+        let mut opt = Adam::new(AdamConfig::default());
+        let config = TrainConfig {
+            max_epochs: 4,
+            batch_size: 8,
+            max_seq: 10,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        let mut seen = Vec::new();
+        let report = fit(&mut model, &mut opt, train, &valid, config, |_, rec| {
+            seen.push(rec.epoch);
+        });
+        assert_eq!(seen, (0..report.epochs.len()).collect::<Vec<_>>());
+        assert!(report.seconds_per_epoch() >= 0.0);
+        assert_eq!(report.param_count, 8 * 8);
+    }
+}

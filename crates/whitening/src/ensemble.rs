@@ -1,0 +1,36 @@
+//! Ensemble strategies for combining whitened views (Table VII).
+
+/// How WhitenRec+ merges the projected fully-whitened and relaxed-whitened
+/// item representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnsembleMode {
+    /// Element-wise summation (Eq. 6; the default and overall best).
+    Sum,
+    /// Concatenate the two projections, then a linear map back to `d`.
+    Concat,
+    /// Learned scalar attention over the two views.
+    Attn,
+}
+
+impl EnsembleMode {
+    pub const ALL: [EnsembleMode; 3] = [EnsembleMode::Sum, EnsembleMode::Concat, EnsembleMode::Attn];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnsembleMode::Sum => "Sum",
+            EnsembleMode::Concat => "Concat",
+            EnsembleMode::Attn => "Attn",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(EnsembleMode::Sum.name(), "Sum");
+        assert_eq!(EnsembleMode::ALL.len(), 3);
+    }
+}

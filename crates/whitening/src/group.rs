@@ -1,0 +1,172 @@
+//! Relaxed (group) whitening — Eq. (5).
+
+use crate::{WhiteningMethod, WhiteningTransform};
+use wr_tensor::Tensor;
+
+/// Relaxed whitening with `G` dimension groups: ZCA (or another method)
+/// applied independently within each contiguous block of `d/G` dimensions,
+/// leaving cross-group correlations intact.
+///
+/// `G = 1` recovers full whitening; larger `G` preserves more of the
+/// original text semantics at the cost of embedding uniformity (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct GroupWhitening {
+    transforms: Vec<WhiteningTransform>,
+    group_size: usize,
+    groups: usize,
+}
+
+impl GroupWhitening {
+    /// Fit on `x: [n, d]`. `d` must be divisible by `groups`.
+    pub fn fit(x: &Tensor, groups: usize, method: WhiteningMethod, eps: f32) -> Self {
+        assert!(groups >= 1, "need at least one group");
+        let d = x.cols();
+        assert!(
+            d % groups == 0,
+            "dimension {d} not divisible into {groups} groups"
+        );
+        let group_size = d / groups;
+        let transforms = (0..groups)
+            .map(|h| {
+                let block = x.slice_cols(h * group_size, (h + 1) * group_size);
+                WhiteningTransform::fit(&block, method, eps)
+            })
+            .collect();
+        GroupWhitening {
+            transforms,
+            group_size,
+            groups,
+        }
+    }
+
+    /// Apply to rows of `x: [m, d]`.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.cols(),
+            self.group_size * self.groups,
+            "dimension mismatch in group apply"
+        );
+        let parts: Vec<Tensor> = self
+            .transforms
+            .iter()
+            .enumerate()
+            .map(|(h, t)| {
+                let block = x.slice_cols(h * self.group_size, (h + 1) * self.group_size);
+                t.apply(&block)
+            })
+            .collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat_cols(&refs)
+    }
+
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
+/// One-shot convenience: fit on `x` and transform `x` itself.
+pub fn group_whiten(x: &Tensor, groups: usize, method: WhiteningMethod, eps: f32) -> Tensor {
+    GroupWhitening::fit(x, groups, method, eps).apply(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_linalg::covariance_of_rows;
+    use wr_tensor::{Rng64, Tensor};
+
+    fn correlated(n: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = Rng64::seed_from(seed);
+        let mixer = Tensor::randn(&[d, d], &mut rng);
+        Tensor::randn(&[n, d], &mut rng).matmul(&mixer)
+    }
+
+    #[test]
+    fn g1_equals_full_whitening() {
+        let x = correlated(400, 8, 1);
+        let grouped = group_whiten(&x, 1, WhiteningMethod::Zca, 1e-6);
+        let full = WhiteningTransform::fit(&x, WhiteningMethod::Zca, 1e-6).apply(&x);
+        assert!(grouped.sub(&full).frob_norm() < 1e-3);
+    }
+
+    #[test]
+    fn within_group_decorrelated_cross_group_not() {
+        let x = correlated(2000, 8, 2);
+        let z = group_whiten(&x, 2, WhiteningMethod::Zca, 1e-6);
+        let cov = covariance_of_rows(&z, 0.0);
+        // within-group blocks ≈ identity
+        for block in 0..2 {
+            let o = block * 4;
+            for i in 0..4 {
+                for j in 0..4 {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    let got = cov.at2(o + i, o + j);
+                    assert!(
+                        (got - expect).abs() < 0.08,
+                        "within-group cov[{}][{}] = {got}",
+                        o + i,
+                        o + j
+                    );
+                }
+            }
+        }
+        // cross-group correlation survives somewhere
+        let mut max_cross = 0.0f32;
+        for i in 0..4 {
+            for j in 4..8 {
+                max_cross = max_cross.max(cov.at2(i, j).abs());
+            }
+        }
+        assert!(max_cross > 0.05, "cross-group correlation was destroyed ({max_cross})");
+    }
+
+    #[test]
+    fn more_groups_preserve_more_semantics() {
+        // Distortion from the (centered) input grows as G shrinks.
+        let x = correlated(600, 16, 3);
+        let centered = x.sub_row_broadcast(&x.mean_rows());
+        // Compare normalized representations: relaxed whitening should keep
+        // pairwise geometry closer to the original than full whitening does.
+        let cos_orig = crate::average_pairwise_cosine(&centered, 200, 7);
+        let cos_g1 = crate::average_pairwise_cosine(
+            &group_whiten(&x, 1, WhiteningMethod::Zca, 1e-6),
+            200,
+            7,
+        );
+        let cos_g8 = crate::average_pairwise_cosine(
+            &group_whiten(&x, 8, WhiteningMethod::Zca, 1e-6),
+            200,
+            7,
+        );
+        // Full whitening pushes average cosine toward 0; relaxed stays
+        // between raw and fully whitened.
+        assert!(
+            (cos_g8 - cos_orig).abs() >= (cos_g1 - cos_orig).abs() - 1e-3
+                || cos_g1.abs() <= cos_g8.abs() + 1e-3,
+            "orig {cos_orig}, g1 {cos_g1}, g8 {cos_g8}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_groups_rejected() {
+        let x = Tensor::zeros(&[10, 7]);
+        group_whiten(&x, 2, WhiteningMethod::Zca, 1e-5);
+    }
+
+    #[test]
+    fn fit_apply_on_new_data() {
+        let x = correlated(500, 6, 5);
+        let gw = GroupWhitening::fit(&x, 3, WhiteningMethod::Zca, 1e-6);
+        assert_eq!(gw.groups(), 3);
+        assert_eq!(gw.group_size(), 2);
+        let fresh = correlated(50, 6, 6);
+        let z = gw.apply(&fresh);
+        assert_eq!(z.dims(), &[50, 6]);
+        assert_eq!(z.non_finite_count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Cold-start scenario (the paper's motivating use case): 15 % of items
+//! never appear in training; only their *text* can reach them. Compares a
+//! text-only SASRec against WhitenRec+ under that protocol.
+//!
+//! ```sh
+//! cargo run --release --example cold_start
+//! ```
+
+use whitenrec::data::DatasetKind;
+use whitenrec::models::ModelConfig;
+use whitenrec::{Pipeline, PipelineConfig};
+
+fn main() {
+    let base = PipelineConfig {
+        dataset: DatasetKind::Tools,
+        scale: 0.15,
+        model_config: ModelConfig::default(),
+        max_epochs: 10,
+        patience: 3,
+        cold: true,
+        relaxed_groups: 4,
+        model: String::new(),
+    };
+
+    println!("Cold-start on Tools: targets are items unseen during training.\n");
+    for model in ["SASRec(T)", "WhitenRec", "WhitenRec+"] {
+        let result = Pipeline::new(PipelineConfig {
+            model: model.into(),
+            ..base.clone()
+        })
+        .run();
+        println!(
+            "{:<12} {}  ({} cold cases)",
+            model, result.test_metrics, result.test_metrics.n_cases
+        );
+    }
+    println!(
+        "\nReading: raw text embeddings barely separate unseen items\n\
+         (anisotropy), whitening fixes the geometry, and the ensemble adds\n\
+         the semantic manifold back — Table IV's ordering."
+    );
+}

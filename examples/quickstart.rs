@@ -1,0 +1,42 @@
+//! Quickstart: train WhitenRec+ on a small synthetic Arts dataset and print
+//! test metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use whitenrec::data::DatasetKind;
+use whitenrec::models::ModelConfig;
+use whitenrec::{Pipeline, PipelineConfig};
+
+fn main() {
+    let config = PipelineConfig {
+        dataset: DatasetKind::Arts,
+        scale: 0.15,
+        model: "WhitenRec+".into(),
+        model_config: ModelConfig::default(),
+        max_epochs: 10,
+        patience: 3,
+        cold: false,
+        relaxed_groups: 4,
+    };
+    println!("Training {} on {:?} (scale {})…", config.model, config.dataset, config.scale);
+    let result = Pipeline::new(config).run();
+
+    println!("\nTraining curve:");
+    for rec in &result.report.epochs {
+        println!(
+            "  epoch {:>2}: loss {:.4}  valid N@20 {}",
+            rec.epoch,
+            rec.train_loss,
+            rec.valid_ndcg.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\nBest epoch {} | {:.1}s total | {} trainable parameters",
+        result.report.best_epoch,
+        result.report.total_seconds,
+        result.report.param_count
+    );
+    println!("Test metrics: {}", result.test_metrics);
+}

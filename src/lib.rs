@@ -1,0 +1,7 @@
+//! Umbrella crate for the WhitenRec reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The library surface simply re-exports
+//! [`whitenrec`], the actual entry-point crate.
+
+pub use whitenrec::*;

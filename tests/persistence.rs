@@ -1,0 +1,78 @@
+//! Integration: checkpointing a trained model preserves its behaviour, and
+//! experiment records survive a JSONL round trip.
+
+use whitenrec::data::Batch;
+use whitenrec::models::{zoo, ModelConfig};
+use whitenrec::nn::{load_params, restore_params, save_params};
+use whitenrec::tensor::{Rng64, Tensor};
+use whitenrec::train::{Adam, AdamConfig, SeqRecModel};
+
+fn trained_model() -> (Box<dyn SeqRecModel>, Vec<Vec<usize>>) {
+    let mut rng = Rng64::seed_from(5);
+    let emb = Tensor::randn(&[20, 16], &mut rng);
+    let cats: Vec<usize> = (0..20).map(|i| i % 3).collect();
+    let seqs: Vec<Vec<usize>> = (0..16).map(|u| (0..6).map(|t| (u + t) % 20).collect()).collect();
+    let inputs = zoo::ZooInputs {
+        embeddings: &emb,
+        item_categories: &cats,
+        train_sequences: &seqs,
+        relaxed_groups: 4,
+    };
+    let config = ModelConfig {
+        dim: 16,
+        blocks: 1,
+        max_seq: 8,
+        dropout: 0.0,
+        ..ModelConfig::default()
+    };
+    let mut model = zoo::build("WhitenRec+", &inputs, config, &mut rng);
+    let mut opt = Adam::new(AdamConfig::default());
+    let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
+    let batch = Batch::from_sequences(&refs, config.max_seq);
+    for _ in 0..5 {
+        model.train_step(&batch, &mut opt, &mut rng);
+    }
+    (model, seqs)
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_scores() {
+    let (model, _) = trained_model();
+    let path = std::env::temp_dir().join(format!("wr_model_{}.wrck", std::process::id()));
+    save_params(&path, &model.params()).unwrap();
+
+    let ctx: &[usize] = &[1, 2, 3];
+    let before = model.score(&[ctx]);
+
+    // Scramble every parameter, then restore.
+    for p in model.params() {
+        p.update(|t| {
+            t.scale_(0.0);
+            let _ = t;
+        });
+    }
+    let scrambled = model.score(&[ctx]);
+    assert_ne!(before.data(), scrambled.data(), "scramble must change scores");
+
+    let loaded = load_params(&path).unwrap();
+    restore_params(&model.params(), &loaded).unwrap();
+    let after = model.score(&[ctx]);
+    assert_eq!(before.data(), after.data(), "restore must reproduce scores exactly");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn checkpoint_is_compact() {
+    let (model, _) = trained_model();
+    let path = std::env::temp_dir().join(format!("wr_size_{}.wrck", std::process::id()));
+    save_params(&path, &model.params()).unwrap();
+    let bytes = std::fs::metadata(&path).unwrap().len() as usize;
+    let scalars = model.param_count();
+    // 4 bytes per f32 + bounded metadata overhead.
+    assert!(bytes >= scalars * 4);
+    assert!(
+        bytes < scalars * 4 + 200 * model.params().len() + 64,
+        "checkpoint overhead too large: {bytes} bytes for {scalars} scalars"
+    );
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,133 @@
+//! Property-based invariants across the numeric core.
+
+use proptest::prelude::*;
+use whitenrec::linalg::{cholesky, covariance_of_rows, pinv, sym_eig};
+use whitenrec::tensor::{Rng64, Tensor};
+use whitenrec::whiten::{
+    group_whiten, whiteness_error, WhiteningMethod, WhiteningTransform,
+};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64, spread: f32) -> Tensor {
+    let mut rng = Rng64::seed_from(seed);
+    // Random linear mix to induce correlations.
+    let base = Tensor::randn(&[rows, cols], &mut rng);
+    let mix = Tensor::randn(&[cols, cols], &mut rng).scale(spread);
+    base.matmul(&mix.add(&Tensor::eye(cols)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any full-rank sample matrix is whitened to identity covariance by
+    /// every decorrelating method.
+    #[test]
+    fn whitening_yields_identity_covariance(
+        seed in 0u64..1000,
+        cols in 3usize..10,
+        spread in 0.2f32..2.0,
+    ) {
+        let x = random_matrix(300, cols, seed, spread);
+        for method in [WhiteningMethod::Zca, WhiteningMethod::Pca, WhiteningMethod::Cholesky] {
+            let z = WhiteningTransform::fit(&x, method, 1e-6).apply(&x);
+            let err = whiteness_error(&z);
+            prop_assert!(err < 0.15, "{:?} err {}", method, err);
+        }
+    }
+
+    /// Whitening is idempotent up to numerics: whitening whitened data is
+    /// (nearly) the identity transform. Restricted to reasonably
+    /// conditioned inputs — near-singular mixes push the first whitening
+    /// into the eps-floor where f32 round-off dominates.
+    #[test]
+    fn whitening_is_idempotent(seed in 0u64..1000) {
+        let x = random_matrix(400, 6, seed, 0.3);
+        // Skip pathologically conditioned draws: near-singular covariance
+        // pushes the first whitening into the eps-floor where f32
+        // round-off dominates and idempotence genuinely degrades.
+        let kappa = whitenrec::linalg::condition_number(
+            &covariance_of_rows(&x, 0.0), 1e-12).unwrap();
+        prop_assume!(kappa < 1e3);
+        let z = WhiteningTransform::fit(&x, WhiteningMethod::Zca, 1e-6).apply(&x);
+        let z2 = WhiteningTransform::fit(&z, WhiteningMethod::Zca, 1e-6).apply(&z);
+        let rel = z2.sub(&z).frob_norm() / z.frob_norm();
+        prop_assert!(rel < 0.05, "second whitening moved data by {}", rel);
+    }
+
+    /// Group whitening with G groups leaves each within-group covariance
+    /// block at identity.
+    #[test]
+    fn group_whitening_block_identity(seed in 0u64..500, groups in 1usize..4) {
+        let cols = groups * 3;
+        let x = random_matrix(350, cols, seed, 0.8);
+        let z = group_whiten(&x, groups, WhiteningMethod::Zca, 1e-6);
+        let cov = covariance_of_rows(&z, 0.0);
+        let gs = cols / groups;
+        for g in 0..groups {
+            for i in 0..gs {
+                for j in 0..gs {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    let got = cov.at2(g * gs + i, g * gs + j);
+                    prop_assert!((got - expect).abs() < 0.15, "block cov {} vs {}", got, expect);
+                }
+            }
+        }
+    }
+
+    /// Eigendecomposition reconstructs symmetric matrices.
+    #[test]
+    fn eig_reconstructs(seed in 0u64..1000, n in 2usize..12) {
+        let mut rng = Rng64::seed_from(seed);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        let a = b.matmul_tn(&b);
+        let e = sym_eig(&a).unwrap();
+        let r = e.rebuild_with(|l| l);
+        let rel = a.sub(&r).frob_norm() / a.frob_norm().max(1e-6);
+        prop_assert!(rel < 1e-3, "reconstruction error {}", rel);
+        // eigenvalues of BᵀB are non-negative
+        prop_assert!(e.values.iter().all(|&l| l > -1e-3));
+    }
+
+    /// Cholesky factor is lower-triangular and reconstructs.
+    #[test]
+    fn cholesky_reconstructs(seed in 0u64..1000, n in 2usize..10) {
+        let mut rng = Rng64::seed_from(seed);
+        let b = Tensor::randn(&[n + 2, n], &mut rng);
+        let mut a = b.matmul_tn(&b).scale(1.0 / (n + 2) as f32);
+        for i in 0..n {
+            *a.at2_mut(i, i) += 0.1;
+        }
+        let l = cholesky(&a).unwrap();
+        let rel = l.matmul_nt(&l).sub(&a).frob_norm() / a.frob_norm();
+        prop_assert!(rel < 1e-3);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                prop_assert_eq!(l.at2(i, j), 0.0);
+            }
+        }
+    }
+
+    /// Moore–Penrose conditions hold for random rectangular matrices.
+    #[test]
+    fn pinv_satisfies_penrose(seed in 0u64..1000, m in 2usize..8, n in 2usize..8) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = Tensor::randn(&[m, n], &mut rng);
+        let ap = pinv(&a).unwrap();
+        let p1 = a.matmul(&ap).matmul(&a).sub(&a).frob_norm() / a.frob_norm().max(1e-6);
+        prop_assert!(p1 < 5e-3, "A A+ A != A: {}", p1);
+        let p2 = ap.matmul(&a).matmul(&ap).sub(&ap).frob_norm() / ap.frob_norm().max(1e-6);
+        prop_assert!(p2 < 5e-3, "A+ A A+ != A+: {}", p2);
+    }
+
+    /// Softmax rows of any matrix are a probability distribution.
+    #[test]
+    fn softmax_rows_are_distributions(seed in 0u64..1000, rows in 1usize..6, cols in 2usize..9) {
+        let mut rng = Rng64::seed_from(seed);
+        let x = Tensor::randn(&[rows, cols], &mut rng).scale(5.0);
+        let s = x.softmax_rows();
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Failure injection and degenerate-input robustness across the stack.
+
+use whitenrec::data::{warm_split, Batch};
+use whitenrec::linalg::{cholesky, sym_eig, LinalgError};
+use whitenrec::models::{zoo, ModelConfig};
+use whitenrec::tensor::{Rng64, Tensor};
+use whitenrec::train::{Adam, AdamConfig, SeqRecModel};
+use whitenrec::whiten::{WhiteningMethod, WhiteningTransform};
+
+fn build_model(name: &str, emb: &Tensor, seqs: &[Vec<usize>]) -> Box<dyn SeqRecModel> {
+    let cats: Vec<usize> = (0..emb.rows()).map(|i| i % 3).collect();
+    let inputs = zoo::ZooInputs {
+        embeddings: emb,
+        item_categories: &cats,
+        train_sequences: seqs,
+        relaxed_groups: 4,
+    };
+    let cfg = ModelConfig {
+        dim: 16,
+        blocks: 1,
+        max_seq: 8,
+        ..ModelConfig::default()
+    };
+    let mut rng = Rng64::seed_from(1);
+    zoo::build(name, &inputs, cfg, &mut rng)
+}
+
+#[test]
+fn training_on_constant_sequences_stays_finite() {
+    // Users who buy the same item over and over: gradients must not blow up.
+    let mut rng = Rng64::seed_from(2);
+    let emb = Tensor::randn(&[12, 16], &mut rng);
+    let seqs: Vec<Vec<usize>> = (0..12).map(|u| vec![u % 12; 6]).collect();
+    for name in ["SASRec(ID)", "WhitenRec", "WhitenRec+"] {
+        let mut model = build_model(name, &emb, &seqs);
+        let mut opt = Adam::new(AdamConfig::default());
+        let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let batch = Batch::from_sequences(&refs, 8);
+        for _ in 0..5 {
+            let loss = model.train_step(&batch, &mut opt, &mut rng);
+            assert!(loss.is_finite(), "{name}: loss diverged");
+        }
+        let scores = model.score(&[&[0][..]]);
+        assert_eq!(scores.non_finite_count(), 0, "{name}: NaN in scores");
+    }
+}
+
+#[test]
+fn whitening_nearly_duplicate_items_is_stable() {
+    // Rank-deficient input: many duplicated rows. ε-regularization must
+    // keep the transform finite.
+    let mut rng = Rng64::seed_from(3);
+    let base = Tensor::randn(&[4, 16], &mut rng);
+    let rows: Vec<usize> = (0..64).map(|i| i % 4).collect();
+    let x = base.gather_rows(&rows);
+    let z = WhiteningTransform::fit(&x, WhiteningMethod::Zca, 1e-4).apply(&x);
+    assert_eq!(z.non_finite_count(), 0);
+    // Duplicate inputs must stay duplicates after an affine map.
+    assert_eq!(z.row(0), z.row(4));
+}
+
+#[test]
+fn linalg_rejects_bad_inputs_without_panicking() {
+    let nan = Tensor::from_vec(vec![f32::NAN; 4], &[2, 2]);
+    assert!(matches!(sym_eig(&nan), Err(LinalgError::NonFinite)));
+    assert!(matches!(cholesky(&nan), Err(LinalgError::NonFinite)));
+
+    let indefinite = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+    assert!(matches!(
+        cholesky(&indefinite),
+        Err(LinalgError::NotPositiveDefinite { .. })
+    ));
+}
+
+#[test]
+fn adam_survives_zero_and_huge_gradients() {
+    use whitenrec::autograd::Graph;
+    use whitenrec::nn::{Param, Session};
+    let theta = Param::new("t", Tensor::ones(&[4]));
+    let mut opt = Adam::new(AdamConfig {
+        lr: 0.1,
+        ..AdamConfig::default()
+    });
+    for scale in [0.0f32, 1e8, 0.0, 1e-20] {
+        let g = Graph::new();
+        let mut sess = Session::train(&g, Rng64::seed_from(0));
+        let th = sess.bind(&theta);
+        let w = g.constant(Tensor::full(&[4], scale));
+        let loss = g.sum_all(g.mul(th, w));
+        g.backward(loss);
+        opt.step(&g, sess.bindings());
+        assert_eq!(theta.get().non_finite_count(), 0, "scale {scale} broke Adam");
+    }
+}
+
+#[test]
+fn warm_split_of_short_sequences_is_empty_not_panicking() {
+    let seqs = vec![vec![1], vec![2, 3]];
+    let split = warm_split(&seqs);
+    assert!(split.train.is_empty());
+    assert!(split.test.is_empty());
+}
+
+#[test]
+fn scoring_with_very_long_context_truncates() {
+    let mut rng = Rng64::seed_from(4);
+    let emb = Tensor::randn(&[10, 16], &mut rng);
+    let seqs: Vec<Vec<usize>> = (0..10).map(|u| vec![u % 10; 6]).collect();
+    let model = build_model("WhitenRec", &emb, &seqs);
+    // Context 10× longer than max_seq.
+    let long: Vec<usize> = (0..80).map(|i| i % 10).collect();
+    let s = model.score(&[long.as_slice()]);
+    assert_eq!(s.dims(), &[1, 10]);
+    assert_eq!(s.non_finite_count(), 0);
+}
