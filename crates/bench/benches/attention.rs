@@ -1,37 +1,27 @@
-//! Criterion bench: Transformer attention forward and forward+backward —
-//! the dominant per-step cost of every sequential model in the zoo.
+//! Bench: Transformer attention forward and forward+backward — the
+//! dominant per-step cost of every sequential model in the zoo.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wr_autograd::Graph;
+use wr_bench::harness::{black_box, Harness};
 use wr_nn::{causal_padding_mask, MultiHeadSelfAttention, Session, TransformerConfig, TransformerEncoder};
 use wr_tensor::{Rng64, Tensor};
 
-fn bench_attention_forward(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("attention");
     let mut rng = Rng64::seed_from(1);
-    let mut group = c.benchmark_group("attention_forward");
-    group.sample_size(20);
     for &(batch, seq, dim) in &[(64usize, 20usize, 32usize), (128, 30, 64)] {
         let attn = MultiHeadSelfAttention::new(dim, 2, 0.0, &mut rng);
         let x = Tensor::randn(&[batch * seq, dim], &mut rng);
         let mask = causal_padding_mask(batch, seq, &vec![seq; batch]);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("b{batch}_t{seq}_d{dim}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let g = Graph::new();
-                    let mut sess = Session::eval(&g);
-                    let xv = g.constant(x.clone());
-                    let y = attn.forward(&mut sess, xv, batch, seq, &mask);
-                    g.value(y)
-                });
-            },
-        );
+        h.bench(format!("attention_forward/b{batch}_t{seq}_d{dim}"), || {
+            let g = Graph::new();
+            let mut sess = Session::eval(&g);
+            let xv = g.constant(x.clone());
+            let y = attn.forward(&mut sess, xv, batch, seq, &mask);
+            black_box(g.value(y));
+        });
     }
-    group.finish();
-}
 
-fn bench_encoder_train_step(c: &mut Criterion) {
     let mut rng = Rng64::seed_from(2);
     let config = TransformerConfig {
         dim: 32,
@@ -46,22 +36,14 @@ fn bench_encoder_train_step(c: &mut Criterion) {
     let (batch, seq) = (64usize, 20usize);
     let x = Tensor::randn(&[batch * seq, 32], &mut rng);
     let lengths = vec![seq; batch];
-
-    let mut group = c.benchmark_group("encoder_fwd_bwd");
-    group.sample_size(10);
-    group.bench_function("b64_t20_d32_2blocks", |b| {
-        b.iter(|| {
-            let g = Graph::new();
-            let mut sess = Session::train(&g, Rng64::seed_from(3));
-            let xv = g.constant(x.clone());
-            let u = encoder.forward_user(&mut sess, xv, batch, seq, &lengths);
-            let loss = g.mean_all(u);
-            g.backward(loss);
-            g.grad(sess.bindings()[0].1)
-        });
+    h.bench("encoder_fwd_bwd/b64_t20_d32_2blocks", || {
+        let g = Graph::new();
+        let mut sess = Session::train(&g, Rng64::seed_from(3));
+        let xv = g.constant(x.clone());
+        let u = encoder.forward_user(&mut sess, xv, batch, seq, &lengths);
+        let loss = g.mean_all(u);
+        g.backward(loss);
+        black_box(g.grad(sess.bindings()[0].1));
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_attention_forward, bench_encoder_train_step);
-criterion_main!(benches);

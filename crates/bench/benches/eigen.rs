@@ -1,7 +1,7 @@
-//! Criterion bench: symmetric eigendecomposition and Cholesky scaling —
-//! the numeric kernels behind every whitening fit.
+//! Bench: symmetric eigendecomposition and Cholesky scaling — the numeric
+//! kernels behind every whitening fit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wr_bench::harness::{black_box, Harness};
 use wr_linalg::{cholesky, pinv, sym_eig};
 use wr_tensor::{Rng64, Tensor};
 
@@ -15,40 +15,24 @@ fn spd(n: usize) -> Tensor {
     a
 }
 
-fn bench_eig(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sym_eig");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("eigen");
     for n in [32usize, 64, 128] {
         let a = spd(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
-            b.iter(|| sym_eig(a).unwrap());
+        h.bench(format!("sym_eig/{n}"), || {
+            black_box(sym_eig(&a).unwrap());
         });
     }
-    group.finish();
-}
-
-fn bench_cholesky(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cholesky");
-    group.sample_size(20);
     for n in [32usize, 64, 128] {
         let a = spd(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
-            b.iter(|| cholesky(a).unwrap());
+        h.bench(format!("cholesky/{n}"), || {
+            black_box(cholesky(&a).unwrap());
         });
     }
-    group.finish();
-}
-
-fn bench_pinv(c: &mut Criterion) {
     let mut rng = Rng64::seed_from(4);
     let a = Tensor::randn(&[200, 48], &mut rng);
-    let mut group = c.benchmark_group("pinv");
-    group.sample_size(10);
-    group.bench_function("200x48", |b| {
-        b.iter(|| pinv(&a).unwrap());
+    h.bench("pinv/200x48", || {
+        black_box(pinv(&a).unwrap());
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_eig, bench_cholesky, bench_pinv);
-criterion_main!(benches);

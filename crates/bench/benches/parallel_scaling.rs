@@ -1,0 +1,93 @@
+//! Bench: thread-scaling of the pool-backed kernels — gemm, group
+//! whitening, and full-ranking evaluation at `WR_THREADS` ∈ {1, 2, 4, 8}.
+//!
+//! The sweep drives `wr_runtime::set_threads` directly (same knob the env
+//! var feeds) so one process measures every point. Speedups are reported
+//! relative to the 1-thread run of the same kernel; on a single-core
+//! machine all points collapse to ≈1×, which is itself the honest number.
+//!
+//! `WR_BENCH_OUT=BENCH_pr1.json cargo bench --bench parallel_scaling`
+//! regenerates the checked-in report.
+
+use wr_bench::harness::{black_box, Harness};
+use wr_data::EvalCase;
+use wr_eval::evaluate_cases;
+use wr_tensor::{Rng64, Tensor};
+use wr_whiten::{group_whiten, WhiteningMethod};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let mut h = Harness::new("parallel_scaling");
+    eprintln!(
+        "  (machine reports {} available threads)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // gemm: 1024x512 · 512x512 — the shape class behind encoder layers.
+    let mut rng = Rng64::seed_from(1);
+    let a = Tensor::randn(&[1024, 512], &mut rng);
+    let b = Tensor::randn(&[512, 512], &mut rng);
+    for t in THREAD_SWEEP {
+        wr_runtime::set_threads(t);
+        h.bench(format!("gemm_1024x512x512/threads{t}"), || {
+            black_box(a.matmul(&b));
+        });
+    }
+
+    // Group whitening: 16 independent ZCA solves over a 2000x128 matrix.
+    let mut rng = Rng64::seed_from(2);
+    let base = Tensor::randn(&[2000, 128], &mut rng);
+    let mix = Tensor::randn(&[128, 128], &mut rng)
+        .scale(0.5)
+        .add(&Tensor::eye(128));
+    let x = base.matmul(&mix);
+    for t in THREAD_SWEEP {
+        wr_runtime::set_threads(t);
+        h.bench(format!("group_whiten_2000x128_G16/threads{t}"), || {
+            black_box(group_whiten(&x, 16, WhiteningMethod::Zca, 1e-5));
+        });
+    }
+
+    // Full-ranking eval: 2048 users against a 4000-item catalog.
+    let mut rng = Rng64::seed_from(3);
+    let n_items = 4000;
+    let cases: Vec<EvalCase> = (0..2048)
+        .map(|u| {
+            let len = 1 + rng.below(8);
+            EvalCase {
+                user: u,
+                context: (0..len).map(|_| rng.below(n_items)).collect(),
+                target: rng.below(n_items),
+            }
+        })
+        .collect();
+    let user_vecs = Tensor::randn(&[cases.len(), 64], &mut rng);
+    let item_vecs = Tensor::randn(&[n_items, 64], &mut rng);
+    for t in THREAD_SWEEP {
+        wr_runtime::set_threads(t);
+        h.bench(format!("evaluate_cases_2048x4000/threads{t}"), || {
+            let mut offset = 0usize;
+            let m = evaluate_cases(&cases, &[20, 50], 256, true, |contexts| {
+                let rows: Vec<usize> = (offset..offset + contexts.len()).collect();
+                offset += contexts.len();
+                user_vecs.gather_rows(&rows).matmul_nt(&item_vecs)
+            });
+            black_box(m);
+        });
+    }
+    wr_runtime::set_threads(1);
+
+    // Speedup table vs the 1-thread point of each kernel.
+    let results = h.results().to_vec();
+    eprintln!("  -- speedup vs 1 thread (min times) --");
+    for base in results.iter().filter(|r| r.name.ends_with("/threads1")) {
+        let kernel = base.name.trim_end_matches("/threads1");
+        for t in &THREAD_SWEEP[1..] {
+            if let Some(r) = results.iter().find(|r| r.name == format!("{kernel}/threads{t}")) {
+                eprintln!("  {:<44} x{:.2} at {t} threads", kernel, base.min_ns / r.min_ns);
+            }
+        }
+    }
+    h.finish();
+}

@@ -1,41 +1,29 @@
-//! Criterion bench: full-catalog ranking evaluation — the leave-one-out
-//! protocol's per-case cost (no sampled negatives, as in the paper).
+//! Bench: full-catalog ranking evaluation — the leave-one-out protocol's
+//! per-case cost (no sampled negatives, as in the paper).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wr_bench::harness::{black_box, Harness};
 use wr_eval::rank_of_target;
 use wr_tensor::{Rng64, Tensor};
 
-fn bench_rank_of_target(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("ranking_eval");
     let mut rng = Rng64::seed_from(1);
-    let mut group = c.benchmark_group("rank_of_target");
     for n_items in [1000usize, 10_000, 40_000] {
         let scores = Tensor::randn(&[1, n_items], &mut rng);
         let history: Vec<usize> = (0..50).map(|i| i * (n_items / 60)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n_items), &(), |b, _| {
-            b.iter(|| rank_of_target(scores.row(0), n_items / 2, &history));
+        h.bench(format!("rank_of_target/{n_items}"), || {
+            black_box(rank_of_target(scores.row(0), n_items / 2, &history));
         });
     }
-    group.finish();
-}
 
-fn bench_score_matmul(c: &mut Criterion) {
     // The other half of evaluation cost: users × itemsᵀ.
     let mut rng = Rng64::seed_from(2);
-    let mut group = c.benchmark_group("score_users_items");
-    group.sample_size(20);
     for &(users, items, d) in &[(256usize, 1000usize, 32usize), (256, 5000, 64)] {
         let u = Tensor::randn(&[users, d], &mut rng);
         let v = Tensor::randn(&[items, d], &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{users}x{items}x{d}")),
-            &(),
-            |b, _| {
-                b.iter(|| u.matmul_nt(&v));
-            },
-        );
+        h.bench(format!("score_users_items/{users}x{items}x{d}"), || {
+            black_box(u.matmul_nt(&v));
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_rank_of_target, bench_score_matmul);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion bench: one full training step per model family — the numbers
-//! behind Table IX's `s/Epoch` column (epoch cost = steps × this).
+//! Bench: one full training step per model family — the numbers behind
+//! Table IX's `s/Epoch` column (epoch cost = steps × this).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wr_bench::harness::{black_box, Harness};
 use wr_data::Batch;
 use wr_models::{zoo, ModelConfig};
 use wr_tensor::{Rng64, Tensor};
 use wr_train::{Adam, AdamConfig};
 
-fn bench_train_step(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng64::seed_from(5);
     let n_items = 500;
     let embeddings = Tensor::randn(&[n_items, 128], &mut rng);
@@ -25,8 +25,7 @@ fn bench_train_step(c: &mut Criterion) {
     let refs: Vec<&[usize]> = sequences.iter().map(|s| s.as_slice()).collect();
     let batch = Batch::from_sequences(&refs, config.max_seq);
 
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(10);
+    let mut h = Harness::new("train_epoch");
     for name in [
         "SASRec(ID)",
         "SASRec(T)",
@@ -39,12 +38,9 @@ fn bench_train_step(c: &mut Criterion) {
         let mut step_rng = Rng64::seed_from(6);
         let mut model = zoo::build(name, &inputs, config, &mut step_rng);
         let mut opt = Adam::new(AdamConfig::default());
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter(|| model.train_step(&batch, &mut opt, &mut step_rng));
+        h.bench(format!("train_step/{name}"), || {
+            black_box(model.train_step(&batch, &mut opt, &mut step_rng));
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_train_step);
-criterion_main!(benches);

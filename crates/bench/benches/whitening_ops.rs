@@ -1,8 +1,7 @@
-//! Criterion bench: whitening transform fit+apply across methods and
-//! matrix sizes (backs the §IV-E claim that whitening is a cheap,
-//! pre-computable step).
+//! Bench: whitening transform fit+apply across methods and matrix sizes
+//! (backs the §IV-E claim that whitening is a cheap, pre-computable step).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wr_bench::harness::Harness;
 use wr_tensor::{Rng64, Tensor};
 use wr_whiten::{group_whiten, WhiteningMethod, WhiteningTransform};
 
@@ -13,35 +12,21 @@ fn anisotropic(n: usize, d: usize) -> Tensor {
     base.matmul(&mix)
 }
 
-fn bench_methods(c: &mut Criterion) {
-    let mut group = c.benchmark_group("whitening_fit_apply");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("whitening_ops");
     for &(n, d) in &[(1000usize, 64usize), (2000, 128)] {
         let x = anisotropic(n, d);
         for method in WhiteningMethod::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), format!("{n}x{d}")),
-                &x,
-                |b, x| {
-                    b.iter(|| WhiteningTransform::fit(x, method, 1e-5).apply(x));
-                },
-            );
+            h.bench(format!("fit_apply/{}/{n}x{d}", method.name()), || {
+                WhiteningTransform::fit(&x, method, 1e-5).apply(&x);
+            });
         }
     }
-    group.finish();
-}
-
-fn bench_group_whitening(c: &mut Criterion) {
     let x = anisotropic(1500, 128);
-    let mut group = c.benchmark_group("group_whitening");
-    group.sample_size(10);
     for g in [1usize, 4, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
-            b.iter(|| group_whiten(&x, g, WhiteningMethod::Zca, 1e-5));
+        h.bench(format!("group_whitening/G{g}"), || {
+            group_whiten(&x, g, WhiteningMethod::Zca, 1e-5);
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_methods, bench_group_whitening);
-criterion_main!(benches);

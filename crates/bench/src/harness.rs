@@ -1,0 +1,162 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The offline workspace carries no criterion; this keeps the same shape —
+//! named benches, auto-calibrated iteration counts, mean/min reporting —
+//! in ~100 lines, plus JSON export so runs can be checked in and diffed
+//! (`BENCH_pr1.json` at the repo root is produced this way).
+//!
+//! Timing methodology: one warm-up call sizes the iteration count so each
+//! bench runs for roughly [`target_time`]; every iteration is timed
+//! individually and the *minimum* is the headline number (least-noise
+//! estimator on a shared machine), with the mean reported alongside.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can guard dead-code elimination without a dep.
+pub use std::hint::black_box;
+
+/// One measured bench.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        wr_tensor::Json::Str(self.name.clone()).write(out);
+        out.push_str(",\"iters\":");
+        wr_tensor::json::write_f64(out, self.iters as f64);
+        out.push_str(",\"mean_ns\":");
+        wr_tensor::json::write_f64(out, self.mean_ns);
+        out.push_str(",\"min_ns\":");
+        wr_tensor::json::write_f64(out, self.min_ns);
+        out.push('}');
+    }
+}
+
+/// Collects [`BenchResult`]s for one suite (one `benches/*.rs` binary).
+pub struct Harness {
+    suite: String,
+    results: Vec<BenchResult>,
+}
+
+/// Per-bench time budget: `WR_BENCH_MS` milliseconds (default 200).
+fn target_time() -> Duration {
+    let ms = std::env::var("WR_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms.max(1))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl Harness {
+    pub fn new(suite: impl Into<String>) -> Self {
+        let suite = suite.into();
+        eprintln!("== {suite} ==");
+        Harness {
+            suite,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, auto-calibrating the iteration count from one warm-up call.
+    pub fn bench(&mut self, name: impl Into<String>, mut f: impl FnMut()) -> &BenchResult {
+        let name = name.into();
+        let warmup = Instant::now();
+        f();
+        let est = warmup.elapsed().max(Duration::from_nanos(1));
+        let budget = target_time();
+        let iters = (budget.as_nanos() / est.as_nanos()).clamp(3, 10_000) as u64;
+
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..iters {
+            let t = Instant::now();
+            f();
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        let result = BenchResult {
+            name,
+            iters,
+            mean_ns: total_ns / iters as f64,
+            min_ns,
+        };
+        eprintln!(
+            "  {:<44} min {:>12}  mean {:>12}  ({} iters)",
+            result.name,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.mean_ns),
+            result.iters
+        );
+        self.results.push(result);
+        self.results.last().unwrap()
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// `{"suite": ..., "benches": [...]}`, compact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"suite\":");
+        wr_tensor::Json::Str(self.suite.clone()).write(&mut out);
+        out.push_str(",\"benches\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            r.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON report to `WR_BENCH_OUT` if set.
+    pub fn finish(self) {
+        if let Ok(path) = std::env::var("WR_BENCH_OUT") {
+            std::fs::write(&path, self.to_json() + "\n").expect("write bench report");
+            eprintln!("  report -> {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_serializes() {
+        // Tiny budget so the test stays fast.
+        std::env::set_var("WR_BENCH_MS", "5");
+        let mut h = Harness::new("selftest");
+        let r = h.bench("spin", || {
+            black_box((0..100).sum::<u64>());
+        });
+        assert!(r.iters >= 3);
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.mean_ns);
+        let json = h.to_json();
+        let parsed = wr_tensor::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("suite").unwrap().as_str().unwrap(), "selftest");
+        assert_eq!(parsed.get("benches").unwrap().as_arr().unwrap().len(), 1);
+        std::env::remove_var("WR_BENCH_MS");
+    }
+}

@@ -9,6 +9,8 @@ use whitenrec::models::ModelConfig;
 use whitenrec::ExperimentContext;
 use wr_data::DatasetKind;
 
+pub mod harness;
+
 /// Harness-wide scale, from `WR_SCALE` (default 0.25).
 pub fn scale() -> f32 {
     std::env::var("WR_SCALE")

@@ -3,13 +3,12 @@
 use std::io::Write;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use crate::TrainedModel;
 use wr_eval::MetricSet;
+use wr_tensor::{json, Json};
 
 /// A flat, diff-friendly record of one (model, dataset, protocol) run.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     pub model: String,
     pub dataset: String,
@@ -50,6 +49,82 @@ impl ExperimentRecord {
             seconds_per_epoch: trained.report.seconds_per_epoch(),
         }
     }
+
+    /// Serialize as a single-line JSON object with a stable field order.
+    pub fn to_json_string(&self) -> String {
+        fn str_field(out: &mut String, key: &str, value: &str) {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            Json::Str(value.to_string()).write(out);
+            out.push(',');
+        }
+        fn num_field(out: &mut String, key: &str, value: f64) {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            json::write_f64(out, value);
+            out.push(',');
+        }
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        str_field(&mut out, "model", &self.model);
+        str_field(&mut out, "dataset", &self.dataset);
+        str_field(&mut out, "protocol", &self.protocol);
+        num_field(&mut out, "recall_at_20", self.recall_at_20 as f64);
+        num_field(&mut out, "recall_at_50", self.recall_at_50 as f64);
+        num_field(&mut out, "ndcg_at_20", self.ndcg_at_20 as f64);
+        num_field(&mut out, "ndcg_at_50", self.ndcg_at_50 as f64);
+        num_field(&mut out, "n_eval_cases", self.n_eval_cases as f64);
+        num_field(&mut out, "param_count", self.param_count as f64);
+        num_field(&mut out, "epochs_trained", self.epochs_trained as f64);
+        num_field(&mut out, "best_epoch", self.best_epoch as f64);
+        num_field(&mut out, "best_valid_ndcg", self.best_valid_ndcg as f64);
+        num_field(&mut out, "seconds_per_epoch", self.seconds_per_epoch);
+        out.pop(); // trailing comma
+        out.push('}');
+        out
+    }
+
+    /// Parse a record written by [`to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let string = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(|f| f.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("record field {key:?} missing or not a string"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(|f| f.as_f64())
+                .ok_or_else(|| format!("record field {key:?} missing or not a number"))
+        };
+        let count = |key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(|f| f.as_usize())
+                .ok_or_else(|| format!("record field {key:?} missing or not a count"))
+        };
+        Ok(ExperimentRecord {
+            model: string("model")?,
+            dataset: string("dataset")?,
+            protocol: string("protocol")?,
+            recall_at_20: num("recall_at_20")? as f32,
+            recall_at_50: num("recall_at_50")? as f32,
+            ndcg_at_20: num("ndcg_at_20")? as f32,
+            ndcg_at_50: num("ndcg_at_50")? as f32,
+            n_eval_cases: count("n_eval_cases")?,
+            param_count: count("param_count")?,
+            epochs_trained: count("epochs_trained")?,
+            best_epoch: count("best_epoch")?,
+            best_valid_ndcg: num("best_valid_ndcg")? as f32,
+            seconds_per_epoch: num("seconds_per_epoch")?,
+        })
+    }
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
 /// Append-or-create a JSON-lines results file (one record per line — easy
@@ -63,8 +138,7 @@ pub fn append_records(
         .append(true)
         .open(path)?;
     for r in records {
-        let line = serde_json::to_string(r)?;
-        writeln!(file, "{line}")?;
+        writeln!(file, "{}", r.to_json_string())?;
     }
     Ok(())
 }
@@ -74,7 +148,7 @@ pub fn load_records(path: impl AsRef<Path>) -> std::io::Result<Vec<ExperimentRec
     let text = std::fs::read_to_string(path)?;
     text.lines()
         .filter(|l| !l.trim().is_empty())
-        .map(|l| serde_json::from_str(l).map_err(std::io::Error::from))
+        .map(|l| ExperimentRecord::from_json_str(l).map_err(bad_data))
         .collect()
 }
 
@@ -112,6 +186,16 @@ mod tests {
         assert_eq!(loaded[2].model, "SASRec(ID)");
         assert_eq!(loaded[1], record("WhitenRec+"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn record_json_is_stable_and_escaped() {
+        let mut r = record("A \"quoted\" model\\name");
+        r.dataset = "Office\nProducts".into();
+        let line = r.to_json_string();
+        assert!(!line.contains('\n'));
+        let back = ExperimentRecord::from_json_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -3,14 +3,17 @@
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
-use wr_tensor::Tensor;
+use wr_tensor::{json, Json, Tensor};
+
+fn bad_data(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
 
 /// Write sequences as JSON-lines (one user per line).
 pub fn save_sequences(path: impl AsRef<Path>, sequences: &[Vec<usize>]) -> std::io::Result<()> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     for s in sequences {
-        let line = serde_json::to_string(s)?;
-        writeln!(out, "{line}")?;
+        writeln!(out, "{}", json::usize_array_to_string(s))?;
     }
     out.flush()
 }
@@ -24,22 +27,25 @@ pub fn load_sequences(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<usize>>
         if line.trim().is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line)?);
+        let seq = Json::parse(&line)
+            .map_err(bad_data)?
+            .as_usize_vec()
+            .ok_or_else(|| bad_data("sequence line is not an integer array"))?;
+        out.push(seq);
     }
     Ok(out)
 }
 
 /// Write an embedding matrix as JSON (`{dims, data}` via `wr_tensor`'s
-/// serde impl).
+/// JSON support).
 pub fn save_embeddings(path: impl AsRef<Path>, embeddings: &Tensor) -> std::io::Result<()> {
-    let json = serde_json::to_string(embeddings)?;
-    std::fs::write(path, json)
+    std::fs::write(path, embeddings.to_json_string())
 }
 
 /// Read an embedding matrix written by [`save_embeddings`].
 pub fn load_embeddings(path: impl AsRef<Path>) -> std::io::Result<Tensor> {
     let text = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&text)?)
+    Tensor::from_json_str(&text).map_err(bad_data)
 }
 
 #[cfg(test)]

@@ -136,6 +136,12 @@ pub fn rank_of_target(scores: &[f32], target: usize, excluded: &[usize]) -> usiz
 /// `score_fn` receives a batch of contexts and must return `[batch,
 /// n_items]` scores. When `exclude_history` is set, every item in a case's
 /// context is removed from its candidate set (the RecBole convention).
+///
+/// The scorer always runs on the calling thread (it is `FnMut` and may hold
+/// model state); only the O(batch × n_items) rank scans fan out across the
+/// [`wr_runtime`] pool. Ranks come back in batch-row order and feed a single
+/// serial accumulator, so the resulting [`MetricSet`] is bit-identical for
+/// any `WR_THREADS` setting.
 pub fn evaluate_cases(
     cases: &[EvalCase],
     ks: &[usize],
@@ -148,9 +154,12 @@ pub fn evaluate_cases(
         let contexts: Vec<&[usize]> = chunk.iter().map(|c| c.context.as_slice()).collect();
         let scores = score_fn(&contexts);
         assert_eq!(scores.rows(), chunk.len(), "score batch size mismatch");
-        for (row, case) in chunk.iter().enumerate() {
+        let ranks = wr_runtime::parallel_map(chunk.len(), 1, |row| {
+            let case = &chunk[row];
             let excluded: &[usize] = if exclude_history { &case.context } else { &[] };
-            let rank = rank_of_target(scores.row(row), case.target, excluded);
+            rank_of_target(scores.row(row), case.target, excluded)
+        });
+        for rank in ranks {
             acc.push_rank(rank);
         }
     }
@@ -266,6 +275,35 @@ mod tests {
         let without = evaluate_cases(&cases, &[1], 8, false, scorer);
         assert_eq!(with.recall_at(1), 1.0); // history 0,1 excluded → target first
         assert_eq!(without.recall_at(1), 0.0);
+    }
+
+    #[test]
+    fn evaluate_is_bit_identical_across_thread_counts() {
+        use wr_tensor::Rng64;
+        let mut rng = Rng64::seed_from(42);
+        let n_items = 300;
+        let cases: Vec<EvalCase> = (0..97)
+            .map(|u| {
+                let len = 1 + rng.below(6);
+                EvalCase {
+                    user: u,
+                    context: (0..len).map(|_| rng.below(n_items)).collect(),
+                    target: rng.below(n_items),
+                }
+            })
+            .collect();
+        let run = |threads: usize| {
+            wr_runtime::set_threads(threads);
+            let mut rng = Rng64::seed_from(7);
+            evaluate_cases(&cases, &DEFAULT_KS, 16, true, |contexts| {
+                Tensor::randn(&[contexts.len(), n_items], &mut rng)
+            })
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        wr_runtime::set_threads(1);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.per_case_ndcg, parallel.per_case_ndcg);
     }
 
     #[test]

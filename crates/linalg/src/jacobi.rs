@@ -18,16 +18,25 @@ pub struct SymEig {
 impl SymEig {
     /// Reconstruct `V diag(f(λ)) Vᵀ` — the workhorse for whitening, where
     /// `f` is `λ → (λ+ε)^(-1/2)` and friends.
-    pub fn rebuild_with(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    ///
+    /// The diagonal scaling fans out row blocks across the [`wr_runtime`]
+    /// pool (each row scales independently) and the closing `matmul_nt`
+    /// is itself parallel, so whitening-matrix construction rides the pool
+    /// end to end. Per-element arithmetic is unchanged → bit-identical for
+    /// any `WR_THREADS`.
+    pub fn rebuild_with(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let n = self.values.len();
         let v = &self.vectors;
-        // V * diag(f(λ))
+        let scales: Vec<f32> = self.values.iter().map(|&l| f(l)).collect();
+        // V * diag(f(λ)), row blocks in parallel.
         let mut vd = v.clone();
-        for i in 0..n {
-            for j in 0..n {
-                *vd.at2_mut(i, j) *= f(self.values[j]);
+        wr_runtime::parallel_chunks_mut(vd.data_mut(), 8 * n, |_chunk, rows| {
+            for row in rows.chunks_exact_mut(n) {
+                for (x, &s) in row.iter_mut().zip(&scales) {
+                    *x *= s;
+                }
             }
-        }
+        });
         vd.matmul_nt(v)
     }
 }
@@ -235,6 +244,27 @@ mod tests {
     fn rejects_non_finite() {
         let a = Tensor::from_vec(vec![1.0, f32::NAN, f32::NAN, 1.0], &[2, 2]);
         assert!(matches!(sym_eig(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn rebuild_is_bit_identical_across_thread_counts() {
+        let n = 24;
+        let mut state = 9u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        let b = Tensor::from_vec((0..n * n).map(|_| next()).collect(), &[n, n]);
+        let a = b.matmul_tn(&b);
+        let run = |threads: usize| {
+            wr_runtime::set_threads(threads);
+            let e = sym_eig(&a).unwrap();
+            e.rebuild_with(|l| 1.0 / (l + 1e-5).sqrt())
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        wr_runtime::set_threads(1);
+        assert_eq!(serial.data(), parallel.data());
     }
 
     #[test]

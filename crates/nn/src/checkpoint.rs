@@ -18,10 +18,38 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, BytesMut};
-
 use crate::Param;
 use wr_tensor::Tensor;
+
+/// Little-endian reader over a byte slice (the offline workspace has no
+/// `bytes` crate; this covers exactly what the checkpoint format needs).
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+}
 
 const MAGIC: &[u8; 4] = b"WRCK";
 const VERSION: u32 = 1;
@@ -67,21 +95,21 @@ pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> Result<(), Check
     out.write_all(MAGIC)?;
     out.write_all(&VERSION.to_le_bytes())?;
     out.write_all(&(params.len() as u32).to_le_bytes())?;
-    let mut buf = BytesMut::new();
+    let mut buf: Vec<u8> = Vec::new();
     for (i, p) in params.iter().enumerate() {
         buf.clear();
         let key = entry_key(i, p);
         let name = key.as_bytes();
-        buf.put_u32_le(name.len() as u32);
-        buf.put_slice(name);
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
         let value = p.get();
-        buf.put_u32_le(value.rank() as u32);
+        buf.extend_from_slice(&(value.rank() as u32).to_le_bytes());
         for &d in value.dims() {
-            buf.put_u64_le(d as u64);
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
         }
-        buf.put_u64_le(value.numel() as u64);
+        buf.extend_from_slice(&(value.numel() as u64).to_le_bytes());
         for &v in value.data() {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
         out.write_all(&buf)?;
     }
@@ -94,13 +122,12 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, Ch
     let mut input = BufReader::new(File::open(path)?);
     let mut raw = Vec::new();
     input.read_to_end(&mut raw)?;
-    let mut buf = &raw[..];
+    let mut buf = Cursor { buf: &raw[..] };
 
     if buf.remaining() < 12 {
         return Err(CheckpointError::Format("file too short".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = buf.take(4).try_into().unwrap();
     if &magic != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
@@ -119,7 +146,7 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, Ch
         if buf.remaining() < name_len {
             return Err(CheckpointError::Format("truncated name".into()));
         }
-        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        let name = String::from_utf8(buf.take(name_len).to_vec())
             .map_err(|_| CheckpointError::Format("non-utf8 name".into()))?;
         if buf.remaining() < 4 {
             return Err(CheckpointError::Format("truncated rank".into()));

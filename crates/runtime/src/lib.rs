@@ -1,0 +1,499 @@
+//! Shared thread pool for the whole workspace.
+//!
+//! Every hot kernel in the reproduction — blocked matmul in `wr-tensor`,
+//! covariance and eigen plumbing in `wr-linalg`, the per-group ZCA solves of
+//! relaxed whitening in `wr-whiten`, and the full-catalog ranking sweep in
+//! `wr-eval` — funnels through the three primitives exported here:
+//!
+//! * [`parallel_for`] — index-parallel side-effect loops,
+//! * [`parallel_map`] — collect per-index results in index order,
+//! * [`parallel_chunks_mut`] — split one output buffer into disjoint chunks.
+//!
+//! # Why a hand-rolled pool (and not rayon / crossbeam)
+//!
+//! The build environment is fully offline and the workspace policy is
+//! dependency-light: no external crates at all. `crossbeam` and
+//! `parking_lot` were declared by the seed but can never be fetched here, so
+//! the pool is built on `std` only — a `Mutex<VecDeque>` + `Condvar` work
+//! queue feeding persistent workers, and a per-dispatch latch the caller
+//! blocks on. That blocking is what makes borrowed closures sound: a
+//! dispatch never returns until every job created from its closure has
+//! finished, so type-erased pointers into the caller's stack stay valid for
+//! exactly as long as the workers can observe them.
+//!
+//! # Thread count
+//!
+//! The pool sizes itself from the `WR_THREADS` environment variable, falling
+//! back to [`std::thread::available_parallelism`]. [`set_threads`] overrides
+//! it at runtime (used by benches and determinism tests). Workers are
+//! spawned lazily and persist for the process lifetime; shrinking the target
+//! simply leaves the extra workers parked.
+//!
+//! # Determinism
+//!
+//! At `WR_THREADS=1` every primitive degenerates to a plain sequential loop
+//! over the *same* chunk decomposition, so serial and parallel runs execute
+//! identical per-chunk arithmetic. The primitives themselves guarantee
+//! order-independence structurally:
+//!
+//! * `parallel_chunks_mut` chunks write disjoint regions — the output is the
+//!   same bytes no matter which worker ran which chunk;
+//! * `parallel_map` stitches chunk results back together in index order, so
+//!   any ordered reduction performed by the caller sees the serial order.
+//!
+//! Callers that fold floating-point sums therefore get bit-identical results
+//! at any thread count as long as they reduce the returned values in index
+//! order (this is what `wr-eval::evaluate_cases` does).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Thread-count policy
+// ---------------------------------------------------------------------------
+
+/// Current thread target; 0 means "not yet initialized from the env".
+static TARGET: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    match std::env::var("WR_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Number of threads parallel primitives will use (including the caller).
+pub fn threads() -> usize {
+    let t = TARGET.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let d = default_threads();
+    // Racy double-init is fine: both racers compute the same default.
+    TARGET.store(d, Ordering::Relaxed);
+    d
+}
+
+/// Override the thread target at runtime (clamped to at least 1).
+///
+/// Benches sweep this to measure scaling; determinism tests flip it between
+/// 1 and N to assert bit-identical results.
+pub fn set_threads(n: usize) {
+    TARGET.store(n.max(1), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// One dispatched chunk: a type-erased call into the caller's closure.
+///
+/// `ctx` and `latch` point into the dispatching thread's stack frame. They
+/// remain valid because the dispatcher blocks on the latch until every job
+/// of its batch has completed.
+struct Job {
+    call: unsafe fn(*const (), Range<usize>),
+    ctx: *const (),
+    range: Range<usize>,
+    latch: *const Latch,
+}
+
+// SAFETY: the raw pointers are only dereferenced while the dispatching
+// thread is blocked inside `dispatch`, which keeps the referents alive.
+unsafe impl Send for Job {}
+
+/// Countdown latch: the dispatcher waits until `remaining` hits zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+
+}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    workers: AtomicUsize,
+}
+
+fn pool() -> &'static PoolState {
+    static POOL: OnceLock<PoolState> = OnceLock::new();
+    POOL.get_or_init(|| PoolState {
+        queue: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        workers: AtomicUsize::new(0),
+    })
+}
+
+/// Execute one job, converting panics into a latch flag so the dispatching
+/// thread can re-raise them instead of the whole process aborting.
+fn run_job(job: Job) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+        (job.call)(job.ctx, job.range.clone());
+    }));
+    // SAFETY: dispatcher is still blocked on this latch.
+    let latch = unsafe { &*job.latch };
+    if result.is_err() {
+        latch.panicked.store(true, Ordering::Release);
+    }
+    latch.count_down();
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.work_ready.wait(q).unwrap();
+            }
+        };
+        run_job(job);
+    }
+}
+
+/// Lazily grow the worker set toward `wanted` persistent workers.
+fn ensure_workers(wanted: usize) {
+    let p = pool();
+    loop {
+        let cur = p.workers.load(Ordering::Relaxed);
+        if cur >= wanted {
+            return;
+        }
+        if p
+            .workers
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let spawned = std::thread::Builder::new()
+            .name(format!("wr-runtime-{cur}"))
+            .spawn(worker_loop);
+        if spawned.is_err() {
+            // Could not spawn (resource limits): undo the count. The caller
+            // participates in every dispatch, so progress is still
+            // guaranteed with zero workers.
+            p.workers.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+unsafe fn call_range<F: Fn(Range<usize>) + Sync>(ctx: *const (), r: Range<usize>) {
+    (*(ctx as *const F))(r)
+}
+
+/// Split `0..n` into `ceil(n / chunk)` chunks, run `f` on each chunk on the
+/// pool, and block until all complete. The caller participates (it drains
+/// the queue alongside the workers), so the dispatch makes progress even if
+/// no worker thread could be spawned and nested dispatches cannot deadlock.
+fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
+    debug_assert!(chunk >= 1);
+    if n == 0 {
+        return;
+    }
+    let n_chunks = n.div_ceil(chunk);
+    if threads() <= 1 || n_chunks <= 1 {
+        // Guaranteed sequential fallback: same chunk boundaries, same order.
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            f(start..end);
+            start = end;
+        }
+        return;
+    }
+
+    ensure_workers(threads().saturating_sub(1));
+    let latch = Latch::new(n_chunks);
+    let p = pool();
+    {
+        let mut q = p.queue.lock().unwrap();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            q.push_back(Job {
+                call: call_range::<F>,
+                ctx: &f as *const F as *const (),
+                range: start..end,
+                latch: &latch as *const Latch,
+            });
+            start = end;
+        }
+    }
+    p.work_ready.notify_all();
+
+    // Help drain the queue. We may execute jobs from other concurrent
+    // batches — that only ever accelerates them.
+    loop {
+        let job = p.queue.lock().unwrap().pop_front();
+        match job {
+            Some(j) => run_job(j),
+            None => break,
+        }
+    }
+    // Wait for workers to finish the jobs they grabbed.
+    {
+        let mut rem = latch.remaining.lock().unwrap();
+        while *rem != 0 {
+            rem = latch.done.wait(rem).unwrap();
+        }
+    }
+    if latch.panicked.load(Ordering::Acquire) {
+        panic!("wr-runtime: a parallel task panicked");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public primitives
+// ---------------------------------------------------------------------------
+
+/// Pick a chunk length for `n` items given a minimum useful grain.
+///
+/// Aims at a handful of chunks per thread (for load balance) while never
+/// going below `grain` (so tiny work items are not dispatched one by one).
+pub fn chunk_len(n: usize, grain: usize) -> usize {
+    let grain = grain.max(1);
+    if n == 0 {
+        return grain;
+    }
+    let balanced = n.div_ceil(threads().max(1) * 4);
+    balanced.max(grain)
+}
+
+/// Run `f(i)` for every `i in 0..n` on the pool.
+///
+/// `grain` is the minimum number of indices per dispatched chunk. Results
+/// must not depend on execution order — use [`parallel_map`] to collect
+/// values, or [`parallel_chunks_mut`] to write into a shared buffer.
+pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, grain: usize, f: F) {
+    dispatch(n, chunk_len(n, grain), |r| {
+        for i in r {
+            f(i);
+        }
+    });
+}
+
+/// Run `f` on contiguous index ranges covering `0..n`.
+///
+/// Like [`parallel_for`] but hands each task its whole range, letting the
+/// caller hoist per-chunk setup out of the index loop.
+pub fn parallel_for_chunks<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, f: F) {
+    dispatch(n, chunk_len(n, grain), f);
+}
+
+/// Map `0..n` through `f` in parallel, returning results in index order.
+///
+/// The output is identical to `(0..n).map(f).collect()` for any thread
+/// count: chunks are computed independently and stitched back together in
+/// index order.
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, grain: usize, f: F) -> Vec<T> {
+    let chunk = chunk_len(n, grain);
+    if threads() <= 1 || n.div_ceil(chunk.max(1)) <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let parts: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    dispatch(n, chunk, |r| {
+        let start = r.start;
+        let vals: Vec<T> = r.map(&f).collect();
+        parts.lock().unwrap().push((start, vals));
+    });
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut vals) in parts.drain(..) {
+        out.append(&mut vals);
+    }
+    out
+}
+
+/// Pointer wrapper that lets disjoint sub-slices be rebuilt on workers.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Rebuild the sub-slice starting at `offset`. Accessed via a method so
+    /// closures capture the whole (Sync) wrapper rather than the raw field.
+    unsafe fn slice_at(&self, offset: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+/// Split `data` into chunks of `chunk_items` elements and run
+/// `f(chunk_index, chunk)` on each in parallel.
+///
+/// Chunk boundaries depend only on `chunk_items`, never on the thread
+/// count, and each chunk is written by exactly one task — so the resulting
+/// buffer is bit-identical across thread counts.
+pub fn parallel_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    chunk_items: usize,
+    f: F,
+) {
+    let n = data.len();
+    let chunk_items = chunk_items.max(1);
+    let n_chunks = n.div_ceil(chunk_items);
+    let base = SendPtr(data.as_mut_ptr());
+    dispatch(n_chunks, 1, |r| {
+        for ci in r {
+            let start = ci * chunk_items;
+            let len = chunk_items.min(n - start);
+            // SAFETY: chunks are disjoint (each `ci` is dispatched once) and
+            // `data` outlives the dispatch because the caller blocks.
+            let slice = unsafe { base.slice_at(start, len) };
+            f(ci, slice);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serialize tests that mutate the global thread target.
+    fn with_target<R>(n: usize, body: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = threads();
+        set_threads(n);
+        let out = body();
+        set_threads(prev);
+        out
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        for t in [1, 2, 4, 8] {
+            with_target(t, || {
+                let n = 1000;
+                let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for(n, 1, |i| {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_for_arbitrary_sizes() {
+        // Includes len < threads and len = 0.
+        for t in [1, 3, 8] {
+            with_target(t, || {
+                for n in [0usize, 1, 2, 5, 7, 63, 64, 65, 1000] {
+                    for grain in [1usize, 3, 64, 1000] {
+                        let serial: Vec<u64> = (0..n).map(|i| (i as u64) * 31 + 7).collect();
+                        let par = parallel_map(n, grain, |i| (i as u64) * 31 + 7);
+                        assert_eq!(par, serial, "n={n} grain={grain} threads={t}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_mut_covers_buffer_disjointly() {
+        for t in [1, 4] {
+            with_target(t, || {
+                for n in [0usize, 1, 10, 257] {
+                    for chunk in [1usize, 4, 100, 1000] {
+                        let mut data = vec![0u32; n];
+                        parallel_chunks_mut(&mut data, chunk, |ci, s| {
+                            for (off, v) in s.iter_mut().enumerate() {
+                                *v = (ci * chunk + off) as u32 + 1;
+                            }
+                        });
+                        let expect: Vec<u32> = (1..=n as u32).collect();
+                        assert_eq!(data, expect, "n={n} chunk={chunk} t={t}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn ordered_float_reduction_is_bit_identical_across_thread_counts() {
+        let vals: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) as f64).sin()).collect();
+        let fold = |parts: Vec<f64>| parts.into_iter().fold(0.0f64, |a, b| a + b);
+        let serial = with_target(1, || fold(parallel_map(vals.len(), 64, |i| vals[i])));
+        let par = with_target(8, || fold(parallel_map(vals.len(), 64, |i| vals[i])));
+        assert_eq!(serial.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        with_target(4, || {
+            let total = AtomicU64::new(0);
+            parallel_for(8, 1, |i| {
+                let inner: u64 = parallel_map(16, 1, |j| (i * 16 + j) as u64).iter().sum();
+                total.fetch_add(inner, Ordering::Relaxed);
+            });
+            let expect: u64 = (0..128u64).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expect);
+        });
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        with_target(4, || {
+            let result = std::panic::catch_unwind(|| {
+                parallel_for(64, 1, |i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                });
+            });
+            assert!(result.is_err(), "panic must reach the dispatching thread");
+        });
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        with_target(3, || {
+            set_threads(0);
+            assert_eq!(threads(), 1);
+        });
+    }
+
+    #[test]
+    fn chunk_len_respects_grain() {
+        with_target(4, || {
+            assert!(chunk_len(10, 64) >= 64);
+            assert!(chunk_len(0, 8) >= 1);
+            // Large n: a handful of chunks per thread.
+            let c = chunk_len(16_000, 1);
+            assert_eq!(c, 1000);
+        });
+    }
+}

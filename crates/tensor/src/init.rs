@@ -4,27 +4,55 @@
 //! so every experiment is reproducible from a single `u64`.
 
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded random-number generator used across the workspace.
 ///
-/// Thin wrapper over `StdRng` so downstream crates depend on one type and
-/// the generator can be swapped in a single place.
+/// Implemented in-tree (xoshiro256++ seeded via SplitMix64 — the standard
+/// pairing from Blackman & Vigna) because the build environment is offline
+/// and the workspace carries no external crates. Downstream code depends on
+/// this one type, so the generator can still be swapped in a single place.
 pub struct Rng64 {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl Rng64 {
     pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state; never
+        // produces the all-zero state xoshiro cannot escape.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
         Rng64 {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Top 24 bits → exactly representable f32 in [0, 1).
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -34,14 +62,17 @@ impl Rng64 {
 
     /// Standard normal via Box–Muller.
     pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.inner.gen::<f32>().max(1e-12);
-        let u2: f32 = self.inner.gen();
+        let u1: f32 = self.uniform().max(1e-12);
+        let u2: f32 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below: empty range");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 * n,
+        // negligible for the catalog-sized ranges used here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p`.
@@ -73,7 +104,7 @@ impl Rng64 {
 
     /// Derive an independent child generator (for parallel workloads).
     pub fn fork(&mut self) -> Rng64 {
-        Rng64::seed_from(self.inner.gen::<u64>())
+        Rng64::seed_from(self.next_u64())
     }
 }
 

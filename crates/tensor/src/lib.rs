@@ -18,15 +18,16 @@
 
 mod error;
 mod init;
+pub mod json;
 mod matmul;
 mod ops;
 mod reduce;
-mod serde_impl;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
 pub use init::{Initializer, Rng64};
+pub use json::Json;
 pub use matmul::{dot, gemm};
 pub use ops::softmax_in_place;
 pub use shape::Shape;

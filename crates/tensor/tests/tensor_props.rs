@@ -1,6 +1,10 @@
-//! Property-based tests for tensor algebra.
+//! Property-style tests for tensor algebra.
+//!
+//! The offline workspace carries no proptest; each property is exercised
+//! over a deterministic sweep of shapes and seeds instead, which keeps the
+//! same coverage intent (many random instances per invariant) while staying
+//! reproducible from fixed seeds.
 
-use proptest::prelude::*;
 use wr_tensor::{Rng64, Tensor};
 
 fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
@@ -16,87 +20,118 @@ fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
             .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Deterministic sweep over (m, k, n, seed) cases.
+fn shape_cases() -> Vec<(usize, usize, usize, u64)> {
+    let mut rng = Rng64::seed_from(0xC0FFEE);
+    (0..32)
+        .map(|i| {
+            (
+                1 + rng.below(8),
+                1 + rng.below(8),
+                1 + rng.below(8),
+                i as u64 * 13 + 5,
+            )
+        })
+        .collect()
+}
 
-    /// (AB)ᵀ = BᵀAᵀ
-    #[test]
-    fn matmul_transpose_identity(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..500) {
+/// (AB)ᵀ = BᵀAᵀ
+#[test]
+fn matmul_transpose_identity() {
+    for (m, k, n, seed) in shape_cases() {
         let a = tensor(m, k, seed);
         let b = tensor(k, n, seed + 1);
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
-        prop_assert!(close(&lhs, &rhs, 1e-4));
+        assert!(close(&lhs, &rhs, 1e-4), "m={m} k={k} n={n} seed={seed}");
     }
+}
 
-    /// A(B + C) = AB + AC
-    #[test]
-    fn matmul_distributes(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+/// A(B + C) = AB + AC
+#[test]
+fn matmul_distributes() {
+    for (m, k, n, seed) in shape_cases() {
         let a = tensor(m, k, seed);
         let b = tensor(k, n, seed + 1);
         let c = tensor(k, n, seed + 2);
         let lhs = a.matmul(&b.add(&c));
         let rhs = a.matmul(&b).add(&a.matmul(&c));
-        prop_assert!(close(&lhs, &rhs, 1e-3));
+        assert!(close(&lhs, &rhs, 1e-3), "m={m} k={k} n={n} seed={seed}");
     }
+}
 
-    /// matmul_nt/tn agree with explicit transposes.
-    #[test]
-    fn fused_transposed_matmuls(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+/// matmul_nt/tn agree with explicit transposes.
+#[test]
+fn fused_transposed_matmuls() {
+    for (m, k, n, seed) in shape_cases() {
         let a = tensor(m, k, seed);
         let b = tensor(n, k, seed + 1);
-        prop_assert!(close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4));
+        assert!(close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4));
         let c = tensor(k, m, seed + 2);
         let d = tensor(k, n, seed + 3);
-        prop_assert!(close(&c.matmul_tn(&d), &c.transpose().matmul(&d), 1e-4));
+        assert!(close(&c.matmul_tn(&d), &c.transpose().matmul(&d), 1e-4));
     }
+}
 
-    /// Row-wise softmax is invariant to per-row constant shifts.
-    #[test]
-    fn softmax_shift_invariance(rows in 1usize..5, cols in 2usize..8, shift in -10.0f32..10.0, seed in 0u64..500) {
+/// Row-wise softmax is invariant to per-row constant shifts.
+#[test]
+fn softmax_shift_invariance() {
+    for (rows, cols, _, seed) in shape_cases() {
+        let cols = cols.max(2);
+        let shift = (seed as f32 % 20.0) - 10.0;
         let x = tensor(rows, cols, seed);
         let shifted = x.add_scalar(shift);
-        prop_assert!(close(&x.softmax_rows(), &shifted.softmax_rows(), 1e-4));
+        assert!(close(&x.softmax_rows(), &shifted.softmax_rows(), 1e-4));
     }
+}
 
-    /// concat_cols then slice_cols round-trips.
-    #[test]
-    fn concat_slice_roundtrip(rows in 1usize..6, c1 in 1usize..5, c2 in 1usize..5, seed in 0u64..500) {
+/// concat_cols then slice_cols round-trips.
+#[test]
+fn concat_slice_roundtrip() {
+    for (rows, c1, c2, seed) in shape_cases() {
         let a = tensor(rows, c1, seed);
         let b = tensor(rows, c2, seed + 1);
         let cat = Tensor::concat_cols(&[&a, &b]);
         let left = cat.slice_cols(0, c1);
         let right = cat.slice_cols(c1, c1 + c2);
-        prop_assert_eq!(left.data(), a.data());
-        prop_assert_eq!(right.data(), b.data());
+        assert_eq!(left.data(), a.data());
+        assert_eq!(right.data(), b.data());
     }
+}
 
-    /// gather_rows distributes over row concatenation of the index lists.
-    #[test]
-    fn gather_concat(rows in 2usize..8, cols in 1usize..5, seed in 0u64..500) {
+/// gather_rows distributes over row concatenation of the index lists.
+#[test]
+fn gather_concat() {
+    for (rows, cols, _, seed) in shape_cases() {
+        let rows = rows.max(2);
         let t = tensor(rows, cols, seed);
         let i1 = vec![0usize, rows - 1];
         let i2 = vec![rows / 2];
         let all: Vec<usize> = i1.iter().chain(i2.iter()).copied().collect();
         let g_all = t.gather_rows(&all);
         let g_cat = Tensor::concat_rows(&[&t.gather_rows(&i1), &t.gather_rows(&i2)]);
-        prop_assert_eq!(g_all.data(), g_cat.data());
+        assert_eq!(g_all.data(), g_cat.data());
     }
+}
 
-    /// L2-normalized rows have unit norm (when input row is nonzero).
-    #[test]
-    fn l2_rows_unit(rows in 1usize..6, cols in 1usize..6, seed in 0u64..500) {
+/// L2-normalized rows have unit norm (when input row is nonzero).
+#[test]
+fn l2_rows_unit() {
+    for (rows, cols, _, seed) in shape_cases() {
         let x = tensor(rows, cols, seed).add_scalar(0.01);
         let n = x.l2_normalize_rows();
         for r in 0..rows {
             let norm: f32 = n.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
-            prop_assert!((norm - 1.0).abs() < 1e-4);
+            assert!((norm - 1.0).abs() < 1e-4, "row {r} norm {norm}");
         }
     }
+}
 
-    /// bmm equals per-slice matmul.
-    #[test]
-    fn bmm_equals_slices(b in 1usize..4, m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..500) {
+/// bmm equals per-slice matmul.
+#[test]
+fn bmm_equals_slices() {
+    for (b, m, k, seed) in shape_cases() {
+        let (b, m, k, n) = (b.min(4), m.min(4), k.min(4), (seed as usize % 3) + 1);
         let mut rng = Rng64::seed_from(seed);
         let a = Tensor::randn(&[b, m, k], &mut rng);
         let c = Tensor::randn(&[b, k, n], &mut rng);
@@ -106,7 +141,7 @@ proptest! {
             let ci = Tensor::from_vec(c.data()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n]);
             let oi = ai.matmul(&ci);
             for (x, y) in out.data()[i * m * n..(i + 1) * m * n].iter().zip(oi.data()) {
-                prop_assert!((x - y).abs() < 1e-4);
+                assert!((x - y).abs() < 1e-4);
             }
         }
     }

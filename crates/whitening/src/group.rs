@@ -18,6 +18,11 @@ pub struct GroupWhitening {
 
 impl GroupWhitening {
     /// Fit on `x: [n, d]`. `d` must be divisible by `groups`.
+    ///
+    /// Groups are independent ZCA problems (covariance + eigendecomposition
+    /// per `d/G` block), so they fan out across the [`wr_runtime`] pool; the
+    /// per-group solves are untouched and results are stitched in group
+    /// order, so the fit is bit-identical for any `WR_THREADS`.
     pub fn fit(x: &Tensor, groups: usize, method: WhiteningMethod, eps: f32) -> Self {
         assert!(groups >= 1, "need at least one group");
         let d = x.cols();
@@ -26,12 +31,10 @@ impl GroupWhitening {
             "dimension {d} not divisible into {groups} groups"
         );
         let group_size = d / groups;
-        let transforms = (0..groups)
-            .map(|h| {
-                let block = x.slice_cols(h * group_size, (h + 1) * group_size);
-                WhiteningTransform::fit(&block, method, eps)
-            })
-            .collect();
+        let transforms = wr_runtime::parallel_map(groups, 1, |h| {
+            let block = x.slice_cols(h * group_size, (h + 1) * group_size);
+            WhiteningTransform::fit(&block, method, eps)
+        });
         GroupWhitening {
             transforms,
             group_size,
@@ -39,22 +42,17 @@ impl GroupWhitening {
         }
     }
 
-    /// Apply to rows of `x: [m, d]`.
+    /// Apply to rows of `x: [m, d]`, one pool task per group.
     pub fn apply(&self, x: &Tensor) -> Tensor {
         assert_eq!(
             x.cols(),
             self.group_size * self.groups,
             "dimension mismatch in group apply"
         );
-        let parts: Vec<Tensor> = self
-            .transforms
-            .iter()
-            .enumerate()
-            .map(|(h, t)| {
-                let block = x.slice_cols(h * self.group_size, (h + 1) * self.group_size);
-                t.apply(&block)
-            })
-            .collect();
+        let parts: Vec<Tensor> = wr_runtime::parallel_map(self.groups, 1, |h| {
+            let block = x.slice_cols(h * self.group_size, (h + 1) * self.group_size);
+            self.transforms[h].apply(&block)
+        });
         let refs: Vec<&Tensor> = parts.iter().collect();
         Tensor::concat_cols(&refs)
     }
@@ -142,11 +140,10 @@ mod tests {
             200,
             7,
         );
-        // Full whitening pushes average cosine toward 0; relaxed stays
-        // between raw and fully whitened.
+        // Full whitening pushes average cosine toward 0; relaxed whitening
+        // stays closer to the raw geometry.
         assert!(
-            (cos_g8 - cos_orig).abs() >= (cos_g1 - cos_orig).abs() - 1e-3
-                || cos_g1.abs() <= cos_g8.abs() + 1e-3,
+            (cos_g8 - cos_orig).abs() <= (cos_g1 - cos_orig).abs() + 1e-3,
             "orig {cos_orig}, g1 {cos_g1}, g8 {cos_g8}"
         );
     }
@@ -156,6 +153,22 @@ mod tests {
     fn indivisible_groups_rejected() {
         let x = Tensor::zeros(&[10, 7]);
         group_whiten(&x, 2, WhiteningMethod::Zca, 1e-5);
+    }
+
+    #[test]
+    fn group_whitening_is_bit_identical_across_thread_counts() {
+        let x = correlated(300, 16, 9);
+        let fresh = correlated(40, 16, 10);
+        let run = |threads: usize| {
+            wr_runtime::set_threads(threads);
+            let gw = GroupWhitening::fit(&x, 8, WhiteningMethod::Zca, 1e-6);
+            (gw.apply(&x), gw.apply(&fresh))
+        };
+        let (self_1, fresh_1) = run(1);
+        let (self_8, fresh_8) = run(8);
+        wr_runtime::set_threads(1);
+        assert_eq!(self_1.data(), self_8.data());
+        assert_eq!(fresh_1.data(), fresh_8.data());
     }
 
     #[test]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and the same suite pinned to
+# one thread (WR_THREADS=1 exercises the pool's sequential fallback — the
+# path every parallel primitive must match bit-for-bit).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== check: cargo build --release =="
+cargo build --release --workspace
+
+echo "== check: cargo test (default threads) =="
+cargo test --workspace -q
+
+echo "== check: cargo test (WR_THREADS=1) =="
+WR_THREADS=1 cargo test --workspace -q
+
+echo "== check: ok =="
