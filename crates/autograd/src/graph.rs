@@ -164,6 +164,8 @@ impl Graph {
             if inner.grads[id].is_none() || !inner.requires[id] {
                 continue;
             }
+            // wr-check: allow(R1) — Some is guaranteed by the is_none()
+            // continue two lines above.
             let g = inner.grads[id].take().unwrap();
             backward_step(&mut inner, id, &g);
             inner.grads[id] = Some(g);

@@ -1,0 +1,101 @@
+//! `wr-check` — the workspace's std-only static-analysis gate.
+//!
+//! The paper's headline claim (whitening is a pre-computed, deterministic
+//! transform whose benefit survives training) only reproduces if the Rust
+//! kernels are bit-deterministic and panic-free. This crate machine-checks
+//! the conventions that keep them that way, with zero external
+//! dependencies (DESIGN.md §5): a comment/string/char-literal-aware
+//! tokenizer ([`lexer`]) feeds a five-rule analysis ([`rules`]) whose
+//! findings render as `file:line` diagnostics or JSON ([`report`]).
+//!
+//! Run it locally with `cargo run -p wr-check`; `scripts/check.sh` runs it
+//! as a tier-1 gate. See DESIGN.md "Static analysis gates" for the rule
+//! set (R1–R5) and the justified allow-directive suppression syntax.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_source, Rule, Scope, Violation};
+
+/// Result of scanning a directory tree.
+pub struct Scan {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl Scan {
+    /// Count of violations not covered by an allow directive.
+    pub fn active(&self) -> usize {
+        self.violations.iter().filter(|v| v.suppressed.is_none()).count()
+    }
+}
+
+/// Recursively collect the workspace's `.rs` files under `root`, skipping
+/// build output and VCS metadata. Paths come back sorted for deterministic
+/// reports.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan every `.rs` file under `root` with the full rule set.
+pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
+    let files = collect_rs_files(root)?;
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            // Non-UTF-8 or unreadable file: nothing the lexer can do.
+            continue;
+        };
+        files_scanned += 1;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        violations.extend(rules::check_source(&rel, &src));
+    }
+    Ok(Scan { files_scanned, violations })
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `wr-check` CLI: scan the workspace, print diagnostics, exit non-zero on
+//! any unsuppressed violation.
+//!
+//! ```text
+//! cargo run -p wr-check              # human diagnostics for the workspace
+//! cargo run -p wr-check -- --json    # machine-readable report (wr-check/v1)
+//! cargo run -p wr-check -- --verbose # also list suppressed findings
+//! cargo run -p wr-check -- PATH      # scan a different tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut verbose = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                eprintln!("usage: wr-check [--json] [--verbose] [PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let start = std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .or_else(|| std::env::current_dir().ok())
+                .unwrap_or_else(|| PathBuf::from("."));
+            match wr_check::find_workspace_root(&start) {
+                Some(r) => r,
+                None => {
+                    eprintln!("wr-check: no workspace root found above {}", start.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let scan = match wr_check::scan_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wr-check: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", wr_check::report::json_report(scan.files_scanned, &scan.violations));
+    } else {
+        print!(
+            "{}",
+            wr_check::report::human_report(scan.files_scanned, &scan.violations, verbose)
+        );
+    }
+    if scan.active() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

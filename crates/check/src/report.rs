@@ -1,0 +1,103 @@
+//! Diagnostic rendering: human `file:line` lines and machine-readable JSON.
+
+use crate::rules::Violation;
+use wr_tensor::Json;
+
+/// Render one violation as a compiler-style diagnostic line.
+pub fn human_line(v: &Violation) -> String {
+    match &v.suppressed {
+        None => format!("{}:{}: [{} {}] {}", v.path, v.line, v.rule.id(), v.rule.slug(), v.message),
+        Some(reason) => format!(
+            "{}:{}: [{} {}] suppressed — {}",
+            v.path,
+            v.line,
+            v.rule.id(),
+            v.rule.slug(),
+            reason
+        ),
+    }
+}
+
+/// Render the full report for the terminal. Active violations first, then a
+/// one-line summary; suppressed findings are listed only with `verbose`.
+pub fn human_report(files_scanned: usize, violations: &[Violation], verbose: bool) -> String {
+    let mut out = String::new();
+    let active: Vec<&Violation> = violations.iter().filter(|v| v.suppressed.is_none()).collect();
+    let suppressed = violations.len() - active.len();
+    for v in &active {
+        out.push_str(&human_line(v));
+        out.push('\n');
+    }
+    if verbose {
+        for v in violations.iter().filter(|v| v.suppressed.is_some()) {
+            out.push_str(&human_line(v));
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "wr-check: {} file(s), {} violation(s), {} suppressed\n",
+        files_scanned,
+        active.len(),
+        suppressed
+    ));
+    out
+}
+
+/// Build the machine-readable report (`wr-check/v1` schema).
+pub fn json_report(files_scanned: usize, violations: &[Violation]) -> String {
+    let encode = |v: &Violation| {
+        let mut fields = vec![
+            ("rule".to_string(), Json::Str(v.rule.id().to_string())),
+            ("name".to_string(), Json::Str(v.rule.slug().to_string())),
+            ("path".to_string(), Json::Str(v.path.clone())),
+            ("line".to_string(), Json::Num(v.line as f64)),
+            ("message".to_string(), Json::Str(v.message.clone())),
+        ];
+        if let Some(reason) = &v.suppressed {
+            fields.push(("suppressed".to_string(), Json::Str(reason.clone())));
+        }
+        Json::Obj(fields)
+    };
+    let active: Vec<Json> =
+        violations.iter().filter(|v| v.suppressed.is_none()).map(encode).collect();
+    let suppressed: Vec<Json> =
+        violations.iter().filter(|v| v.suppressed.is_some()).map(encode).collect();
+    let doc = Json::Obj(vec![
+        ("schema".to_string(), Json::Str("wr-check/v1".to_string())),
+        ("files_scanned".to_string(), Json::Num(files_scanned as f64)),
+        ("violations".to_string(), Json::Arr(active)),
+        ("suppressed".to_string(), Json::Arr(suppressed)),
+    ]);
+    doc.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::check_source;
+
+    #[test]
+    fn json_report_parses_back() {
+        let vs = check_source(
+            "crates/tensor/src/a.rs",
+            "fn f() { x.unwrap(); } // wr-check: allow(R1) — test reason here",
+        );
+        let text = json_report(1, &vs);
+        let doc = Json::parse(&text).expect("report must be valid JSON");
+        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("wr-check/v1"));
+        let suppressed = doc.get("suppressed").and_then(|a| a.as_arr()).expect("suppressed array");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(
+            doc.get("violations").and_then(|a| a.as_arr()).map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn human_line_includes_rule_and_position() {
+        let vs = check_source("crates/tensor/src/a.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(vs.len(), 1);
+        let line = human_line(&vs[0]);
+        assert!(line.starts_with("crates/tensor/src/a.rs:1: [R1 no-panic]"), "{line}");
+    }
+}

@@ -1,0 +1,506 @@
+//! The `wr-check` rule set and suppression directives.
+//!
+//! Five rules guard the properties the reproduction's claims rest on
+//! (deterministic, panic-free kernels — see DESIGN.md "Static analysis
+//! gates"):
+//!
+//! * **R1 `no-panic`** — no `.unwrap()` / `.expect(…)` / `panic!` / `todo!`
+//!   in non-test code of the kernel crates (tensor, linalg, whitening,
+//!   autograd, nn, eval, data, core). Kernel code returns `Result` or
+//!   carries a justified allow directive.
+//! * **R2 `safety-comment`** — every `unsafe` block, fn, impl, or trait is
+//!   immediately preceded by a `// SAFETY:` comment (applies everywhere,
+//!   tests included). Function-pointer *types* (`unsafe fn(…)`) are exempt.
+//! * **R3 `pool-only-parallelism`** — `thread::spawn` and `static mut` are
+//!   forbidden outside `crates/runtime`: all parallelism goes through the
+//!   shared pool so the bit-determinism contract stays auditable in one
+//!   place.
+//! * **R4 `determinism`** — `Instant::now` / `SystemTime::now` and
+//!   `HashMap` / `HashSet` (iteration-order hazards) are flagged in
+//!   result-producing crates; `crates/bench` (the harness timer and probe
+//!   binaries) is allowlisted.
+//! * **R5 `float-eq`** — direct `==` / `!=` against a float literal in
+//!   non-test code; use a tolerance helper or justify the exact compare.
+//!
+//! Suppression is explicit and justified, never silent:
+//!
+//! ```text
+//! // wr-check: allow(R1) — index bounded by the loop above
+//! ```
+//!
+//! The directive goes on the offending line or the line directly above it,
+//! names one or more rules (`R1`/`no-panic`, …), and must carry a reason;
+//! a directive without a justification is itself a violation that cannot
+//! be suppressed.
+
+use crate::lexer::{self, Kind, Token};
+
+/// Rule identifiers. `Directive` marks malformed suppression directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    NoPanic,
+    SafetyComment,
+    PoolOnlyParallelism,
+    Determinism,
+    FloatEq,
+    Directive,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "R1",
+            Rule::SafetyComment => "R2",
+            Rule::PoolOnlyParallelism => "R3",
+            Rule::Determinism => "R4",
+            Rule::FloatEq => "R5",
+            Rule::Directive => "D0",
+        }
+    }
+
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::SafetyComment => "safety-comment",
+            Rule::PoolOnlyParallelism => "pool-only-parallelism",
+            Rule::Determinism => "determinism",
+            Rule::FloatEq => "float-eq",
+            Rule::Directive => "directive",
+        }
+    }
+
+    /// Parse a rule name from a directive (`R1` or its slug; case-insensitive).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "r1" | "no-panic" => Some(Rule::NoPanic),
+            "r2" | "safety-comment" => Some(Rule::SafetyComment),
+            "r3" | "pool-only-parallelism" => Some(Rule::PoolOnlyParallelism),
+            "r4" | "determinism" => Some(Rule::Determinism),
+            "r5" | "float-eq" => Some(Rule::FloatEq),
+            _ => None,
+        }
+    }
+}
+
+/// One finding. `suppressed` carries the directive's justification when an
+/// allow directive covers the line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    pub suppressed: Option<String>,
+}
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    pub r1: bool,
+    pub r2: bool,
+    pub r3: bool,
+    pub r4: bool,
+    pub r5: bool,
+    /// Whole file is test code (under `tests/`, `benches/`, `examples/`):
+    /// the non-test-only rules (R1/R4/R5) are skipped entirely.
+    pub test_path: bool,
+}
+
+/// Crates whose non-test code must be panic-free (R1).
+const KERNEL_CRATES: &[&str] =
+    &["tensor", "linalg", "whitening", "autograd", "nn", "eval", "data", "core"];
+
+/// Returns the crate name for `crates/<name>/…` paths.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+impl Scope {
+    pub fn for_path(rel: &str) -> Scope {
+        let krate = crate_of(rel);
+        let test_path = rel
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+        // The bench crate is the allowlisted home of wall-clock timing (the
+        // harness timer and probe binaries); wr-check's own sources are
+        // exempt from R4/R5 because rule patterns appear in them as data.
+        let bench_or_check = matches!(krate, Some("bench") | Some("check"));
+        Scope {
+            r1: krate.is_some_and(|c| KERNEL_CRATES.contains(&c)),
+            r2: true,
+            r3: krate != Some("runtime"),
+            r4: !bench_or_check,
+            r5: krate != Some("check"),
+            test_path,
+        }
+    }
+}
+
+/// A parsed allow directive.
+#[derive(Debug)]
+struct Directive {
+    rules: Vec<Rule>,
+    reason: String,
+    target_line: u32,
+}
+
+/// Run every applicable rule on one file. `rel_path` must use `/` separators
+/// and be relative to the workspace root (it selects the rule scope).
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let scope = Scope::for_path(rel_path);
+    let mut toks = lexer::lex(src);
+    lexer::mark_test_regions(&mut toks);
+
+    let mut out: Vec<Violation> = Vec::new();
+    let directives = collect_directives(rel_path, &toks, &mut out);
+
+    let idx: Vec<usize> = (0..toks.len()).filter(|&t| !toks[t].is_comment()).collect();
+    let prod = |k: usize| -> bool { !scope.test_path && !toks[idx[k]].in_test };
+
+    let mut push = |rule: Rule, line: u32, message: String| {
+        out.push(Violation { rule, path: rel_path.to_string(), line, message, suppressed: None });
+    };
+
+    for k in 0..idx.len() {
+        let t = &toks[idx[k]];
+        let text = t.text.as_str();
+        let next = |n: usize| idx.get(k + n).map(|&i| &toks[i]);
+
+        // R1: panic paths in kernel-crate production code.
+        if scope.r1 && prod(k) && t.kind == Kind::Ident {
+            if (text == "unwrap" || text == "expect")
+                && k > 0
+                && toks[idx[k - 1]].text == "."
+                && next(1).is_some_and(|n| n.text == "(")
+            {
+                push(
+                    Rule::NoPanic,
+                    t.line,
+                    format!(".{text}() in kernel code — return a Result or justify"),
+                );
+            }
+            if (text == "panic" || text == "todo" || text == "unimplemented")
+                && next(1).is_some_and(|n| n.text == "!")
+            {
+                push(
+                    Rule::NoPanic,
+                    t.line,
+                    format!("{text}! in kernel code — return a Result or justify"),
+                );
+            }
+        }
+
+        // R2: unsafe must carry a SAFETY comment.
+        if scope.r2 && t.kind == Kind::Ident && text == "unsafe" {
+            // `unsafe fn(` with no name is a function-pointer type, not a
+            // definition — nothing to justify at the use site.
+            let is_fn_pointer_type = next(1).is_some_and(|n| n.text == "fn")
+                && next(2).is_some_and(|n| n.text == "(");
+            if !is_fn_pointer_type && !has_safety_comment(&toks, idx[k]) {
+                let what = next(1).map_or("item", |n| match n.text.as_str() {
+                    "{" => "block",
+                    "impl" => "impl",
+                    "fn" => "fn",
+                    "trait" => "trait",
+                    _ => "item",
+                });
+                push(
+                    Rule::SafetyComment,
+                    t.line,
+                    format!("unsafe {what} without an immediately preceding `// SAFETY:` comment"),
+                );
+            }
+        }
+
+        // R3: parallelism primitives outside the pool crate.
+        if scope.r3 && t.kind == Kind::Ident {
+            if text == "thread"
+                && next(1).is_some_and(|n| n.text == "::")
+                && next(2).is_some_and(|n| n.text == "spawn")
+            {
+                push(
+                    Rule::PoolOnlyParallelism,
+                    t.line,
+                    "thread::spawn outside crates/runtime — use the wr-runtime pool".to_string(),
+                );
+            }
+            if text == "static" && next(1).is_some_and(|n| n.text == "mut") {
+                push(
+                    Rule::PoolOnlyParallelism,
+                    t.line,
+                    "static mut outside crates/runtime — use atomics or OnceLock".to_string(),
+                );
+            }
+        }
+
+        // R4: determinism hazards in result-producing code.
+        if scope.r4 && prod(k) && t.kind == Kind::Ident {
+            if (text == "Instant" || text == "SystemTime")
+                && next(1).is_some_and(|n| n.text == "::")
+                && next(2).is_some_and(|n| n.text == "now")
+            {
+                push(
+                    Rule::Determinism,
+                    t.line,
+                    format!("{text}::now in a result-producing path — wall-clock must not feed results"),
+                );
+            }
+            if text == "HashMap" || text == "HashSet" {
+                // One finding per type per file is enough to force the
+                // decision (switch to BTreeMap/BTreeSet or justify).
+                let first = idx[..k].iter().all(|&i| toks[i].text != *text || toks[i].in_test);
+                if first {
+                    push(
+                        Rule::Determinism,
+                        t.line,
+                        format!(
+                            "{text} has nondeterministic iteration order — use the BTree variant or justify that iteration order never reaches results"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R5: direct float equality.
+        if scope.r5 && prod(k) && t.kind == Kind::Punct && (text == "==" || text == "!=") {
+            let lhs_float = k > 0 && toks[idx[k - 1]].kind == Kind::Float;
+            let rhs_float = {
+                let mut j = 1;
+                if next(j).is_some_and(|n| n.text == "-") {
+                    j += 1;
+                }
+                next(j).is_some_and(|n| n.kind == Kind::Float)
+            };
+            if lhs_float || rhs_float {
+                push(
+                    Rule::FloatEq,
+                    t.line,
+                    format!("direct float {text} — compare with a tolerance or justify the exact comparison"),
+                );
+            }
+        }
+    }
+
+    // Apply suppressions.
+    for v in &mut out {
+        if v.rule == Rule::Directive {
+            continue;
+        }
+        if let Some(d) = directives
+            .iter()
+            .find(|d| d.target_line == v.line && d.rules.contains(&v.rule))
+        {
+            v.suppressed = Some(d.reason.clone());
+        }
+    }
+    out
+}
+
+/// True when the `unsafe` token at absolute index `ti` is covered by a
+/// SAFETY comment: either an earlier comment on the same line, or a
+/// contiguous comment-only block on the lines directly above.
+fn has_safety_comment(toks: &[Token], ti: usize) -> bool {
+    let line = toks[ti].line;
+    // Same-line comment before the token (e.g. `/* SAFETY: … */ unsafe {`).
+    if toks[..ti]
+        .iter()
+        .any(|t| t.is_comment() && t.end_line == line && t.text.contains("SAFETY:"))
+    {
+        return true;
+    }
+    // Per-line presence maps.
+    let mut code_lines = std::collections::BTreeSet::new();
+    let mut comment_lines = std::collections::BTreeSet::new();
+    let mut safety_lines = std::collections::BTreeSet::new();
+    for t in toks {
+        if t.is_comment() {
+            for l in t.line..=t.end_line {
+                comment_lines.insert(l);
+            }
+            if t.text.contains("SAFETY:") {
+                for l in t.line..=t.end_line {
+                    safety_lines.insert(l);
+                }
+            }
+        } else {
+            for l in t.line..=t.end_line {
+                code_lines.insert(l);
+            }
+        }
+    }
+    // Walk the contiguous comment-only block immediately above.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && comment_lines.contains(&l) && !code_lines.contains(&l) {
+        if safety_lines.contains(&l) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// Extract allow directives from comments; malformed directives are pushed
+/// into `out` as unsuppressible `D0` violations.
+fn collect_directives(rel_path: &str, toks: &[Token], out: &mut Vec<Violation>) -> Vec<Directive> {
+    let mut directives = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_comment() || !t.text.contains("wr-check:") {
+            continue;
+        }
+        match parse_directive(&t.text) {
+            Ok((rules, reason)) => {
+                directives.push(Directive {
+                    rules,
+                    reason,
+                    target_line: directive_target(toks, i),
+                });
+            }
+            Err(msg) => out.push(Violation {
+                rule: Rule::Directive,
+                path: rel_path.to_string(),
+                line: t.line,
+                message: msg,
+                suppressed: None,
+            }),
+        }
+    }
+    directives
+}
+
+/// The line a directive governs: its own line when the comment trails code,
+/// otherwise the next line holding a non-comment token.
+fn directive_target(toks: &[Token], comment_idx: usize) -> u32 {
+    let line = toks[comment_idx].line;
+    if toks
+        .iter()
+        .any(|t| !t.is_comment() && t.line <= line && t.end_line >= line)
+    {
+        return line;
+    }
+    toks.iter()
+        .filter(|t| !t.is_comment() && t.line > line)
+        .map(|t| t.line)
+        .min()
+        .unwrap_or(line)
+}
+
+/// Parse the allow-directive body (rule list and justification) out of a
+/// comment.
+fn parse_directive(comment: &str) -> Result<(Vec<Rule>, String), String> {
+    let after = comment
+        .split("wr-check:")
+        .nth(1)
+        .ok_or_else(|| "internal: directive marker vanished".to_string())?
+        .trim_start();
+    let body = after.strip_prefix("allow(").ok_or_else(|| {
+        "malformed directive: expected `wr-check: allow(<rule>) — <reason>`".to_string()
+    })?;
+    let close = body
+        .find(')')
+        .ok_or_else(|| "malformed directive: missing `)`".to_string())?;
+    let mut rules = Vec::new();
+    for name in body[..close].split(',') {
+        match Rule::from_name(name) {
+            Some(r) => rules.push(r),
+            None => {
+                return Err(format!(
+                    "malformed directive: unknown rule {:?} (use R1–R5 or their slugs)",
+                    name.trim()
+                ))
+            }
+        }
+    }
+    if rules.is_empty() {
+        return Err("malformed directive: empty rule list".to_string());
+    }
+    let reason: String = body[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':'))
+        .trim()
+        .to_string();
+    if reason.len() < 5 {
+        return Err(
+            "directive needs a justification: `wr-check: allow(<rule>) — <reason>`".to_string()
+        );
+    }
+    Ok((rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active(path: &str, src: &str) -> Vec<Violation> {
+        check_source(path, src)
+            .into_iter()
+            .filter(|v| v.suppressed.is_none())
+            .collect()
+    }
+
+    #[test]
+    fn scope_selects_kernel_crates() {
+        assert!(Scope::for_path("crates/tensor/src/lib.rs").r1);
+        assert!(!Scope::for_path("crates/models/src/lib.rs").r1);
+        assert!(!Scope::for_path("crates/runtime/src/lib.rs").r3);
+        assert!(Scope::for_path("crates/tensor/src/lib.rs").r3);
+        assert!(!Scope::for_path("crates/bench/src/harness.rs").r4);
+        assert!(Scope::for_path("crates/tensor/tests/x.rs").test_path);
+    }
+
+    #[test]
+    fn directive_requires_reason() {
+        let src = "// wr-check: allow(R1)\nfn f() { x.unwrap(); }";
+        let vs = check_source("crates/tensor/src/a.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::Directive));
+        // The unwrap is NOT suppressed by the malformed directive.
+        assert!(vs
+            .iter()
+            .any(|v| v.rule == Rule::NoPanic && v.suppressed.is_none()));
+    }
+
+    #[test]
+    fn directive_above_and_trailing_both_work() {
+        let above = "// wr-check: allow(R1) — bounded by construction\nfn f() { x.unwrap(); }";
+        let vs = check_source("crates/tensor/src/a.rs", above);
+        assert!(vs.iter().all(|v| v.suppressed.is_some()), "{vs:?}");
+
+        let trailing = "fn f() { x.unwrap(); } // wr-check: allow(R1) — bounded by construction";
+        let vs = check_source("crates/tensor/src/a.rs", trailing);
+        assert!(vs.iter().all(|v| v.suppressed.is_some()), "{vs:?}");
+    }
+
+    #[test]
+    fn directive_only_covers_named_rule() {
+        let src = "// wr-check: allow(R5) — not the right rule\nfn f() { x.unwrap(); }";
+        assert_eq!(active("crates/tensor/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_fine() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(active("crates/tensor/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f() { x.unwrap_or_else(|| 0); y.unwrap_or(1); z.expect_err(\"e\"); }";
+        assert!(active("crates/tensor/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_multiline_block() {
+        let src = "// SAFETY: the dispatcher blocks until all jobs\n// complete, keeping the referents alive.\nunsafe impl Send for Job {}";
+        assert!(active("crates/runtime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_unsafe_item() {
+        let src = "struct J { call: unsafe fn(*const ()) }";
+        assert!(active("crates/runtime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_adjacency() {
+        let src = "// SAFETY: stale comment\n\nfn f() { unsafe { ptr.read() } }";
+        assert_eq!(active("crates/tensor/src/a.rs", src).len(), 1);
+    }
+}

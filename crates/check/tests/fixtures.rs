@@ -1,0 +1,349 @@
+//! Fixture suite for the wr-check rule set: every rule fires on a minimal
+//! offending source, and every rule is silenced by a justified allow
+//! directive. The fixtures live in raw strings so this file itself stays
+//! clean under the workspace scan (rule patterns inside string literals
+//! are data, not code).
+
+use wr_check::{check_source, Rule, Violation};
+
+/// Violations that survive suppression, restricted to one rule.
+fn active(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
+    check_source(path, src)
+        .into_iter()
+        .filter(|v| v.rule == rule && v.suppressed.is_none())
+        .collect()
+}
+
+/// Violations of `rule` that a directive suppressed.
+fn suppressed(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
+    check_source(path, src)
+        .into_iter()
+        .filter(|v| v.rule == rule && v.suppressed.is_some())
+        .collect()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_fires_on_unwrap_expect_and_panic_in_kernel_code() {
+    let src = r#"
+pub fn f(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a == 0 { panic!("zero"); }
+    if b == 1 { todo!() }
+    a + b
+}
+"#;
+    let hits = active("crates/tensor/src/fixture.rs", src, Rule::NoPanic);
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert_eq!(
+        hits.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![3, 4, 5, 6]
+    );
+}
+
+#[test]
+fn r1_suppressed_by_directive() {
+    let src = r#"
+pub fn f(v: Option<u32>) -> u32 {
+    // wr-check: allow(R1) — fixture invariant: caller always passes Some.
+    v.unwrap()
+}
+"#;
+    assert!(active("crates/tensor/src/fixture.rs", src, Rule::NoPanic).is_empty());
+    assert_eq!(suppressed("crates/tensor/src/fixture.rs", src, Rule::NoPanic).len(), 1);
+}
+
+#[test]
+fn r1_scoped_to_kernel_crates_and_production_code() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    // Non-kernel crate: out of scope.
+    assert!(active("crates/bench/src/fixture.rs", src, Rule::NoPanic).is_empty());
+    // Kernel crate, but under tests/: out of scope.
+    assert!(active("crates/tensor/tests/fixture.rs", src, Rule::NoPanic).is_empty());
+    // Kernel crate, inside a #[cfg(test)] module: out of scope.
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    assert!(active("crates/tensor/src/fixture.rs", in_test, Rule::NoPanic).is_empty());
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_fires_on_unsafe_without_safety_comment() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let hits = active("crates/runtime/src/fixture.rs", src, Rule::SafetyComment);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 3);
+}
+
+#[test]
+fn r2_satisfied_by_safety_comment() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+"#;
+    assert!(check_source("crates/runtime/src/fixture.rs", src)
+        .iter()
+        .all(|v| v.rule != Rule::SafetyComment));
+}
+
+#[test]
+fn r2_suppressed_by_directive() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    // wr-check: allow(R2) — fixture: justification lives on the caller side.
+    unsafe { *p }
+}
+"#;
+    assert!(active("crates/runtime/src/fixture.rs", src, Rule::SafetyComment).is_empty());
+    assert_eq!(
+        suppressed("crates/runtime/src/fixture.rs", src, Rule::SafetyComment).len(),
+        1
+    );
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_fires_on_spawn_and_static_mut_outside_runtime() {
+    let src = r#"
+static mut COUNTER: u32 = 0;
+pub fn f() {
+    std::thread::spawn(|| {});
+}
+"#;
+    let hits = active("crates/tensor/src/fixture.rs", src, Rule::PoolOnlyParallelism);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert_eq!(hits.iter().map(|v| v.line).collect::<Vec<_>>(), vec![2, 4]);
+}
+
+#[test]
+fn r3_allowed_inside_runtime_crate() {
+    let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+    assert!(active("crates/runtime/src/fixture.rs", src, Rule::PoolOnlyParallelism).is_empty());
+}
+
+#[test]
+fn r3_suppressed_by_directive() {
+    let src = r#"
+pub fn f() {
+    // wr-check: allow(R3) — fixture: one-shot helper thread in a probe tool.
+    std::thread::spawn(|| {});
+}
+"#;
+    assert!(active("crates/models/src/fixture.rs", src, Rule::PoolOnlyParallelism).is_empty());
+    assert_eq!(
+        suppressed("crates/models/src/fixture.rs", src, Rule::PoolOnlyParallelism).len(),
+        1
+    );
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_fires_on_wall_clock_and_hash_collections() {
+    let src = r#"
+use std::collections::HashMap;
+use std::time::Instant;
+pub fn f() -> u64 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+    let s = std::time::SystemTime::now();
+    let _ = (m, t, s);
+    0
+}
+"#;
+    let hits = active("crates/models/src/fixture.rs", src, Rule::Determinism);
+    // HashMap reported once per file (first sighting), each clock source once.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert_eq!(hits.iter().map(|v| v.line).collect::<Vec<_>>(), vec![2, 6, 7]);
+}
+
+#[test]
+fn r4_exempt_in_bench_crate() {
+    let src = "pub fn f() { let _ = std::time::Instant::now(); }\n";
+    assert!(active("crates/bench/src/fixture.rs", src, Rule::Determinism).is_empty());
+}
+
+#[test]
+fn r4_suppressed_by_directive() {
+    let src = r#"
+pub fn f() {
+    // wr-check: allow(R4) — fixture: wall-clock feeds a log line only.
+    let _ = std::time::Instant::now();
+}
+"#;
+    assert!(active("crates/train/src/fixture.rs", src, Rule::Determinism).is_empty());
+    assert_eq!(suppressed("crates/train/src/fixture.rs", src, Rule::Determinism).len(), 1);
+}
+
+// ---------------------------------------------------------------- R5
+
+#[test]
+fn r5_fires_on_direct_float_equality() {
+    let src = r#"
+pub fn f(x: f32) -> bool {
+    x == 0.5 || x != 1.0e3 || x == -2.5
+}
+"#;
+    let hits = active("crates/whitening/src/fixture.rs", src, Rule::FloatEq);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn r5_ignores_integer_equality() {
+    let src = "pub fn f(x: u32) -> bool { x == 0 || x != 10 }\n";
+    assert!(active("crates/whitening/src/fixture.rs", src, Rule::FloatEq).is_empty());
+}
+
+#[test]
+fn r5_suppressed_by_directive() {
+    let src = r#"
+pub fn f(x: f32) -> bool {
+    // wr-check: allow(R5) — fixture: exact sentinel comparison by design.
+    x == 1.0
+}
+"#;
+    assert!(active("crates/whitening/src/fixture.rs", src, Rule::FloatEq).is_empty());
+    assert_eq!(suppressed("crates/whitening/src/fixture.rs", src, Rule::FloatEq).len(), 1);
+}
+
+// ------------------------------------------------------- directives (D0)
+
+#[test]
+fn directive_without_reason_is_its_own_violation() {
+    let src = r#"
+pub fn f(v: Option<u32>) -> u32 {
+    // wr-check: allow(R1)
+    v.unwrap()
+}
+"#;
+    let vs = check_source("crates/tensor/src/fixture.rs", src);
+    // The malformed directive is flagged AND the unwrap still counts.
+    assert!(vs.iter().any(|v| v.rule == Rule::Directive && v.suppressed.is_none()));
+    assert!(vs
+        .iter()
+        .any(|v| v.rule == Rule::NoPanic && v.suppressed.is_none()));
+}
+
+#[test]
+fn directive_accepts_slugs_and_rule_lists() {
+    let src = r#"
+pub fn f(v: Option<f32>) -> bool {
+    // wr-check: allow(no-panic, float-eq) — fixture: both justified at once.
+    v.unwrap() == 1.0
+}
+"#;
+    let vs = check_source("crates/tensor/src/fixture.rs", src);
+    assert!(vs.iter().all(|v| v.suppressed.is_some()), "{vs:?}");
+    assert_eq!(vs.len(), 2);
+}
+
+#[test]
+fn trailing_directive_governs_its_own_line() {
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // wr-check: allow(R1) — fixture: trailing form.\n}\n";
+    assert!(active("crates/tensor/src/fixture.rs", src, Rule::NoPanic).is_empty());
+}
+
+// ------------------------------------------------- tokenizer edge cases
+
+#[test]
+fn patterns_inside_strings_and_comments_do_not_fire() {
+    let src = r##"
+pub fn f() -> String {
+    // this comment mentions v.unwrap() and thread::spawn and 1.0 == 2.0
+    /* and so does this block: panic!("x") */
+    let s = "v.unwrap(); thread::spawn; Instant::now(); 1.0 == 2.0";
+    let r = r#"static mut INSIDE_RAW: u32 = unsafe { 0 };"#;
+    format!("{s}{r}")
+}
+"##;
+    let vs = check_source("crates/tensor/src/fixture.rs", src);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_confuse_the_lexer() {
+    let src = r#"
+pub fn f<'a>(s: &'a str) -> bool {
+    s.starts_with('"') || s.ends_with('\\')
+}
+"#;
+    let vs = check_source("crates/tensor/src/fixture.rs", src);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn range_and_method_call_integers_are_not_floats() {
+    // `0..n` and `1.max(2)` must lex as integers, or R5 would misfire on
+    // the comparisons below.
+    let src = r#"
+pub fn f(n: usize) -> bool {
+    let mut acc = 0usize;
+    for i in 0..n { acc += i; }
+    acc == 1.max(2) && acc != n
+}
+"#;
+    let vs = check_source("crates/whitening/src/fixture.rs", src);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+// ------------------------------------------------- end-to-end exit codes
+
+/// Run the wr-check binary against a throwaway tree and return
+/// (exit-success, stdout).
+fn run_binary(root: &std::path::Path, extra: &[&str]) -> (bool, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_wr-check"))
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn wr-check");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn binary_exits_nonzero_only_when_a_violation_is_injected() {
+    let dir = std::env::temp_dir().join(format!("wr-check-fixture-{}", std::process::id()));
+    let src_dir = dir.join("crates/tensor/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture tree");
+
+    // Clean tree: exit 0.
+    std::fs::write(src_dir.join("lib.rs"), "pub fn ok() -> u32 { 1 }\n").expect("write");
+    let (ok, stdout) = run_binary(&dir, &[]);
+    assert!(ok, "clean tree must pass:\n{stdout}");
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+
+    // Inject a violation: exit non-zero, diagnostic names file and line.
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    let (ok, stdout) = run_binary(&dir, &[]);
+    assert!(!ok, "injected violation must fail the scan:\n{stdout}");
+    assert!(stdout.contains("crates/tensor/src/bad.rs:2"), "{stdout}");
+
+    // JSON mode carries the same verdict.
+    let (ok, stdout) = run_binary(&dir, &["--json"]);
+    assert!(!ok);
+    assert!(stdout.contains("\"wr-check/v1\""), "{stdout}");
+    assert!(stdout.contains("\"R1\""), "{stdout}");
+
+    // Suppress it with a justified directive: exit 0 again.
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn f(v: Option<u32>) -> u32 {\n    // wr-check: allow(R1) — fixture: injected then justified.\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    let (ok, stdout) = run_binary(&dir, &[]);
+    assert!(ok, "suppressed violation must pass:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

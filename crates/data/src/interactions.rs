@@ -72,7 +72,7 @@ pub fn generate_interactions(catalog: &Catalog, config: InteractionConfig) -> Ve
             (i, c * sem_q + (1.0 - c) * noise)
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut pop = vec![0.0f32; n];
     for (rank, &(item, _)) in scored.iter().enumerate() {
         pop[item] = 1.0 / (rank as f32 + 1.0).powf(config.zipf);
@@ -151,6 +151,8 @@ fn cumulative_sum(w: &[f32]) -> Vec<f32> {
 }
 
 fn sample_from_cumulative(cum: &[f32], rng: &mut Rng64) -> usize {
+    // wr-check: allow(R1) — cum mirrors the catalog's item list, which
+    // Catalog::generate guarantees non-empty.
     let total = *cum.last().expect("non-empty weights");
     let target = rng.uniform() * total;
     cum.partition_point(|&c| c < target).min(cum.len() - 1)

@@ -2,6 +2,8 @@
 //! top-K recommendations. Standard companions to Recall/NDCG when judging
 //! whether a model only recommends blockbusters.
 
+// wr-check: allow(R4) — the set is only ever counted (len), never
+// iterated, so hash order cannot reach any reported number.
 use std::collections::HashSet;
 
 use wr_tensor::Tensor;

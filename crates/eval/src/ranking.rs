@@ -1,6 +1,6 @@
 //! Full-ranking Recall@K and NDCG@K.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wr_data::EvalCase;
 use wr_tensor::Tensor;
@@ -22,11 +22,16 @@ pub struct MetricSet {
 
 impl MetricSet {
     pub fn recall_at(&self, k: usize) -> f32 {
+        // wr-check: allow(R1) — API contract: callers query the cutoff set
+        // they constructed the accumulator with; a typo'd k is a test bug,
+        // not a runtime input.
         let i = self.ks.iter().position(|&x| x == k).expect("unknown cutoff");
         self.recall[i]
     }
 
     pub fn ndcg_at(&self, k: usize) -> f32 {
+        // wr-check: allow(R1) — same contract as recall_at: the cutoff set
+        // is fixed at construction.
         let i = self.ks.iter().position(|&x| x == k).expect("unknown cutoff");
         self.ndcg[i]
     }
@@ -174,7 +179,7 @@ pub fn per_case_pairs(a: &MetricSet, b: &MetricSet) -> (Vec<f32>, Vec<f32>) {
 
 /// Build a map from user id to that user's training items, for callers that
 /// need custom exclusion sets.
-pub fn history_map(train: &[Vec<usize>]) -> HashMap<usize, Vec<usize>> {
+pub fn history_map(train: &[Vec<usize>]) -> BTreeMap<usize, Vec<usize>> {
     train
         .iter()
         .enumerate()

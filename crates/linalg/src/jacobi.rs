@@ -148,7 +148,7 @@ pub fn sym_eig(a: &Tensor) -> Result<SymEig> {
     // Extract and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let eigvals: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
-    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+    order.sort_by(|&i, &j| eigvals[j].total_cmp(&eigvals[i]));
 
     let values: Vec<f32> = order.iter().map(|&i| eigvals[i] as f32).collect();
     let mut vectors = Tensor::zeros(&[n, n]);

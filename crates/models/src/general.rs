@@ -205,8 +205,11 @@ fn refined_graph(
     n: usize,
     k: usize,
 ) -> Vec<Vec<(usize, f32)>> {
-    use std::collections::HashMap;
-    let mut counts: Vec<HashMap<usize, f32>> = vec![HashMap::new(); n];
+    // BTreeMap, not HashMap: the top-K truncation below breaks weight ties
+    // by whatever order the map iterates in, so the map must iterate
+    // deterministically for the graph (and the model) to be reproducible.
+    use std::collections::BTreeMap;
+    let mut counts: Vec<BTreeMap<usize, f32>> = vec![BTreeMap::new(); n];
     for s in sequences {
         for w in s.windows(2) {
             if w[0] != w[1] {
@@ -226,7 +229,9 @@ fn refined_graph(
                 })
                 .filter(|&(_, w)| w > 0.0)
                 .collect();
-            edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            // Sort by weight descending, tie-broken by item index so the
+            // kept top-K never depends on the incoming order.
+            edges.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             edges.truncate(k);
             let total: f32 = edges.iter().map(|e| e.1).sum();
             if total > 0.0 {

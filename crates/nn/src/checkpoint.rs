@@ -13,7 +13,7 @@
 //! entry being encoded — checkpoints are the only large artifacts the
 //! library persists, so the path is kept boring and fast.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -23,6 +23,10 @@ use wr_tensor::Tensor;
 
 /// Little-endian reader over a byte slice (the offline workspace has no
 /// `bytes` crate; this covers exactly what the checkpoint format needs).
+///
+/// Every getter is fallible: checkpoint files are untrusted input, so a
+/// truncated or corrupted buffer must surface as a [`CheckpointError`],
+/// never a panic.
 struct Cursor<'a> {
     buf: &'a [u8],
 }
@@ -32,22 +36,33 @@ impl<'a> Cursor<'a> {
         self.buf.len()
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() < n {
+            return Err(CheckpointError::Format(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.buf.len()
+            )));
+        }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
-        head
+        Ok(head)
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    fn get_u32_le(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    fn get_u64_le(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let bytes = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
     }
 
-    fn get_f32_le(&mut self) -> f32 {
-        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    fn get_f32_le(&mut self, what: &str) -> Result<f32, CheckpointError> {
+        let bytes = self.take(4, what)?;
+        Ok(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
     }
 }
 
@@ -118,55 +133,63 @@ pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> Result<(), Check
 }
 
 /// Load all entries of a checkpoint into a name → tensor map.
-pub fn load_params(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, CheckpointError> {
+///
+/// The map is a `BTreeMap` so any caller that iterates it (printing,
+/// diffing, re-serializing) sees a deterministic key order.
+pub fn load_params(path: impl AsRef<Path>) -> Result<BTreeMap<String, Tensor>, CheckpointError> {
     let mut input = BufReader::new(File::open(path)?);
     let mut raw = Vec::new();
     input.read_to_end(&mut raw)?;
     let mut buf = Cursor { buf: &raw[..] };
 
-    if buf.remaining() < 12 {
-        return Err(CheckpointError::Format("file too short".into()));
-    }
-    let magic: [u8; 4] = buf.take(4).try_into().unwrap();
-    if &magic != MAGIC {
+    let magic = buf.take(4, "magic")?;
+    if magic != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
-    let version = buf.get_u32_le();
+    let version = buf.get_u32_le("version")?;
     if version != VERSION {
         return Err(CheckpointError::Format(format!("unsupported version {version}")));
     }
-    let n = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le("entry count")? as usize;
 
-    let mut map = HashMap::with_capacity(n);
+    let mut map = BTreeMap::new();
     for _ in 0..n {
-        if buf.remaining() < 4 {
-            return Err(CheckpointError::Format("truncated entry header".into()));
-        }
-        let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len {
-            return Err(CheckpointError::Format("truncated name".into()));
-        }
-        let name = String::from_utf8(buf.take(name_len).to_vec())
+        let name_len = buf.get_u32_le("name length")? as usize;
+        let name = String::from_utf8(buf.take(name_len, "name")?.to_vec())
             .map_err(|_| CheckpointError::Format("non-utf8 name".into()))?;
-        if buf.remaining() < 4 {
-            return Err(CheckpointError::Format("truncated rank".into()));
+        let rank = buf.get_u32_le("rank")? as usize;
+        // A hostile rank would otherwise drive a huge allocation below;
+        // real models are rank ≤ 4.
+        if rank > 32 {
+            return Err(CheckpointError::Format(format!("entry {name}: absurd rank {rank}")));
         }
-        let rank = buf.get_u32_le() as usize;
-        if buf.remaining() < rank * 8 + 8 {
-            return Err(CheckpointError::Format("truncated dims".into()));
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u64_le("dimension")? as usize);
         }
-        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
-        let numel = buf.get_u64_le() as usize;
-        if numel != dims.iter().product::<usize>() {
+        let numel = buf.get_u64_le("value count")? as usize;
+        let expected: Option<usize> =
+            dims.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d));
+        if expected != Some(numel) {
             return Err(CheckpointError::Format(format!(
                 "entry {name}: {numel} values vs dims {dims:?}"
             )));
         }
-        if buf.remaining() < numel * 4 {
+        let byte_len = numel.checked_mul(4).ok_or_else(|| {
+            CheckpointError::Format(format!("entry {name}: value count overflows"))
+        })?;
+        if buf.remaining() < byte_len {
             return Err(CheckpointError::Format("truncated values".into()));
         }
-        let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
-        map.insert(name, Tensor::from_vec(data, &dims));
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le("value")?);
+        }
+        map.insert(
+            name,
+            Tensor::try_from_vec(data, &dims)
+                .map_err(|e| CheckpointError::Format(e.to_string()))?,
+        );
     }
     Ok(map)
 }
@@ -176,7 +199,7 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, Ch
 /// checkpoint entries are ignored (forward compatibility).
 pub fn restore_params(
     params: &[Param],
-    loaded: &HashMap<String, Tensor>,
+    loaded: &BTreeMap<String, Tensor>,
 ) -> Result<(), CheckpointError> {
     for (i, p) in params.iter().enumerate() {
         let key = entry_key(i, p);
@@ -259,6 +282,51 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(load_params(&path), Err(CheckpointError::Format(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_errors_never_panics() {
+        let mut rng = Rng64::seed_from(3);
+        let a = Param::new("w", Tensor::randn(&[4, 3], &mut rng));
+        let path = tmp("every_trunc");
+        save_params(&path, &[a]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(load_params(&path).is_err(), "cut at {cut} must error");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hostile_headers_error_instead_of_allocating() {
+        let path = tmp("hostile");
+        let mut craft = |entry_tail: &[u8]| {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&VERSION.to_le_bytes());
+            bytes.extend_from_slice(&1u32.to_le_bytes()); // one entry
+            bytes.extend_from_slice(entry_tail);
+            std::fs::write(&path, &bytes).unwrap();
+            load_params(&path)
+        };
+        // name_len far beyond the buffer.
+        assert!(matches!(craft(&u32::MAX.to_le_bytes()), Err(CheckpointError::Format(_))));
+        // Absurd rank.
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&1u32.to_le_bytes()); // name_len = 1
+        tail.push(b'w');
+        tail.extend_from_slice(&u32::MAX.to_le_bytes()); // rank
+        assert!(matches!(craft(&tail), Err(CheckpointError::Format(_))));
+        // numel that would overflow numel * 4.
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&1u32.to_le_bytes());
+        tail.push(b'w');
+        tail.extend_from_slice(&1u32.to_le_bytes()); // rank = 1
+        tail.extend_from_slice(&u64::MAX.to_le_bytes()); // dim
+        tail.extend_from_slice(&u64::MAX.to_le_bytes()); // numel
+        assert!(matches!(craft(&tail), Err(CheckpointError::Format(_))));
         std::fs::remove_file(path).ok();
     }
 

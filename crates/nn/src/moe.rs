@@ -53,6 +53,8 @@ impl MoEAdaptor {
                 None => weighted,
             });
         }
+        // wr-check: allow(R1) — the expert loop ran at least once:
+        // n_experts >= 1 is asserted in new().
         combined.expect("at least one expert")
     }
 

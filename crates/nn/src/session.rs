@@ -1,6 +1,6 @@
 //! A training/eval step: binds parameters into one autograd graph.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::Param;
 use wr_autograd::{Graph, Var};
@@ -14,7 +14,7 @@ use wr_tensor::Rng64;
 /// pushes two whitened views through one projection head).
 pub struct Session<'g> {
     pub graph: &'g Graph,
-    bindings: HashMap<u64, Var>,
+    bindings: BTreeMap<u64, Var>,
     order: Vec<(Param, Var)>,
     train: bool,
     rng: Rng64,
@@ -25,7 +25,7 @@ impl<'g> Session<'g> {
     pub fn train(graph: &'g Graph, rng: Rng64) -> Self {
         Session {
             graph,
-            bindings: HashMap::new(),
+            bindings: BTreeMap::new(),
             order: Vec::new(),
             train: true,
             rng,
@@ -36,7 +36,7 @@ impl<'g> Session<'g> {
     pub fn eval(graph: &'g Graph) -> Self {
         Session {
             graph,
-            bindings: HashMap::new(),
+            bindings: BTreeMap::new(),
             order: Vec::new(),
             train: false,
             rng: Rng64::seed_from(0),

@@ -98,6 +98,9 @@ pub fn set_threads(n: usize) {
 /// remain valid because the dispatcher blocks on the latch until every job
 /// of its batch has completed.
 struct Job {
+    // SAFETY: callers must pass a `ctx` produced from the exact closure
+    // type `call` was instantiated for (enforced by `dispatch`, the only
+    // constructor of `Job` values).
     call: unsafe fn(*const (), Range<usize>),
     ctx: *const (),
     range: Range<usize>,
@@ -152,6 +155,9 @@ fn pool() -> &'static PoolState {
 /// Execute one job, converting panics into a latch flag so the dispatching
 /// thread can re-raise them instead of the whole process aborting.
 fn run_job(job: Job) {
+    // SAFETY: `job.ctx` points at the closure `job.call` was instantiated
+    // for, and the dispatching thread keeps it alive by blocking on the
+    // latch until this job has counted down.
     let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
         (job.call)(job.ctx, job.range.clone());
     }));
@@ -207,6 +213,9 @@ fn ensure_workers(wanted: usize) {
     }
 }
 
+// SAFETY: caller must guarantee `ctx` is a valid `*const F` to a closure
+// that outlives the call — `dispatch` derives it from a stack reference it
+// keeps alive by blocking until every job has finished.
 unsafe fn call_range<F: Fn(Range<usize>) + Sync>(ctx: *const (), r: Range<usize>) {
     (*(ctx as *const F))(r)
 }
@@ -338,12 +347,21 @@ pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, grain: usize, f
 /// Pointer wrapper that lets disjoint sub-slices be rebuilt on workers.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only ever turned into disjoint `&mut [T]` chunks
+// (one per dispatched chunk index), so moving it across threads cannot
+// alias; `T: Send` carries the element-type requirement.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing the wrapper is sound for the same reason — all access
+// goes through `slice_at`, whose callers hand each chunk to exactly one
+// task.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
     /// Rebuild the sub-slice starting at `offset`. Accessed via a method so
     /// closures capture the whole (Sync) wrapper rather than the raw field.
+    // SAFETY: caller must ensure `offset..offset + len` is in bounds of the
+    // original buffer, that no other live reference overlaps it, and that
+    // the buffer outlives the returned slice.
     unsafe fn slice_at(&self, offset: usize, len: usize) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(offset), len)
     }

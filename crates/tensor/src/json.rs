@@ -22,12 +22,22 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Maximum container nesting depth. Parsing is recursive, so unbounded
+/// depth on hostile input would overflow the stack (an abort, not a
+/// catchable error); the workspace's own formats nest at most 2 deep.
+const MAX_DEPTH: usize = 128;
+
+/// Longest accepted number token. f64 shortest-round-trip output is under
+/// 25 bytes and u64 under 21; anything much longer is hostile input that
+/// should error rather than be silently collapsed to ±inf.
+const MAX_NUMBER_LEN: usize = 512;
+
 impl Json {
     /// Parse a complete JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing characters at byte {pos}"));
@@ -53,6 +63,8 @@ impl Json {
 
     pub fn as_usize(&self) -> Option<usize> {
         match self {
+            // wr-check: allow(R5) — fract() == 0.0 is the exact integrality
+            // test; a tolerance would accept non-integers as indices.
             Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as usize),
             _ => None,
         }
@@ -101,12 +113,15 @@ fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -130,6 +145,9 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
     {
         *pos += 1;
+    }
+    if *pos - start > MAX_NUMBER_LEN {
+        return Err(format!("number longer than {MAX_NUMBER_LEN} bytes at byte {start}"));
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
     text.parse::<f64>()
@@ -177,7 +195,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Copy a full UTF-8 scalar.
                 let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let ch = s.chars().next().unwrap();
+                let ch = s
+                    .chars()
+                    .next()
+                    .ok_or_else(|| format!("unreadable scalar at byte {}", *pos))?;
                 out.push(ch);
                 *pos += ch.len_utf8();
             }
@@ -185,7 +206,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -194,7 +215,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -207,7 +228,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(b, pos);
@@ -220,7 +241,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -390,6 +411,64 @@ mod tests {
         assert!(Json::parse("[1,2").is_err());
         assert!(Json::parse("[1,2] extra").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn truncated_documents_error() {
+        // Every prefix of a valid document must error, never panic.
+        let full = r#"{"dims":[2,2],"data":[1.0,2.0,3.0,4.0]}"#;
+        for cut in 0..full.len() {
+            assert!(Json::parse(&full[..cut]).is_err(), "prefix of len {cut} must error");
+        }
+    }
+
+    #[test]
+    fn unterminated_strings_error() {
+        for bad in [r#""never closed"#, r#"{"key"#, r#"["a", "b"#, "\"ends in escape\\"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn bad_escapes_error() {
+        for bad in [r#""\x00""#, r#""\u12"#, r#""\u12G4""#, r#""\"#, r#""\q""#] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Far beyond MAX_DEPTH; without the depth guard this would blow the
+        // parser's stack (an abort, not an Err).
+        let deep_arr = "[".repeat(100_000);
+        assert!(Json::parse(&deep_arr).is_err());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // Just under the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH - 1), "]".repeat(MAX_DEPTH - 1));
+        assert!(Json::parse(&ok).is_ok());
+        // Depth counts containers, not siblings: a wide flat array is fine.
+        let wide = format!("[{}1]", "1,".repeat(10_000));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn overlong_numbers_error() {
+        let huge_digits = "9".repeat(100_000);
+        assert!(Json::parse(&huge_digits).is_err());
+        let huge_exponent = format!("1e{}", "9".repeat(100_000));
+        assert!(Json::parse(&huge_exponent).is_err());
+        let many_signs = "-".repeat(100_000);
+        assert!(Json::parse(&many_signs).is_err());
+        // Ordinary precision is untouched.
+        assert!(Json::parse("-1.7976931348623157e308").is_ok());
+    }
+
+    #[test]
+    fn malformed_numbers_error() {
+        for bad in ["1.2.3", "1e", "--5", "+", ".", "0x10", "1e+"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

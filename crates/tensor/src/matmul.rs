@@ -31,6 +31,8 @@ const PAR_MIN_FLOPS: usize = 1 << 16;
 impl Tensor {
     /// Matrix product `self @ other`. Panics on shape mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        // wr-check: allow(R1) — documented panicking wrapper; try_matmul is
+        // the Result path for untrusted shapes.
         self.try_matmul(other).expect("Tensor::matmul")
     }
 

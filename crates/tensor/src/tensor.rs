@@ -15,6 +15,8 @@ impl Tensor {
 
     /// Build a tensor from raw data. Panics if `data.len()` doesn't match.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        // wr-check: allow(R1) — documented panicking wrapper; try_from_vec
+        // is the Result path for untrusted input.
         Self::try_from_vec(data, dims).expect("Tensor::from_vec")
     }
 
@@ -163,6 +165,8 @@ impl Tensor {
 
     /// Reinterpret the data with a new shape of identical element count.
     pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        // wr-check: allow(R1) — documented panicking wrapper; try_reshape
+        // is the Result path.
         self.try_reshape(dims).expect("Tensor::reshape")
     }
 

@@ -1,6 +1,6 @@
 //! Adam optimizer (Kingma & Ba), with RecBole-style L2 weight decay.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wr_autograd::{Graph, Var};
 use wr_nn::Param;
@@ -43,7 +43,7 @@ struct Slot {
 /// instance follows parameters across the fresh graph built each step.
 pub struct Adam {
     pub config: AdamConfig,
-    state: HashMap<u64, Slot>,
+    state: BTreeMap<u64, Slot>,
     step: u64,
 }
 
@@ -51,7 +51,7 @@ impl Adam {
     pub fn new(config: AdamConfig) -> Self {
         Adam {
             config,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
             step: 0,
         }
     }
@@ -83,6 +83,9 @@ impl Adam {
 
         for (i, mut grad) in grads {
             let param = &bindings[i].0;
+            // wr-check: allow(R5) — exact sentinel: 1.0 means "no clipping
+            // happened", skipping a full-tensor scale; any other value must
+            // scale even if within epsilon of 1.
             if clip_scale != 1.0 {
                 grad.scale_(clip_scale);
             }

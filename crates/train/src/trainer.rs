@@ -153,12 +153,16 @@ pub fn fit<M: SeqRecModel>(
     let mut best_epoch = 0usize;
     let mut stale = 0usize;
     let mut epochs = Vec::new();
+    // wr-check: allow(R4) — wall-clock is recorded into the report for
+    // human inspection only; no training decision reads it.
     let start = Instant::now();
 
     for epoch in 0..config.max_epochs {
         if let Some(schedule) = config.lr_schedule {
             optimizer.config.lr = schedule.at(epoch);
         }
+        // wr-check: allow(R4) — per-epoch timing feeds the report, never
+        // the optimization path.
         let epoch_start = Instant::now();
         let mut loss_sum = 0.0f64;
         let mut n_batches = 0usize;

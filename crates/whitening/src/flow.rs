@@ -99,6 +99,7 @@ impl FlowWhitening {
     pub fn fit(x: &Tensor, config: FlowConfig, seed: u64) -> Self {
         let d = x.cols();
         assert!(d % 2 == 0, "flow whitening needs an even dimension");
+        assert!(config.layers >= 1, "flow whitening needs at least one coupling layer");
         let mut rng = Rng64::seed_from(seed);
         // Per-dimension standardization first (BN) so the flow starts near
         // a reasonable scale.
@@ -149,6 +150,8 @@ impl FlowWhitening {
                 // NLL/sample = 0.5·Σ y² / n − logdet / n (+ const).
                 let sq = g.mul(h, h);
                 let energy = g.scale(g.sum_all(sq), 0.5 / bsz);
+                // wr-check: allow(R1) — Some because config.layers >= 1
+                // is asserted at entry, so the layer loop ran.
                 let logdet = g.scale(logdet_sum.expect("≥1 layer"), 1.0 / bsz);
                 let loss = g.sub(energy, logdet);
                 epoch_nll += g.value(loss).item() as f64;
@@ -163,6 +166,8 @@ impl FlowWhitening {
                     let idx = all_params
                         .iter()
                         .position(|q| q.id() == p.id())
+                        // wr-check: allow(R1) — every bound param came from
+                        // `layers`, the same source as `all_params`.
                         .expect("bound param not in registry");
                     let mt = &mut m[idx];
                     mt.scale_(b1);

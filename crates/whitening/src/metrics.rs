@@ -42,7 +42,7 @@ pub fn pairwise_cosine_cdf(
     seed: u64,
 ) -> (Vec<f32>, Vec<f32>) {
     let mut cs = pairwise_cosines(x, samples, seed);
-    cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cs.sort_by(|a, b| a.total_cmp(b));
     let grid: Vec<f32> = (0..grid_points)
         .map(|k| -1.0 + 2.0 * k as f32 / (grid_points - 1) as f32)
         .collect();
@@ -60,6 +60,8 @@ fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let dot = wr_tensor::dot(a, b);
     let na = wr_tensor::dot(a, a).sqrt();
     let nb = wr_tensor::dot(b, b).sqrt();
+    // wr-check: allow(R5) — exact zero-norm guard before the division;
+    // a tolerance here would silently zero out tiny-but-real vectors.
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and the same suite pinned to
-# one thread (WR_THREADS=1 exercises the pool's sequential fallback — the
-# path every parallel primitive must match bit-for-bit).
+# Tier-1 gate: warning-free release build, the wr-check static-analysis
+# pass, the full test suite, and the same suite pinned to one thread
+# (WR_THREADS=1 exercises the pool's sequential fallback — the path every
+# parallel primitive must match bit-for-bit).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== check: cargo build --release =="
-cargo build --release --workspace
+echo "== check: cargo build --release (-D warnings) =="
+RUSTFLAGS="-D warnings" cargo build --release --workspace
+
+echo "== check: wr-check static analysis =="
+./target/release/wr-check
 
 echo "== check: cargo test (default threads) =="
 cargo test --workspace -q
