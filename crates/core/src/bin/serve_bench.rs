@@ -1,0 +1,181 @@
+//! `serve-bench` — replay a query log through the batched serving engine.
+//!
+//! ```text
+//! serve-bench [--model WhitenRec+] [--dataset Arts] [--scale 0.2]
+//!             [--epochs 3] [--checkpoint model.wrck]
+//!             [--queries 2048] [--max-len 20] [--log trace.jsonl]
+//!             [--save-log trace.jsonl] [--batch 64] [--k 10]
+//!             [--no-filter-seen] [--seed 17] [--out report.json]
+//!             [--check-naive N]
+//! ```
+//!
+//! The model comes from a trained checkpoint when `--checkpoint` names an
+//! existing file (the architecture is rebuilt from the same dataset
+//! context, then the saved parameters are restored into it). Otherwise the
+//! model is trained here on the warm split — pass `--checkpoint` with a
+//! fresh path to also save the result as a reusable fixture.
+//!
+//! The query log comes from `--log` when that file exists; otherwise a
+//! seeded synthetic trace over the dataset's catalog is generated (and
+//! written back to `--save-log`, or to `--log` itself, so the exact trace
+//! that was replayed is always recoverable).
+//!
+//! The latency report — p50/p95/p99/mean latency, QPS, and a determinism
+//! checksum over the served top-1 items — is printed to stdout as JSON in
+//! the `wr_bench::harness` export shape, and optionally written to
+//! `--out`. `--check-naive N` additionally re-serves the first `N` queries
+//! through the naive one-user-at-a-time scorer and fails unless the
+//! batched responses match bit-for-bit.
+
+use std::process::ExitCode;
+
+use whitenrec::data::{DatasetKind, DatasetSpec};
+use whitenrec::nn::save_params;
+use whitenrec::ExperimentContext;
+use wr_serve::{replay, QueryLog, ServeConfig, ServeEngine};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: serve-bench [--model NAME] [--dataset Arts|Toys|Tools|Food]");
+        eprintln!("  [--scale F] [--epochs N] [--checkpoint PATH] [--queries N]");
+        eprintln!("  [--max-len N] [--log PATH] [--save-log PATH] [--batch N] [--k N]");
+        eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-naive N]");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(s) => s.parse().map_err(|_| format!("bad {name} {s}")),
+        None => Ok(default),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let model_name = flag(args, "--model").unwrap_or_else(|| "WhitenRec+".into());
+    let kind = match flag(args, "--dataset").as_deref() {
+        Some("Arts") | None => DatasetKind::Arts,
+        Some("Toys") => DatasetKind::Toys,
+        Some("Tools") => DatasetKind::Tools,
+        Some("Food") => DatasetKind::Food,
+        Some(other) => return Err(format!("unknown dataset {other} (Arts|Toys|Tools|Food)")),
+    };
+    let scale: f32 = parse_num(args, "--scale", 0.2)?;
+    let epochs: usize = parse_num(args, "--epochs", 3)?;
+    let n_queries: usize = parse_num(args, "--queries", 2048)?;
+    let seed: u64 = parse_num(args, "--seed", 17)?;
+    let batch: usize = parse_num(args, "--batch", 64)?;
+    let k: usize = parse_num(args, "--k", 10)?;
+
+    let spec = DatasetSpec::preset(kind).scaled(scale).scaled_items(2.0);
+    let mut ctx = ExperimentContext::from_spec(spec);
+    ctx.train_config.max_epochs = epochs;
+    let max_len: usize = parse_num(args, "--max-len", ctx.model_config.max_seq)?;
+
+    let cfg = ServeConfig {
+        k,
+        max_batch: batch,
+        max_seq: ctx.model_config.max_seq,
+        filter_seen: !has_flag(args, "--no-filter-seen"),
+    };
+
+    // Model: restore the checkpoint fixture when it exists, else train one
+    // here (and save it when a checkpoint path was named).
+    let checkpoint = flag(args, "--checkpoint");
+    let restorable = checkpoint
+        .as_deref()
+        .is_some_and(|p| std::path::Path::new(p).is_file());
+    let engine = if restorable {
+        let path = checkpoint.clone().unwrap_or_default();
+        eprintln!("restoring {model_name} from {path}…");
+        let model = ctx.build_model(&model_name);
+        ServeEngine::from_checkpoint(model, &path, cfg).map_err(|e| e.to_string())?
+    } else {
+        eprintln!(
+            "training {model_name} on {} (scale {scale}, {} epochs)…",
+            ctx.dataset.spec.kind.name(),
+            ctx.train_config.max_epochs
+        );
+        let trained = ctx.run_warm(&model_name);
+        eprintln!("trained: test {}", trained.test_metrics);
+        if let Some(path) = &checkpoint {
+            save_params(path, &trained.model.params()).map_err(|e| e.to_string())?;
+            eprintln!("checkpoint fixture written to {path}");
+        }
+        ServeEngine::new(trained.model, cfg)
+    };
+
+    // Query log: load a recorded trace when it exists, else generate a
+    // seeded synthetic one over this catalog.
+    let log_path = flag(args, "--log");
+    let log = match &log_path {
+        Some(p) if std::path::Path::new(p).is_file() => {
+            let loaded = QueryLog::load(p).map_err(|e| e.to_string())?;
+            eprintln!("replaying {} recorded queries from {p}", loaded.len());
+            loaded
+        }
+        _ => {
+            let synth = QueryLog::synthetic(n_queries, engine.n_items(), max_len, seed);
+            eprintln!("generated {} synthetic queries (seed {seed})", synth.len());
+            synth
+        }
+    };
+    if let Some(p) = flag(args, "--save-log").or(log_path) {
+        if !std::path::Path::new(&p).is_file() {
+            log.save(&p).map_err(|e| e.to_string())?;
+            eprintln!("query log written to {p}");
+        }
+    }
+
+    let (responses, report) = replay(&engine, &log);
+
+    let check_n: usize = parse_num(args, "--check-naive", 0)?;
+    if check_n > 0 {
+        let n = check_n.min(log.len());
+        let naive = engine.serve_naive(&log.queries[..n]);
+        if naive != responses[..n] {
+            return Err(format!(
+                "differential check failed: batched and naive top-k disagree within the first {n} queries"
+            ));
+        }
+        eprintln!("differential check: batched == naive on {n} queries");
+    }
+
+    eprintln!(
+        "{} queries in {} batches | {:.1} qps | p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  mean {:.3} ms | top1 checksum {:016x}",
+        report.n_queries,
+        report.n_batches,
+        report.qps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.mean_ms,
+        report.top1_checksum
+    );
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = flag(args, "--out") {
+        std::fs::write(&path, json + "\n").map_err(|e| e.to_string())?;
+        eprintln!("report -> {path}");
+    }
+    Ok(())
+}

@@ -24,7 +24,7 @@ mod spec;
 mod split;
 mod stats;
 
-pub use batch::{Batch, Batcher};
+pub use batch::{Batch, Batcher, PAD_ITEM};
 pub use filter::{five_core_filter, FilteredData};
 pub use interactions::{generate_interactions, InteractionConfig};
 pub use io::{load_embeddings, load_sequences, save_embeddings, save_sequences};

@@ -9,21 +9,20 @@ use std::collections::HashSet;
 use wr_tensor::Tensor;
 
 /// Top-K item ids per row of a score matrix (ties broken by lower id).
+///
+/// Built on [`crate::top_k_filtered`], so the tie policy (`total_cmp`,
+/// then ascending index) is total even in the presence of NaNs — the old
+/// `partial_cmp`-based comparator here mapped NaN comparisons to `Equal`,
+/// which is not a consistent order and let `sort_by` return
+/// implementation-defined rankings.
 pub fn top_k(scores: &Tensor, k: usize) -> Vec<Vec<usize>> {
     assert!(scores.rank() == 2, "top_k expects [batch, n_items]");
-    let n = scores.cols();
-    let k = k.min(n);
     (0..scores.rows())
         .map(|r| {
-            let mut idx: Vec<usize> = (0..n).collect();
-            idx.sort_by(|&a, &b| {
-                scores.at2(r, b)
-                    .partial_cmp(&scores.at2(r, a))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            });
-            idx.truncate(k);
-            idx
+            crate::top_k_filtered(scores.row(r), k, &[])
+                .into_iter()
+                .map(|s| s.item)
+                .collect()
         })
         .collect()
 }

@@ -171,6 +171,101 @@ pub fn evaluate_cases(
     acc.finish()
 }
 
+/// One scored recommendation: an item id plus the score that ranked it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredItem {
+    pub item: usize,
+    pub score: f32,
+}
+
+/// Bounded-heap entry ordered so the heap's maximum is the *worst* kept
+/// candidate: lower score is worse; at equal scores the higher item index
+/// is worse (so the kept set, and the final list, prefer lower indices).
+#[derive(Debug, Clone, Copy)]
+struct WorstFirst {
+    score: f32,
+    item: usize,
+}
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `total_cmp` (not `partial_cmp`) so NaNs have a fixed place in the
+        // order and the comparator is total — the repo-wide tie policy.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then(self.item.cmp(&other.item))
+    }
+}
+
+/// Deterministic top-`k` over one score row with seen-item filtering.
+///
+/// Returns at most `k` items sorted by descending score, ties broken by
+/// ascending item index (`total_cmp` + index — the same policy every other
+/// ranking site in the workspace uses). Item ids listed in `seen` are
+/// excluded from the candidates; out-of-range ids in `seen` are ignored.
+///
+/// Runs in `O(n log k)` with a bounded min-heap, so full-catalog scoring at
+/// serving time never sorts the whole row.
+pub fn top_k_filtered(scores: &[f32], k: usize, seen: &[usize]) -> Vec<ScoredItem> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let mut seen_mask: Option<Vec<bool>> = None;
+    if !seen.is_empty() {
+        let mut m = vec![false; scores.len()];
+        for &s in seen {
+            if s < m.len() {
+                m[s] = true;
+            }
+        }
+        seen_mask = Some(m);
+    }
+    let mut heap: std::collections::BinaryHeap<WorstFirst> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for (item, &score) in scores.iter().enumerate() {
+        if let Some(m) = &seen_mask {
+            if m[item] {
+                continue;
+            }
+        }
+        let entry = WorstFirst { score, item };
+        if heap.len() < k {
+            heap.push(entry);
+        } else if let Some(worst) = heap.peek() {
+            // `entry < worst` means the candidate is strictly better than
+            // the worst kept item under the total order above.
+            if entry < *worst {
+                heap.pop();
+                heap.push(entry);
+            }
+        }
+    }
+    let mut out: Vec<ScoredItem> = heap
+        .into_iter()
+        .map(|e| ScoredItem {
+            item: e.item,
+            score: e.score,
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+    out
+}
+
 /// Convenience: evaluate case NDCG vectors of two models for a t-test.
 pub fn per_case_pairs(a: &MetricSet, b: &MetricSet) -> (Vec<f32>, Vec<f32>) {
     assert_eq!(a.per_case_ndcg.len(), b.per_case_ndcg.len(), "case mismatch");
@@ -309,6 +404,77 @@ mod tests {
         wr_runtime::set_threads(1);
         assert_eq!(serial, parallel);
         assert_eq!(serial.per_case_ndcg, parallel.per_case_ndcg);
+    }
+
+    #[test]
+    fn top_k_filtered_orders_and_filters() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3];
+        let top = top_k_filtered(&scores, 3, &[]);
+        let items: Vec<usize> = top.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![1, 3, 2]);
+        assert_eq!(top[0].score, 0.9);
+        // Seen filtering removes the best item; out-of-range ids ignored.
+        let top = top_k_filtered(&scores, 3, &[1, 999]);
+        let items: Vec<usize> = top.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![3, 2, 4]);
+        // k larger than the candidate set / k == 0.
+        assert_eq!(top_k_filtered(&scores, 100, &[]).len(), 5);
+        assert!(top_k_filtered(&scores, 0, &[]).is_empty());
+        assert!(top_k_filtered(&[], 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_equal_scores_rank_by_index() {
+        // Two items with bit-identical scores must rank deterministically by
+        // ascending index, at every k (the total_cmp + index policy).
+        let scores = [0.5, 0.8, 0.8, 0.1, 0.8];
+        for k in 1..=5 {
+            let top = top_k_filtered(&scores, k, &[]);
+            let items: Vec<usize> = top.iter().map(|s| s.item).collect();
+            let expect: Vec<usize> = [1, 2, 4, 0, 3][..k].to_vec();
+            assert_eq!(items, expect, "k={k}");
+        }
+        // All-tied row: pure index order survives the bounded heap.
+        let flat = [0.25f32; 7];
+        let top = top_k_filtered(&flat, 4, &[]);
+        let items: Vec<usize> = top.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_reference() {
+        use wr_tensor::Rng64;
+        let mut rng = Rng64::seed_from(11);
+        for trial in 0..20 {
+            let n = 1 + rng.below(200);
+            // Coarse quantization forces plenty of exact ties.
+            let scores: Vec<f32> = (0..n).map(|_| (rng.below(7) as f32) * 0.125).collect();
+            let seen: Vec<usize> = (0..rng.below(8)).map(|_| rng.below(n + 4)).collect();
+            let k = rng.below(n + 3);
+            let fast = top_k_filtered(&scores, k, &seen);
+            // Reference: full sort, then filter + truncate.
+            let mut idx: Vec<usize> = (0..n).filter(|i| !seen.contains(i)).collect();
+            idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+            idx.truncate(k);
+            let fast_items: Vec<usize> = fast.iter().map(|s| s.item).collect();
+            assert_eq!(fast_items, idx, "trial {trial} n={n} k={k}");
+            for s in &fast {
+                assert_eq!(s.score.to_bits(), scores[s.item].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_handles_nan_deterministically() {
+        // total_cmp sorts +NaN above +inf; the point is determinism, not a
+        // particular NaN placement.
+        let scores = [0.5, f32::NAN, 0.9, f32::NAN];
+        let a = top_k_filtered(&scores, 4, &[]);
+        let b = top_k_filtered(&scores, 4, &[]);
+        let ia: Vec<usize> = a.iter().map(|s| s.item).collect();
+        let ib: Vec<usize> = b.iter().map(|s| s.item).collect();
+        assert_eq!(ia, ib);
+        assert_eq!(ia, vec![1, 3, 2, 0]);
     }
 
     #[test]

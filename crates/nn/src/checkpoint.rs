@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn hostile_headers_error_instead_of_allocating() {
         let path = tmp("hostile");
-        let mut craft = |entry_tail: &[u8]| {
+        let craft = |entry_tail: &[u8]| {
             let mut bytes = Vec::new();
             bytes.extend_from_slice(MAGIC);
             bytes.extend_from_slice(&VERSION.to_le_bytes());

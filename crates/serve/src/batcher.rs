@@ -1,0 +1,180 @@
+//! Request micro-batching: variable-length histories → fixed-shape batches.
+
+use std::ops::Range;
+
+use wr_data::{Batch, PAD_ITEM};
+
+/// Knobs for the micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Maximum rows per packed batch.
+    pub max_batch: usize,
+    /// Fixed sequence length every history is padded/truncated to (must
+    /// match the served model's `max_seq`, or positions will disagree with
+    /// the training-time layout).
+    pub max_seq: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 64,
+            max_seq: 20,
+        }
+    }
+}
+
+/// One packed batch: the padded [`Batch`] plus the request rows it covers.
+#[derive(Debug, Clone)]
+pub struct MicroBatch {
+    /// Fixed-shape inference batch (`[len, max_seq]`, left-padded).
+    pub batch: Batch,
+    /// Range of request indices (in arrival order) this batch covers.
+    pub requests: Range<usize>,
+}
+
+/// Packs request histories into bounded, fixed-shape inference batches.
+///
+/// Requests are grouped *in arrival order* — no reordering, no
+/// length-bucketing — so responses can be stitched back positionally and
+/// results are independent of queue timing. Each group is at most
+/// `max_batch` rows; within a group, histories are left-padded to
+/// `max_seq` with [`PAD_ITEM`] and truncated to their most recent
+/// `max_seq` items, exactly as [`Batch::inference`] does for the offline
+/// evaluation path (pad positions are excluded from attention by the
+/// length masks the models build from `Batch::lengths`).
+///
+/// Empty histories (brand-new sessions) are mapped to the single-item
+/// context `[PAD_ITEM]`: the pad embedding is the model's "no signal"
+/// vector, so cold users get the model's unconditional ranking instead of
+/// a panic.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroBatcher {
+    cfg: BatcherConfig,
+}
+
+/// The fallback context for an empty history.
+const EMPTY_HISTORY: [usize; 1] = [PAD_ITEM];
+
+impl MicroBatcher {
+    pub fn new(cfg: BatcherConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.max_seq >= 1, "max_seq must be at least 1");
+        MicroBatcher { cfg }
+    }
+
+    pub fn config(&self) -> BatcherConfig {
+        self.cfg
+    }
+
+    /// Substitute the pad-token context for empty histories.
+    pub fn sanitize<'a>(history: &'a [usize]) -> &'a [usize] {
+        if history.is_empty() {
+            &EMPTY_HISTORY
+        } else {
+            history
+        }
+    }
+
+    /// Split `n` requests (by index, arrival order) into batch-sized ranges.
+    ///
+    /// The decomposition depends only on `n` and `max_batch` — never on
+    /// thread count or history contents — so a replay packs identically
+    /// every time.
+    pub fn plan(&self, n: usize) -> Vec<Range<usize>> {
+        let mut groups = Vec::with_capacity(n.div_ceil(self.cfg.max_batch.max(1)));
+        let mut start = 0;
+        while start < n {
+            let end = (start + self.cfg.max_batch).min(n);
+            groups.push(start..end);
+            start = end;
+        }
+        groups
+    }
+
+    /// Pack histories into padded fixed-shape batches.
+    pub fn pack(&self, histories: &[&[usize]]) -> Vec<MicroBatch> {
+        self.plan(histories.len())
+            .into_iter()
+            .map(|range| {
+                let contexts: Vec<&[usize]> = histories[range.clone()]
+                    .iter()
+                    .map(|h| Self::sanitize(h))
+                    .collect();
+                MicroBatch {
+                    batch: Batch::inference(&contexts, self.cfg.max_seq),
+                    requests: range,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher(max_batch: usize, max_seq: usize) -> MicroBatcher {
+        MicroBatcher::new(BatcherConfig { max_batch, max_seq })
+    }
+
+    #[test]
+    fn plan_covers_all_requests_in_order() {
+        let b = batcher(4, 8);
+        assert_eq!(b.plan(0), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(b.plan(3), vec![0..3]);
+        assert_eq!(b.plan(4), vec![0..4]);
+        assert_eq!(b.plan(10), vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn pack_produces_fixed_shape_left_padded_batches() {
+        let b = batcher(2, 4);
+        let h1: &[usize] = &[5, 6];
+        let h2: &[usize] = &[1, 2, 3, 4, 5, 6, 7]; // truncated to last 4
+        let h3: &[usize] = &[9];
+        let packed = b.pack(&[h1, h2, h3]);
+        assert_eq!(packed.len(), 2);
+        let first = &packed[0];
+        assert_eq!(first.requests, 0..2);
+        assert_eq!(first.batch.seq, 4);
+        assert_eq!(&first.batch.items[0..4], &[PAD_ITEM, PAD_ITEM, 5, 6]);
+        assert_eq!(&first.batch.items[4..8], &[4, 5, 6, 7]);
+        assert_eq!(first.batch.lengths, vec![2, 4]);
+        let second = &packed[1];
+        assert_eq!(second.requests, 2..3);
+        assert_eq!(&second.batch.items[0..4], &[PAD_ITEM, PAD_ITEM, PAD_ITEM, 9]);
+        // Inference batches never carry training targets.
+        assert!(first.batch.targets.is_empty());
+    }
+
+    #[test]
+    fn empty_history_becomes_pad_context() {
+        let b = batcher(8, 3);
+        let empty: &[usize] = &[];
+        let packed = b.pack(&[empty]);
+        assert_eq!(packed.len(), 1);
+        assert_eq!(&packed[0].batch.items[..], &[PAD_ITEM, PAD_ITEM, PAD_ITEM]);
+        assert_eq!(packed[0].batch.lengths, vec![1]);
+    }
+
+    #[test]
+    fn plan_is_independent_of_thread_count() {
+        let b = batcher(3, 4);
+        wr_runtime::set_threads(1);
+        let p1 = b.plan(11);
+        wr_runtime::set_threads(8);
+        let p8 = b.plan(11);
+        wr_runtime::set_threads(1);
+        assert_eq!(p1, p8);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_rejected() {
+        MicroBatcher::new(BatcherConfig {
+            max_batch: 0,
+            max_seq: 4,
+        });
+    }
+}

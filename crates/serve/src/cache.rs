@@ -1,0 +1,147 @@
+//! Read-only item-embedding cache shared across serving threads.
+
+use std::sync::Arc;
+
+use wr_tensor::Tensor;
+use wr_train::SeqRecModel;
+use wr_whiten::{GroupWhitening, WhiteningMethod};
+
+/// The frozen item matrix a serving process scores against, stored once.
+///
+/// Two tensors live behind `Arc`s: the projected item representations
+/// `V: [n_items, d]` and the pre-materialized transpose `Vᵀ: [d, n_items]`
+/// that the scoring matmul consumes. Cloning the cache clones handles, not
+/// buffers — every micro-batch, worker thread, and engine clone reads the
+/// same memory. The transpose is materialized eagerly because it is hit by
+/// every single query, while `V` itself is kept for diagnostics and
+/// row-level lookups.
+///
+/// The cache is deliberately *not* mutable: WhitenRec's whitening matrix
+/// and the trained projection head are fixed at deployment time (the paper
+/// computes the whitened table once, as a pre-processing step), which is
+/// what makes the zero-copy sharing sound.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    items: Arc<Tensor>,
+    items_t: Arc<Tensor>,
+}
+
+impl EmbeddingCache {
+    /// Wrap a projected item matrix `V: [n_items, d]`.
+    pub fn new(items: Tensor) -> Self {
+        assert!(items.rank() == 2, "EmbeddingCache expects [n_items, d]");
+        let items_t = items.transpose();
+        EmbeddingCache {
+            items: Arc::new(items),
+            items_t: Arc::new(items_t),
+        }
+    }
+
+    /// Snapshot a trained model's item representations (the tower output
+    /// `V` of Eq. 2). For WhitenRec this bakes the whitened table *and*
+    /// the trained projection head into one frozen matrix, so serving
+    /// never re-runs the tower.
+    pub fn from_model(model: &dyn SeqRecModel) -> Self {
+        EmbeddingCache::new(model.item_representations())
+    }
+
+    /// Build the paper's frozen whitened table directly from raw text
+    /// embeddings: relaxed group whitening with `groups` groups (`groups =
+    /// 1` is full ZCA, Eq. 4–6). This is the table a WhitenRec tower is
+    /// constructed around; callers that serve a full model should prefer
+    /// [`EmbeddingCache::from_model`], which also includes the projection.
+    pub fn whitened(raw: &Tensor, groups: usize, eps: f32) -> Self {
+        let gw = GroupWhitening::fit(raw, groups, WhiteningMethod::Zca, eps);
+        EmbeddingCache::new(gw.apply(raw))
+    }
+
+    /// The item matrix `V: [n_items, d]`.
+    pub fn items(&self) -> &Tensor {
+        &self.items
+    }
+
+    /// The pre-materialized transpose `Vᵀ: [d, n_items]`.
+    pub fn items_t(&self) -> &Tensor {
+        &self.items_t
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.items.rows()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.items.cols()
+    }
+
+    /// True when `other` is a handle onto the same underlying buffers —
+    /// the no-copy guarantee, testable.
+    pub fn shares_storage_with(&self, other: &EmbeddingCache) -> bool {
+        Arc::ptr_eq(&self.items, &other.items) && Arc::ptr_eq(&self.items_t, &other.items_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_tensor::Rng64;
+
+    #[test]
+    fn clone_shares_storage() {
+        let mut rng = Rng64::seed_from(1);
+        let cache = EmbeddingCache::new(Tensor::randn(&[10, 4], &mut rng));
+        let handle = cache.clone();
+        assert!(cache.shares_storage_with(&handle));
+        assert_eq!(handle.n_items(), 10);
+        assert_eq!(handle.dim(), 4);
+        // Independent caches over equal data do NOT share storage.
+        let other = EmbeddingCache::new(cache.items().clone());
+        assert!(!cache.shares_storage_with(&other));
+    }
+
+    #[test]
+    fn transpose_is_materialized_consistently() {
+        let mut rng = Rng64::seed_from(2);
+        let v = Tensor::randn(&[6, 3], &mut rng);
+        let cache = EmbeddingCache::new(v.clone());
+        assert_eq!(cache.items_t().dims(), &[3, 6]);
+        for i in 0..6 {
+            for j in 0..3 {
+                assert_eq!(cache.items().at2(i, j), cache.items_t().at2(j, i));
+            }
+        }
+        assert_eq!(cache.items().data(), v.data());
+    }
+
+    #[test]
+    fn whitened_table_is_white() {
+        let mut rng = Rng64::seed_from(3);
+        let mixer = Tensor::randn(&[8, 8], &mut rng);
+        let raw = Tensor::randn(&[400, 8], &mut rng).matmul(&mixer);
+        let cache = EmbeddingCache::whitened(&raw, 1, 1e-6);
+        let cov = wr_linalg::covariance_of_rows(cache.items(), 0.0);
+        for i in 0..8 {
+            for j in 0..8 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (cov.at2(i, j) - expect).abs() < 0.1,
+                    "cov[{i}][{j}] = {}",
+                    cov.at2(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_across_pool_threads_reads_one_buffer() {
+        let mut rng = Rng64::seed_from(4);
+        let cache = EmbeddingCache::new(Tensor::randn(&[64, 8], &mut rng));
+        // Sum each row on the pool; every task reads through the same Arc.
+        let sums = wr_runtime::parallel_map(cache.n_items(), 8, |i| {
+            cache.items().row(i).iter().map(|&x| x as f64).sum::<f64>()
+        });
+        let serial: Vec<f64> = (0..cache.n_items())
+            .map(|i| cache.items().row(i).iter().map(|&x| x as f64).sum::<f64>())
+            .collect();
+        assert_eq!(sums, serial);
+    }
+}

@@ -1,0 +1,242 @@
+//! Query-log replay with latency percentiles and throughput.
+//!
+//! `wr_bench` cannot be used here (it depends on the workspace root, which
+//! would close a dependency cycle), so this module carries its own timing
+//! and emits JSON in the same `{"suite": ..., "benches": [...]}` shape as
+//! `wr_bench::harness`, extended with percentile fields — downstream
+//! tooling that diffs bench exports parses both.
+
+use std::time::Instant;
+
+use crate::{QueryLog, Request, Response, ServeEngine};
+
+/// Latency/throughput summary of one query-log replay.
+///
+/// Latency is *batch-attributed*: each query's latency is the wall time of
+/// the micro-batch `serve` call that answered it, which is what a caller
+/// awaiting that batch would observe. Timing numbers vary run to run (they
+/// are measurements, not results); the served responses themselves are
+/// deterministic, and `top1_checksum` digests them so a replay's output
+/// can be asserted stable across thread counts.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Queries replayed.
+    pub n_queries: usize,
+    /// Micro-batches dispatched.
+    pub n_batches: usize,
+    /// End-to-end wall time of the replay loop, seconds.
+    pub total_s: f64,
+    /// Queries per second over the whole replay.
+    pub qps: f64,
+    /// Mean per-query latency, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest per-query latency, milliseconds.
+    pub min_ms: f64,
+    /// Latency percentiles (nearest-rank), milliseconds.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// Order-sensitive digest of `(id, top-1 item)` over all responses;
+    /// thread-count- and batch-composition-independent for a deterministic
+    /// engine.
+    pub top1_checksum: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn checksum(responses: &[Response]) -> u64 {
+    let mut acc = 0xcbf29ce484222325u64; // FNV offset basis
+    for r in responses {
+        let top = r.items.first().map_or(u64::MAX, |s| s.item as u64);
+        acc = acc.wrapping_mul(0x100000001b3).wrapping_add(r.id ^ top);
+    }
+    acc
+}
+
+/// Replay `log` through `engine` one micro-batch at a time, timing each
+/// batch, and return every response plus the latency report.
+///
+/// The log is split into groups of the engine's `max_batch` (the same
+/// grouping [`crate::MicroBatcher::plan`] produces), so each timed `serve`
+/// call dispatches exactly one packed batch.
+pub fn replay(engine: &ServeEngine, log: &QueryLog) -> (Vec<Response>, ReplayReport) {
+    let max_batch = engine.config().max_batch.max(1);
+    let mut responses: Vec<Response> = Vec::with_capacity(log.len());
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(log.len());
+    let mut n_batches = 0usize;
+
+    // wr-check: allow(R4) — serve-side latency measurement is this
+    // module's purpose; timing never feeds back into served results.
+    let replay_start = Instant::now();
+    let mut start = 0;
+    while start < log.len() {
+        let end = (start + max_batch).min(log.len());
+        let group: &[Request] = &log.queries[start..end];
+        // wr-check: allow(R4) — per-batch wall clock for the latency
+        // percentiles; measurement only, results are unaffected.
+        let t = Instant::now();
+        let answered = engine.serve(group);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        // Every query in the batch waited for the whole batch.
+        latencies_ms.extend(std::iter::repeat(ms).take(group.len()));
+        responses.extend(answered);
+        n_batches += 1;
+        start = end;
+    }
+    let total_s = replay_start.elapsed().as_secs_f64();
+
+    let mut sorted = latencies_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean_ms = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let report = ReplayReport {
+        n_queries: log.len(),
+        n_batches,
+        total_s,
+        qps: if total_s > 0.0 {
+            log.len() as f64 / total_s
+        } else {
+            0.0
+        },
+        mean_ms,
+        min_ms: sorted.first().copied().unwrap_or(0.0),
+        p50_ms: percentile(&sorted, 50.0),
+        p95_ms: percentile(&sorted, 95.0),
+        p99_ms: percentile(&sorted, 99.0),
+        top1_checksum: checksum(&responses),
+    };
+    (responses, report)
+}
+
+impl ReplayReport {
+    /// Compact JSON in the `wr_bench::harness` export shape:
+    /// `{"suite":"serve-bench","benches":[{...}]}` with one bench entry
+    /// carrying the percentile and throughput fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"suite\":\"serve-bench\",\"benches\":[{\"name\":\"replay\",\"iters\":");
+        wr_tensor::json::write_f64(&mut out, self.n_queries as f64);
+        for (key, val) in [
+            ("batches", self.n_batches as f64),
+            ("total_s", self.total_s),
+            ("qps", self.qps),
+            ("mean_ms", self.mean_ms),
+            ("min_ms", self.min_ms),
+            ("p50_ms", self.p50_ms),
+            ("p95_ms", self.p95_ms),
+            ("p99_ms", self.p99_ms),
+        ] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            wr_tensor::json::write_f64(&mut out, val);
+        }
+        out.push_str(",\"top1_checksum\":\"");
+        out.push_str(&format!("{:016x}", self.top1_checksum));
+        out.push_str("\"}]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, ServeEngine};
+    use wr_models::{IdTower, LossKind, ModelConfig, SasRec};
+    use wr_tensor::Rng64;
+
+    fn tiny_engine() -> ServeEngine {
+        let mut rng = Rng64::seed_from(23);
+        let config = ModelConfig {
+            dim: 8,
+            heads: 2,
+            blocks: 1,
+            max_seq: 6,
+            dropout: 0.0,
+            ..ModelConfig::default()
+        };
+        let model = SasRec::new(
+            "replay-unit",
+            Box::new(IdTower::new(25, config.dim, &mut rng)),
+            LossKind::Softmax,
+            config,
+            &mut rng,
+        );
+        ServeEngine::new(
+            Box::new(model),
+            ServeConfig {
+                k: 3,
+                max_batch: 8,
+                max_seq: 6,
+                filter_seen: true,
+            },
+        )
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn replay_answers_everything_and_reports() {
+        let engine = tiny_engine();
+        let log = QueryLog::synthetic(37, 25, 5, 2);
+        let (responses, report) = replay(&engine, &log);
+        assert_eq!(responses.len(), 37);
+        assert_eq!(report.n_queries, 37);
+        assert_eq!(report.n_batches, 5); // ceil(37 / 8)
+        assert!(report.total_s > 0.0);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+        assert!(report.min_ms <= report.mean_ms);
+        // Replay responses match a direct serve of the same queries.
+        let direct = engine.serve(&log.queries);
+        assert_eq!(responses, direct);
+    }
+
+    #[test]
+    fn checksum_is_thread_count_independent() {
+        let engine = tiny_engine();
+        let log = QueryLog::synthetic(24, 25, 5, 4);
+        wr_runtime::set_threads(1);
+        let (_, r1) = replay(&engine, &log);
+        wr_runtime::set_threads(8);
+        let (_, r8) = replay(&engine, &log);
+        wr_runtime::set_threads(1);
+        assert_eq!(r1.top1_checksum, r8.top1_checksum);
+    }
+
+    #[test]
+    fn report_json_parses_in_harness_shape() {
+        let engine = tiny_engine();
+        let log = QueryLog::synthetic(9, 25, 4, 6);
+        let (_, report) = replay(&engine, &log);
+        let parsed = wr_tensor::Json::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("suite").unwrap().as_str().unwrap(), "serve-bench");
+        let benches = parsed.get("benches").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 1);
+        let b = &benches[0];
+        assert_eq!(b.get("name").unwrap().as_str().unwrap(), "replay");
+        assert_eq!(b.get("iters").unwrap().as_usize().unwrap(), 9);
+        for key in ["qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms"] {
+            assert!(b.get(key).unwrap().as_f64().is_some(), "{key}");
+        }
+    }
+}

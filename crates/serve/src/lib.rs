@@ -1,0 +1,53 @@
+//! # wr-serve — online batched inference for the WhitenRec reproduction
+//!
+//! Everything before this crate scores items inside offline experiment
+//! loops. `wr-serve` turns a trained checkpoint plus the paper's central
+//! artifact — the frozen, pre-whitened item-embedding table (Eq. 4–6) —
+//! into a subsystem that answers top-k next-item queries for batches of
+//! live user histories:
+//!
+//! * [`MicroBatcher`] packs variable-length session histories into
+//!   fixed-shape batches (left padding + length masking, the exact
+//!   `wr_data::Batch` conventions the models were trained with);
+//! * [`EmbeddingCache`] stores the projected item matrix `V` (and its
+//!   transpose) once behind `Arc`s, so every worker thread of the
+//!   `wr-runtime` pool scores against the same buffer — no per-request
+//!   copies;
+//! * [`ServeEngine`] restores a `wr_nn::checkpoint`, encodes each
+//!   micro-batch of histories, scores `users · Vᵀ`, and extracts top-k
+//!   with seen-item filtering via the bounded-heap scorer shared with
+//!   `wr_eval` ([`wr_eval::top_k_filtered`]), parallelized over the batch;
+//! * [`QueryLog`] + [`replay`] record/replay query traffic and report
+//!   p50/p95/p99 latency and QPS as a JSON document shaped like the
+//!   `wr_bench::harness` export (`serve-bench` in `wr-core` is the CLI).
+//!
+//! # Determinism contract
+//!
+//! Serving results are *bit-identical* across
+//!
+//! 1. batch compositions — the response for a history does not depend on
+//!    which other histories shared its micro-batch, because every kernel on
+//!    the scoring path (gemm, attention, layer norm) computes each batch
+//!    row with the same arithmetic sequence regardless of neighbors;
+//! 2. thread counts — all parallelism goes through `wr-runtime`, whose
+//!    chunking is thread-count-independent.
+//!
+//! Both claims are enforced by `tests/differential.rs`, which compares the
+//! batched engine against a naive one-user-at-a-time full-sort scorer and
+//! against itself under `WR_THREADS=1` vs `8`.
+
+mod batcher;
+mod cache;
+mod engine;
+mod latency;
+mod querylog;
+mod topk;
+
+pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
+pub use cache::EmbeddingCache;
+pub use engine::{Request, Response, ServeConfig, ServeEngine};
+pub use latency::{replay, ReplayReport};
+pub use querylog::{QueryLog, QueryLogError};
+pub use topk::batch_top_k;
+
+pub use wr_eval::{top_k_filtered, ScoredItem};

@@ -1,0 +1,196 @@
+//! Recorded query traffic: JSONL persistence + synthetic trace generation.
+
+use std::io;
+use std::path::Path;
+
+use crate::Request;
+use wr_tensor::{json::usize_array_to_string, Json, Rng64};
+
+/// A recorded (or generated) sequence of serving requests, replayable via
+/// [`crate::replay`]. On disk the log is JSON-lines, one request per line:
+///
+/// ```text
+/// {"id":0,"history":[3,17,4]}
+/// {"id":1,"history":[]}
+/// ```
+///
+/// The format is append-friendly (a recorder can `>>` lines as queries
+/// arrive) and line-diffable, matching the workspace's other sequence
+/// files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLog {
+    pub queries: Vec<Request>,
+}
+
+/// Why a query log failed to load.
+#[derive(Debug)]
+pub enum QueryLogError {
+    Io(io::Error),
+    /// A line was not a well-formed request object (1-based line number).
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for QueryLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryLogError::Io(e) => write!(f, "query log io: {e}"),
+            QueryLogError::Parse { line, message } => {
+                write!(f, "query log line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryLogError {}
+
+impl From<io::Error> for QueryLogError {
+    fn from(e: io::Error) -> Self {
+        QueryLogError::Io(e)
+    }
+}
+
+impl QueryLog {
+    /// Generate a reproducible synthetic trace: `n` queries over a catalog
+    /// of `n_items`, history lengths uniform in `[0, max_len]` (length 0
+    /// exercises the cold-session path), items uniform over the real
+    /// catalog `1..n_items` (`0` is the pad id). The same `(n, n_items,
+    /// max_len, seed)` always yields the same trace.
+    pub fn synthetic(n: usize, n_items: usize, max_len: usize, seed: u64) -> QueryLog {
+        assert!(n_items >= 2, "need at least one real item besides pad");
+        let mut rng = Rng64::seed_from(seed);
+        let queries = (0..n)
+            .map(|i| {
+                let len = rng.below(max_len + 1);
+                let history = (0..len).map(|_| 1 + rng.below(n_items - 1)).collect();
+                Request {
+                    id: i as u64,
+                    history,
+                }
+            })
+            .collect();
+        QueryLog { queries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Serialize to the JSONL wire form (one request per line, trailing
+    /// newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for q in &self.queries {
+            out.push_str("{\"id\":");
+            wr_tensor::json::write_f64(&mut out, q.id as f64);
+            out.push_str(",\"history\":");
+            out.push_str(&usize_array_to_string(&q.history));
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), QueryLogError> {
+        std::fs::write(path, self.to_jsonl())?;
+        Ok(())
+    }
+
+    /// Parse the JSONL wire form. Blank lines are skipped so hand-edited
+    /// logs stay loadable.
+    pub fn from_jsonl(text: &str) -> Result<QueryLog, QueryLogError> {
+        let mut queries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parse_err = |message: String| QueryLogError::Parse {
+                line: i + 1,
+                message,
+            };
+            let v = Json::parse(line).map_err(parse_err)?;
+            let id = v
+                .get("id")
+                .and_then(|x| x.as_usize())
+                .ok_or_else(|| parse_err("missing or non-integer \"id\"".into()))?;
+            let history = v
+                .get("history")
+                .and_then(|x| x.as_usize_vec())
+                .ok_or_else(|| parse_err("missing or malformed \"history\"".into()))?;
+            queries.push(Request {
+                id: id as u64,
+                history,
+            });
+        }
+        Ok(QueryLog { queries })
+    }
+
+    pub fn load(path: impl AsRef<Path>) -> Result<QueryLog, QueryLogError> {
+        let text = std::fs::read_to_string(path)?;
+        QueryLog::from_jsonl(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_reproducible_and_in_range() {
+        let a = QueryLog::synthetic(100, 50, 12, 9);
+        let b = QueryLog::synthetic(100, 50, 12, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.queries.iter().any(|q| q.history.is_empty()));
+        for q in &a.queries {
+            assert!(q.history.len() <= 12);
+            for &item in &q.history {
+                assert!((1..50).contains(&item));
+            }
+        }
+        let c = QueryLog::synthetic(100, 50, 12, 10);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let log = QueryLog::synthetic(40, 30, 6, 3);
+        let text = log.to_jsonl();
+        let back = QueryLog::from_jsonl(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "{\"id\":7,\"history\":[1,2]}\n\n{\"id\":8,\"history\":[]}\n";
+        let log = QueryLog::from_jsonl(text).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.queries[0].id, 7);
+        assert_eq!(log.queries[0].history, vec![1, 2]);
+        assert!(log.queries[1].history.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = QueryLog::from_jsonl("{\"id\":1,\"history\":[1]}\nnot json\n").unwrap_err();
+        match err {
+            QueryLogError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("wr_serve_querylog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let log = QueryLog::synthetic(16, 20, 5, 1);
+        log.save(&path).unwrap();
+        let back = QueryLog::load(&path).unwrap();
+        assert_eq!(log, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

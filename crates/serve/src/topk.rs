@@ -1,0 +1,91 @@
+//! Batch-parallel top-k extraction over a score matrix.
+
+use wr_eval::{top_k_filtered, ScoredItem};
+use wr_tensor::Tensor;
+
+/// Minimum rows per dispatched chunk: a top-k scan over a full catalog is
+/// thousands of comparisons, so even single rows are worth a task, but
+/// tiny batches should not fan out one row at a time.
+const ROW_GRAIN: usize = 2;
+
+/// Top-`k` per row of `scores: [batch, n_items]`, excluding each row's
+/// `seen` items, parallelized over the batch on the `wr-runtime` pool.
+///
+/// Each row is extracted by exactly one pool task into its own output
+/// slot (`parallel_chunks_mut` over the result vector, chunk boundaries
+/// independent of thread count), and the per-row scorer
+/// [`wr_eval::top_k_filtered`] is deterministic (`total_cmp`, index
+/// tie-break) — so the output is bit-identical for any `WR_THREADS`.
+///
+/// `seen` must have one entry per batch row.
+pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<ScoredItem>> {
+    assert!(scores.rank() == 2, "batch_top_k expects [batch, n_items]");
+    assert_eq!(
+        scores.rows(),
+        seen.len(),
+        "one seen-list per batch row required"
+    );
+    let rows = scores.rows();
+    let mut out: Vec<Vec<ScoredItem>> = vec![Vec::new(); rows];
+    let chunk = wr_runtime::chunk_len(rows, ROW_GRAIN);
+    wr_runtime::parallel_chunks_mut(&mut out, chunk, |ci, slot_chunk| {
+        let base = ci * chunk;
+        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+            let row = base + off;
+            *slot = top_k_filtered(scores.row(row), k, seen[row]);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_tensor::Rng64;
+
+    #[test]
+    fn matches_per_row_scorer() {
+        let mut rng = Rng64::seed_from(5);
+        let scores = Tensor::randn(&[17, 120], &mut rng);
+        let seen_store: Vec<Vec<usize>> = (0..17)
+            .map(|_| (0..rng.below(6)).map(|_| rng.below(120)).collect())
+            .collect();
+        let seen: Vec<&[usize]> = seen_store.iter().map(|s| s.as_slice()).collect();
+        let batched = batch_top_k(&scores, 10, &seen);
+        for r in 0..17 {
+            let solo = top_k_filtered(scores.row(r), 10, seen[r]);
+            assert_eq!(batched[r], solo, "row {r}");
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let mut rng = Rng64::seed_from(6);
+        // Quantized scores force exact ties across rows.
+        let data: Vec<f32> = (0..64 * 200).map(|_| (rng.below(9) as f32) * 0.25).collect();
+        let scores = Tensor::from_vec(data, &[64, 200]);
+        let seen_store: Vec<Vec<usize>> = (0..64)
+            .map(|_| (0..rng.below(4)).map(|_| rng.below(200)).collect())
+            .collect();
+        let seen: Vec<&[usize]> = seen_store.iter().map(|s| s.as_slice()).collect();
+        wr_runtime::set_threads(1);
+        let serial = batch_top_k(&scores, 20, &seen);
+        wr_runtime::set_threads(8);
+        let parallel = batch_top_k(&scores, 20, &seen);
+        wr_runtime::set_threads(1);
+        assert_eq!(serial.len(), parallel.len());
+        for (r, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.len(), b.len(), "row {r}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.item, y.item, "row {r}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let scores = Tensor::zeros(&[0, 10]);
+        assert!(batch_top_k(&scores, 5, &[]).is_empty());
+    }
+}

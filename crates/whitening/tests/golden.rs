@@ -1,0 +1,144 @@
+//! Golden-file regression tests for the whitening numerics.
+//!
+//! The fixtures under `tests/golden/` pin the exact outputs of full ZCA
+//! whitening (G=1, Eq. 4–6 of the paper) and relaxed group whitening
+//! (G=4) on a fixed 32×8 input. Any change to the eigendecomposition,
+//! covariance, or group plumbing that shifts results by more than 1e-6
+//! fails here — catching silent numeric drift that property tests
+//! (whiteness-error bounds) would let through.
+//!
+//! The *input* matrix is itself a committed fixture, not regenerated from
+//! the RNG at test time, so changes to `Rng64` cannot silently invalidate
+//! the expectations. To regenerate all three files after an intentional
+//! numeric change, run:
+//!
+//! ```text
+//! WR_UPDATE_GOLDEN=1 cargo test -p wr-whiten --test golden
+//! ```
+//!
+//! and commit the diff (the test still asserts on the fresh values in the
+//! same run, and fails loudly so an update can't pass CI unnoticed).
+
+use std::path::{Path, PathBuf};
+
+use wr_tensor::Tensor;
+use wr_whiten::{GroupWhitening, WhiteningMethod, DEFAULT_EPS};
+
+const TOLERANCE: f32 = 1e-6;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Plain-text matrix format: one row per line, `{:.8e}` values separated
+/// by single spaces. 8 significant hex-free digits round-trip f32 exactly
+/// ([f32; every value has ≤9 significant decimal digits], and `parse`
+/// returns the nearest float, which is the original).
+fn save_matrix(path: &Path, t: &Tensor) {
+    let mut out = String::new();
+    for r in 0..t.rows() {
+        for (c, v) in t.row(r).iter().enumerate() {
+            if c > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{v:.8e}"));
+        }
+        out.push('\n');
+    }
+    std::fs::write(path, out).unwrap();
+}
+
+fn load_matrix(path: &Path) -> Tensor {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    let rows: Vec<Vec<f32>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.split_whitespace()
+                .map(|v| v.parse().unwrap())
+                .collect()
+        })
+        .collect();
+    let (r, c) = (rows.len(), rows[0].len());
+    assert!(rows.iter().all(|row| row.len() == c), "ragged fixture");
+    Tensor::from_vec(rows.into_iter().flatten().collect(), &[r, c])
+}
+
+fn assert_close(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: shape");
+    for r in 0..want.rows() {
+        for c in 0..want.cols() {
+            let (g, w) = (got.at2(r, c), want.at2(r, c));
+            assert!(
+                (g - w).abs() <= TOLERANCE,
+                "{what}: [{r}][{c}] drifted: got {g:.8e}, golden {w:.8e} (|Δ| = {:.2e} > {TOLERANCE:.0e})",
+                (g - w).abs()
+            );
+        }
+    }
+}
+
+fn check_or_update(name: &str, got: &Tensor, update: bool) {
+    let path = golden_dir().join(name);
+    if update {
+        save_matrix(&path, got);
+        eprintln!("golden fixture rewritten: {}", path.display());
+    } else {
+        assert_close(got, &load_matrix(&path), name);
+    }
+}
+
+#[test]
+fn whitening_outputs_match_golden_fixtures() {
+    let update = std::env::var("WR_UPDATE_GOLDEN").is_ok();
+    let input = load_matrix(&golden_dir().join("input_32x8.txt"));
+    assert_eq!(input.dims(), &[32, 8]);
+
+    let zca = GroupWhitening::fit(&input, 1, WhiteningMethod::Zca, DEFAULT_EPS).apply(&input);
+    check_or_update("zca_g1.txt", &zca, update);
+
+    let grouped = GroupWhitening::fit(&input, 4, WhiteningMethod::Zca, DEFAULT_EPS).apply(&input);
+    check_or_update("group_g4.txt", &grouped, update);
+
+    assert!(
+        !update,
+        "WR_UPDATE_GOLDEN set: fixtures rewritten; unset it, inspect the diff, and re-run"
+    );
+}
+
+/// The committed expectations themselves must describe *correct* whitening,
+/// not merely frozen output: golden ZCA has identity covariance, and the
+/// grouped output whitens each 2-dim group block.
+#[test]
+fn golden_fixtures_are_actually_white() {
+    let zca = load_matrix(&golden_dir().join("zca_g1.txt"));
+    let cov = wr_linalg::covariance_of_rows(&zca, 0.0);
+    for i in 0..8 {
+        for j in 0..8 {
+            let expect = if i == j { 1.0 } else { 0.0 };
+            assert!(
+                (cov.at2(i, j) - expect).abs() < 5e-3,
+                "golden ZCA covariance [{i}][{j}] = {}",
+                cov.at2(i, j)
+            );
+        }
+    }
+    let grouped = load_matrix(&golden_dir().join("group_g4.txt"));
+    let gcov = wr_linalg::covariance_of_rows(&grouped, 0.0);
+    // G=4 over 8 dims → 2-dim groups along the diagonal are whitened;
+    // cross-group covariance is unconstrained.
+    for g in 0..4 {
+        for i in 0..2 {
+            for j in 0..2 {
+                let (r, c) = (2 * g + i, 2 * g + j);
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!(
+                    (gcov.at2(r, c) - expect).abs() < 5e-3,
+                    "golden group covariance [{r}][{c}] = {}",
+                    gcov.at2(r, c)
+                );
+            }
+        }
+    }
+}

@@ -20,4 +20,27 @@ cargo test --workspace -q
 echo "== check: cargo test (WR_THREADS=1) =="
 WR_THREADS=1 cargo test --workspace -q
 
+# The serving crate's differential suite is the determinism gate for the
+# online path (batched == naive scorer, thread-count-independent); run it
+# explicitly under both pool configurations even though the workspace
+# passes above, so a future filtered/partial workspace run can't silently
+# drop it.
+echo "== check: serve suites (default threads) =="
+cargo test -p wr-serve -q
+
+echo "== check: serve suites (WR_THREADS=1) =="
+WR_THREADS=1 cargo test -p wr-serve -q
+
+echo "== check: serve-bench smoke replay =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/serve-bench --scale 0.05 --epochs 1 --queries 256 \
+    --batch 32 --k 10 --check-naive 64 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/report.json"
+grep -q '"p50_ms"' "$smoke_dir/report.json"
+grep -q '"p95_ms"' "$smoke_dir/report.json"
+grep -q '"p99_ms"' "$smoke_dir/report.json"
+grep -q '"qps"' "$smoke_dir/report.json"
+echo "   serve-bench report ok: $(cat "$smoke_dir/report.json" | head -c 120)…"
+
 echo "== check: ok =="

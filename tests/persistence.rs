@@ -6,6 +6,7 @@ use whitenrec::models::{zoo, ModelConfig};
 use whitenrec::nn::{load_params, restore_params, save_params};
 use whitenrec::tensor::{Rng64, Tensor};
 use whitenrec::train::{Adam, AdamConfig, SeqRecModel};
+use wr_serve::{Request, ServeConfig, ServeEngine};
 
 fn trained_model() -> (Box<dyn SeqRecModel>, Vec<Vec<usize>>) {
     let mut rng = Rng64::seed_from(5);
@@ -59,6 +60,78 @@ fn checkpoint_roundtrip_preserves_scores() {
     let after = model.score(&[ctx]);
     assert_eq!(before.data(), after.data(), "restore must reproduce scores exactly");
     std::fs::remove_file(path).ok();
+}
+
+/// The deployment path end to end: train → `save_params` → rebuild the
+/// same architecture (same frozen inputs, fresh trainable init) →
+/// `ServeEngine::from_checkpoint` → serve. The restored engine must answer
+/// exactly like an engine wrapping the still-in-memory trained model, and
+/// its raw scores must be bit-identical to `model.score` on the same
+/// contexts — checkpointing through the serve path loses nothing.
+#[test]
+fn checkpoint_serves_identically_to_in_memory_model() {
+    let (model, seqs) = trained_model();
+    let path = std::env::temp_dir().join(format!("wr_serve_{}.wrck", std::process::id()));
+    save_params(&path, &model.params()).unwrap();
+
+    // Raw-score reference, captured before the model moves into the engine.
+    let contexts: Vec<&[usize]> = seqs.iter().take(6).map(|s| s.as_slice()).collect();
+    let direct_scores = model.score(&contexts);
+
+    let cfg = ServeConfig {
+        k: 8,
+        max_batch: 4,
+        max_seq: 8,
+        filter_seen: true,
+    };
+    let in_memory = ServeEngine::new(model, cfg);
+
+    // Same architecture + same frozen whitened table (trained_model is
+    // fully seeded), different trainable init — the checkpoint overwrites
+    // every trainable parameter.
+    let (fresh, _) = trained_model();
+    for p in fresh.params() {
+        p.update(|t| {
+            t.scale_(0.5);
+            let _ = t;
+        });
+    }
+    let restored = ServeEngine::from_checkpoint(fresh, &path, cfg).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let requests: Vec<Request> = seqs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Request {
+            id: i as u64,
+            history: s.clone(),
+        })
+        .collect();
+    let a = in_memory.serve(&requests);
+    let b = restored.serve(&requests);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.id, rb.id);
+        for (sa, sb) in ra.items.iter().zip(&rb.items) {
+            assert_eq!(sa.item, sb.item);
+            assert_eq!(sa.score.to_bits(), sb.score.to_bits());
+        }
+    }
+
+    // The engine's cached-V scoring path reproduces model.score exactly
+    // for this Softmax-loss model: compare full rows, not just top-k.
+    for (row, ctx) in contexts.iter().enumerate() {
+        let served = restored.recommend(ctx);
+        let full = direct_scores.row(row);
+        for s in &served {
+            assert_eq!(
+                s.score.to_bits(),
+                full[s.item].to_bits(),
+                "served score for item {} differs from model.score",
+                s.item
+            );
+        }
+    }
 }
 
 #[test]
