@@ -17,12 +17,29 @@ use wr_whiten::{group_whiten, WhiteningMethod};
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
+/// Run one bench point and annotate it with the pool-utilization counter
+/// deltas it produced: dispatch counts and where queued jobs actually ran
+/// (worker threads vs the dispatching caller — the worker-utilization
+/// signal; on a saturated pool the caller drains a share of the queue).
+fn bench_with_pool_stats(h: &mut Harness, name: String, f: impl FnMut()) {
+    let before = wr_runtime::pool_stats();
+    h.bench(name, f);
+    let after = wr_runtime::pool_stats();
+    h.annotate("threads", after.threads as f64);
+    h.annotate("par_dispatches", (after.par_dispatches - before.par_dispatches) as f64);
+    h.annotate("seq_dispatches", (after.seq_dispatches - before.seq_dispatches) as f64);
+    h.annotate("jobs_by_workers", (after.jobs_by_workers - before.jobs_by_workers) as f64);
+    h.annotate("jobs_by_caller", (after.jobs_by_caller - before.jobs_by_caller) as f64);
+}
+
 fn main() {
     let mut h = Harness::new("parallel_scaling");
+    let stats = wr_runtime::pool_stats();
     eprintln!(
         "  (machine reports {} available threads)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        stats.available_parallelism
     );
+    h.meta("available_parallelism", stats.available_parallelism as f64);
 
     // gemm: 1024x512 · 512x512 — the shape class behind encoder layers.
     let mut rng = Rng64::seed_from(1);
@@ -30,7 +47,7 @@ fn main() {
     let b = Tensor::randn(&[512, 512], &mut rng);
     for t in THREAD_SWEEP {
         wr_runtime::set_threads(t);
-        h.bench(format!("gemm_1024x512x512/threads{t}"), || {
+        bench_with_pool_stats(&mut h, format!("gemm_1024x512x512/threads{t}"), || {
             black_box(a.matmul(&b));
         });
     }
@@ -44,7 +61,7 @@ fn main() {
     let x = base.matmul(&mix);
     for t in THREAD_SWEEP {
         wr_runtime::set_threads(t);
-        h.bench(format!("group_whiten_2000x128_G16/threads{t}"), || {
+        bench_with_pool_stats(&mut h, format!("group_whiten_2000x128_G16/threads{t}"), || {
             black_box(group_whiten(&x, 16, WhiteningMethod::Zca, 1e-5));
         });
     }
@@ -66,7 +83,7 @@ fn main() {
     let item_vecs = Tensor::randn(&[n_items, 64], &mut rng);
     for t in THREAD_SWEEP {
         wr_runtime::set_threads(t);
-        h.bench(format!("evaluate_cases_2048x4000/threads{t}"), || {
+        bench_with_pool_stats(&mut h, format!("evaluate_cases_2048x4000/threads{t}"), || {
             let mut offset = 0usize;
             let m = evaluate_cases(&cases, &[20, 50], 256, true, |contexts| {
                 let rows: Vec<usize> = (offset..offset + contexts.len()).collect();

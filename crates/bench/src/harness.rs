@@ -22,6 +22,9 @@ pub struct BenchResult {
     pub iters: u64,
     pub mean_ns: f64,
     pub min_ns: f64,
+    /// Extra numeric fields appended to this bench's JSON object
+    /// (utilization counters, configuration) — see [`Harness::annotate`].
+    pub extra: Vec<(String, f64)>,
 }
 
 impl BenchResult {
@@ -34,6 +37,12 @@ impl BenchResult {
         wr_tensor::json::write_f64(out, self.mean_ns);
         out.push_str(",\"min_ns\":");
         wr_tensor::json::write_f64(out, self.min_ns);
+        for (key, val) in &self.extra {
+            out.push_str(",");
+            wr_tensor::Json::Str(key.clone()).write(out);
+            out.push(':');
+            wr_tensor::json::write_f64(out, *val);
+        }
         out.push('}');
     }
 }
@@ -42,6 +51,7 @@ impl BenchResult {
 pub struct Harness {
     suite: String,
     results: Vec<BenchResult>,
+    meta: Vec<(String, f64)>,
 }
 
 /// Per-bench time budget: `WR_BENCH_MS` milliseconds (default 200).
@@ -72,6 +82,7 @@ impl Harness {
         Harness {
             suite,
             results: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -98,6 +109,7 @@ impl Harness {
             iters,
             mean_ns: total_ns / iters as f64,
             min_ns,
+            extra: Vec::new(),
         };
         eprintln!(
             "  {:<44} min {:>12}  mean {:>12}  ({} iters)",
@@ -114,11 +126,39 @@ impl Harness {
         &self.results
     }
 
-    /// `{"suite": ..., "benches": [...]}`, compact.
+    /// Attach an extra numeric field to the most recent bench's JSON
+    /// object (e.g. pool-utilization counter deltas measured around it).
+    /// No-op before the first bench.
+    pub fn annotate(&mut self, key: impl Into<String>, value: f64) {
+        if let Some(last) = self.results.last_mut() {
+            last.extra.push((key.into(), value));
+        }
+    }
+
+    /// Record a suite-level fact (machine shape, configuration), exported
+    /// once under the report's `"meta"` object.
+    pub fn meta(&mut self, key: impl Into<String>, value: f64) {
+        self.meta.push((key.into(), value));
+    }
+
+    /// `{"suite": ..., "meta": {...}, "benches": [...]}`, compact; the
+    /// `meta` object is omitted when no suite-level facts were recorded.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"suite\":");
         wr_tensor::Json::Str(self.suite.clone()).write(&mut out);
+        if !self.meta.is_empty() {
+            out.push_str(",\"meta\":{");
+            for (i, (key, val)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                wr_tensor::Json::Str(key.clone()).write(&mut out);
+                out.push(':');
+                wr_tensor::json::write_f64(&mut out, *val);
+            }
+            out.push('}');
+        }
         out.push_str(",\"benches\":[");
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
@@ -157,6 +197,25 @@ mod tests {
         let parsed = wr_tensor::Json::parse(&json).unwrap();
         assert_eq!(parsed.get("suite").unwrap().as_str().unwrap(), "selftest");
         assert_eq!(parsed.get("benches").unwrap().as_arr().unwrap().len(), 1);
+        std::env::remove_var("WR_BENCH_MS");
+    }
+
+    #[test]
+    fn annotations_and_meta_reach_the_json() {
+        std::env::set_var("WR_BENCH_MS", "2");
+        let mut h = Harness::new("annotated");
+        h.meta("available_parallelism", 8.0);
+        h.bench("spin", || {
+            black_box((0..10).sum::<u64>());
+        });
+        h.annotate("jobs_by_workers", 12.0);
+        h.annotate("threads", 4.0);
+        let parsed = wr_tensor::Json::parse(&h.to_json()).unwrap();
+        let meta = parsed.get("meta").unwrap();
+        assert_eq!(meta.get("available_parallelism").unwrap().as_f64(), Some(8.0));
+        let b = &parsed.get("benches").unwrap().as_arr().unwrap()[0];
+        assert_eq!(b.get("jobs_by_workers").unwrap().as_f64(), Some(12.0));
+        assert_eq!(b.get("threads").unwrap().as_f64(), Some(4.0));
         std::env::remove_var("WR_BENCH_MS");
     }
 }

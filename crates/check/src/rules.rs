@@ -17,8 +17,11 @@
 //!   place.
 //! * **R4 `determinism`** — `Instant::now` / `SystemTime::now` and
 //!   `HashMap` / `HashSet` (iteration-order hazards) are flagged in
-//!   result-producing crates; `crates/bench` (the harness timer and probe
-//!   binaries) is allowlisted.
+//!   result-producing crates. Wall-clock reads are allowlisted only in
+//!   `crates/obs` (home of the `Clock` trait's production impl —
+//!   everything else routes timing through `wr_obs::Clock`) and
+//!   `crates/bench` (the harness timer and probe binaries); the
+//!   hash-collection exemption covers `crates/bench` only.
 //! * **R5 `float-eq`** — direct `==` / `!=` against a float literal in
 //!   non-test code; use a tolerance helper or justify the exact compare.
 //!
@@ -99,7 +102,13 @@ pub struct Scope {
     pub r1: bool,
     pub r2: bool,
     pub r3: bool,
-    pub r4: bool,
+    /// R4's wall-clock half: `Instant::now` / `SystemTime::now`. Off only
+    /// for `crates/obs` (the one production clock), `crates/bench`, and
+    /// wr-check itself.
+    pub r4_clock: bool,
+    /// R4's iteration-order half: `HashMap` / `HashSet`. Off only for
+    /// `crates/bench` and wr-check itself — wr-obs gets no hash exemption.
+    pub r4_hash: bool,
     pub r5: bool,
     /// Whole file is test code (under `tests/`, `benches/`, `examples/`):
     /// the non-test-only rules (R1/R4/R5) are skipped entirely.
@@ -121,15 +130,18 @@ impl Scope {
         let test_path = rel
             .split('/')
             .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
-        // The bench crate is the allowlisted home of wall-clock timing (the
-        // harness timer and probe binaries); wr-check's own sources are
-        // exempt from R4/R5 because rule patterns appear in them as data.
+        // wr-check's own sources are exempt from R4/R5 because rule
+        // patterns appear in them as data. Beyond that, the wall-clock
+        // half of R4 is allowed only in crates/obs (MonotonicClock — the
+        // single production `Instant::now`) and crates/bench (harness
+        // timer, probe binaries); the hash half only in crates/bench.
         let bench_or_check = matches!(krate, Some("bench") | Some("check"));
         Scope {
             r1: krate.is_some_and(|c| KERNEL_CRATES.contains(&c)),
             r2: true,
             r3: krate != Some("runtime"),
-            r4: !bench_or_check,
+            r4_clock: !bench_or_check && krate != Some("obs"),
+            r4_hash: !bench_or_check,
             r5: krate != Some("check"),
             test_path,
         }
@@ -234,18 +246,19 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
         }
 
         // R4: determinism hazards in result-producing code.
-        if scope.r4 && prod(k) && t.kind == Kind::Ident {
-            if (text == "Instant" || text == "SystemTime")
+        if prod(k) && t.kind == Kind::Ident {
+            if scope.r4_clock
+                && (text == "Instant" || text == "SystemTime")
                 && next(1).is_some_and(|n| n.text == "::")
                 && next(2).is_some_and(|n| n.text == "now")
             {
                 push(
                     Rule::Determinism,
                     t.line,
-                    format!("{text}::now in a result-producing path — wall-clock must not feed results"),
+                    format!("{text}::now in a result-producing path — route timing through wr_obs::Clock"),
                 );
             }
-            if text == "HashMap" || text == "HashSet" {
+            if scope.r4_hash && (text == "HashMap" || text == "HashSet") {
                 // One finding per type per file is enough to force the
                 // decision (switch to BTreeMap/BTreeSet or justify).
                 let first = idx[..k].iter().all(|&i| toks[i].text != *text || toks[i].in_test);
@@ -442,8 +455,32 @@ mod tests {
         assert!(!Scope::for_path("crates/models/src/lib.rs").r1);
         assert!(!Scope::for_path("crates/runtime/src/lib.rs").r3);
         assert!(Scope::for_path("crates/tensor/src/lib.rs").r3);
-        assert!(!Scope::for_path("crates/bench/src/harness.rs").r4);
+        assert!(!Scope::for_path("crates/bench/src/harness.rs").r4_clock);
+        assert!(!Scope::for_path("crates/bench/src/harness.rs").r4_hash);
+        // wr-obs is the one production home of wall-clock reads, but it
+        // gets no hash-collection exemption.
+        assert!(!Scope::for_path("crates/obs/src/clock.rs").r4_clock);
+        assert!(Scope::for_path("crates/obs/src/clock.rs").r4_hash);
+        assert!(Scope::for_path("crates/serve/src/latency.rs").r4_clock);
         assert!(Scope::for_path("crates/tensor/tests/x.rs").test_path);
+    }
+
+    #[test]
+    fn instant_now_is_allowed_in_obs_but_not_elsewhere() {
+        let src = "fn f() -> u64 { Instant::now().elapsed().as_nanos() as u64 }";
+        assert!(active("crates/obs/src/clock.rs", src).is_empty());
+        let vs = active("crates/serve/src/latency.rs", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, Rule::Determinism);
+        assert!(vs[0].message.contains("wr_obs::Clock"));
+    }
+
+    #[test]
+    fn hash_map_in_obs_is_still_flagged() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let vs = active("crates/obs/src/registry.rs", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, Rule::Determinism);
     }
 
     #[test]

@@ -173,6 +173,23 @@ fn r4_exempt_in_bench_crate() {
 }
 
 #[test]
+fn r4_clock_exempt_in_obs_but_hash_is_not() {
+    // crates/obs hosts the one production wall-clock read (MonotonicClock
+    // behind the Clock trait) — Instant::now is legal there...
+    let clock = "pub fn f() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n";
+    assert!(active("crates/obs/src/clock.rs", clock, Rule::Determinism).is_empty());
+    // ...but the same line in any result-producing crate still fires, with
+    // a message pointing at the sanctioned route.
+    let hits = active("crates/serve/src/fixture.rs", clock, Rule::Determinism);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("wr_obs::Clock"), "{hits:?}");
+    // The hash-collection half of R4 has no obs exemption: registries and
+    // tracers must iterate deterministically for stable snapshots.
+    let hash = "pub fn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); let _ = m; }\n";
+    assert_eq!(active("crates/obs/src/registry.rs", hash, Rule::Determinism).len(), 1);
+}
+
+#[test]
 fn r4_suppressed_by_directive() {
     let src = r#"
 pub fn f() {

@@ -6,7 +6,8 @@
 //!             [--queries 2048] [--max-len 20] [--log trace.jsonl]
 //!             [--save-log trace.jsonl] [--batch 64] [--k 10]
 //!             [--no-filter-seen] [--seed 17] [--out report.json]
-//!             [--check-naive N]
+//!             [--check-naive N] [--trace-out trace.json]
+//!             [--metrics-out metrics.json]
 //! ```
 //!
 //! The model comes from a trained checkpoint when `--checkpoint` names an
@@ -26,13 +27,23 @@
 //! `--out`. `--check-naive N` additionally re-serves the first `N` queries
 //! through the naive one-user-at-a-time scorer and fails unless the
 //! batched responses match bit-for-bit.
+//!
+//! `--trace-out` / `--metrics-out` attach write-only telemetry to the
+//! replay: per-micro-batch spans (Chrome `trace_event` JSON — open in
+//! Perfetto), `serve.*` counters and the queue-depth gauge, the
+//! `serve.latency_ms` histogram, runtime pool utilization, and the
+//! dataset table's pre/post-whitening embedding health
+//! (`whiten.pre.*` / `whiten.post.*`). Both documents are shape-validated
+//! before they are written.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use whitenrec::data::{DatasetKind, DatasetSpec};
 use whitenrec::nn::save_params;
+use whitenrec::obs::Telemetry;
 use whitenrec::ExperimentContext;
-use wr_serve::{replay, QueryLog, ServeConfig, ServeEngine};
+use wr_serve::{replay, replay_observed, QueryLog, ServeConfig, ServeEngine};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +52,7 @@ fn main() -> ExitCode {
         eprintln!("  [--scale F] [--epochs N] [--checkpoint PATH] [--queries N]");
         eprintln!("  [--max-len N] [--log PATH] [--save-log PATH] [--batch N] [--k N]");
         eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-naive N]");
+        eprintln!("  [--trace-out PATH] [--metrics-out PATH]");
         return ExitCode::SUCCESS;
     }
     match run(&args) {
@@ -89,6 +101,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let spec = DatasetSpec::preset(kind).scaled(scale).scaled_items(2.0);
     let mut ctx = ExperimentContext::from_spec(spec);
     ctx.train_config.max_epochs = epochs;
+    let trace_out = flag(args, "--trace-out");
+    let metrics_out = flag(args, "--metrics-out");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+        let tel = Telemetry::new();
+        ctx.telemetry = Some(tel.clone());
+        // Embedding health of the dataset table, raw vs whitened — the
+        // paper's diagnostics, exported beside the serving metrics.
+        ctx.record_whitening_health();
+        Some(tel)
+    } else {
+        None
+    };
     let max_len: usize = parse_num(args, "--max-len", ctx.model_config.max_seq)?;
 
     let cfg = ServeConfig {
@@ -123,6 +147,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         ServeEngine::new(trained.model, cfg)
     };
+    let engine = match &telemetry {
+        Some(tel) => engine.with_telemetry(tel.clone()),
+        None => engine,
+    };
 
     // Query log: load a recorded trace when it exists, else generate a
     // seeded synthetic one over this catalog.
@@ -146,7 +174,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let (responses, report) = replay(&engine, &log);
+    let (responses, report) = match &telemetry {
+        Some(tel) => replay_observed(&engine, &log, tel),
+        None => replay(&engine, &log),
+    };
 
     let check_n: usize = parse_num(args, "--check-naive", 0)?;
     if check_n > 0 {
@@ -176,6 +207,20 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag(args, "--out") {
         std::fs::write(&path, json + "\n").map_err(|e| e.to_string())?;
         eprintln!("report -> {path}");
+    }
+    if let Some(tel) = &telemetry {
+        whitenrec::runtime::record_metrics(&tel.registry);
+        whitenrec::export_telemetry(
+            tel,
+            trace_out.as_ref().map(Path::new),
+            metrics_out.as_ref().map(Path::new),
+        )?;
+        if let Some(p) = &trace_out {
+            eprintln!("trace -> {p}");
+        }
+        if let Some(p) = &metrics_out {
+            eprintln!("metrics -> {p}");
+        }
     }
     Ok(())
 }

@@ -6,7 +6,13 @@
 //!
 //! whitenrec train --model WhitenRec+ --dataset Arts [--scale 0.2]
 //!     [--epochs 15] [--cold] [--save model.wrck] [--records out.jsonl]
+//!     [--metrics-out metrics.json] [--trace-out trace.json]
 //!     Train one zoo model, print metrics, optionally checkpoint + export.
+//!     The metrics snapshot carries per-epoch `train.*` telemetry, the
+//!     runtime pool's utilization gauges, and the paper's embedding-health
+//!     diagnostics for the dataset's table before and after whitening
+//!     (`whiten.pre.*` / `whiten.post.*`); the trace is Chrome
+//!     `trace_event` JSON — open it in Perfetto or `chrome://tracing`.
 //!
 //! whitenrec list-models
 //!     Print every model name the zoo accepts.
@@ -15,11 +21,13 @@
 //! Arguments are deliberately parsed by hand — the CLI has three verbs and
 //! a flat flag set; a dependency would be heavier than the code.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use whitenrec::data::{DatasetKind, DatasetSpec};
 use whitenrec::models::zoo::WARM_ROSTER;
 use whitenrec::nn::save_params;
+use whitenrec::obs::Telemetry;
 use whitenrec::textsim::EmbeddingReport;
 use whitenrec::train::SeqRecModel;
 use whitenrec::whiten::{whiteness_error, WhiteningMethod, WhiteningTransform, DEFAULT_EPS};
@@ -112,12 +120,23 @@ fn analyze(args: &[String]) -> ExitCode {
 
 fn train(args: &[String]) -> ExitCode {
     let model_name = flag(args, "--model").unwrap_or_else(|| "WhitenRec+".into());
-    let ctx = match build_context(args) {
+    let mut ctx = match build_context(args) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    };
+    let trace_out = flag(args, "--trace-out");
+    let metrics_out = flag(args, "--metrics-out");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+        let tel = Telemetry::new();
+        ctx.telemetry = Some(tel.clone());
+        // The paper's diagnostics: embedding health before/after whitening.
+        ctx.record_whitening_health();
+        Some(tel)
+    } else {
+        None
     };
     let cold = has_flag(args, "--cold");
     println!(
@@ -161,6 +180,25 @@ fn train(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("record appended to {path}");
+    }
+    if let Some(tel) = &telemetry {
+        whitenrec::runtime::record_metrics(&tel.registry);
+        let trace = trace_out.as_ref().map(Path::new);
+        let metrics = metrics_out.as_ref().map(Path::new);
+        match whitenrec::export_telemetry(tel, trace, metrics) {
+            Ok(()) => {
+                if let Some(p) = &trace_out {
+                    println!("trace -> {p}");
+                }
+                if let Some(p) = &metrics_out {
+                    println!("metrics -> {p}");
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

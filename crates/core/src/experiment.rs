@@ -3,8 +3,10 @@
 use wr_data::{cold_split, warm_split, ColdSplit, DatasetKind, DatasetSpec, ReadyDataset, WarmSplit};
 use wr_eval::MetricSet;
 use wr_models::{zoo, ModelConfig};
+use wr_obs::Telemetry;
 use wr_tensor::Rng64;
-use wr_train::{fit, Adam, AdamConfig, EpochRecord, SeqRecModel, TrainConfig, TrainReport};
+use wr_train::{fit_observed, Adam, AdamConfig, EpochRecord, SeqRecModel, TrainConfig, TrainReport};
+use wr_whiten::{observed_group_whiten, WhiteningMethod, DEFAULT_EPS};
 
 /// A materialized dataset with its warm and cold splits, plus the shared
 /// model/training configuration — one per (dataset, scale) pair.
@@ -18,6 +20,11 @@ pub struct ExperimentContext {
     pub relaxed_groups: usize,
     /// Cap on evaluation cases (keeps single-core runs tractable; 0 = all).
     pub eval_cap: usize,
+    /// Write-only run telemetry. When set, training records `train.*`
+    /// metrics/spans into it and [`Self::record_whitening_health`] can
+    /// snapshot the paper's anisotropy diagnostics. Never read back into
+    /// results — attaching it changes nothing the context computes.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl ExperimentContext {
@@ -51,6 +58,33 @@ impl ExperimentContext {
             },
             relaxed_groups: 4,
             eval_cap: 2000,
+            telemetry: None,
+        }
+    }
+
+    /// The context's telemetry, or a fresh throwaway bundle nobody reads.
+    /// Keeps the training path single: `fit_observed` always gets one.
+    fn telemetry_or_default(&self) -> Telemetry {
+        self.telemetry.clone().unwrap_or_default()
+    }
+
+    /// Re-run the preprocessing whitening (ZCA, the context's relaxed
+    /// group count) purely to record the paper's embedding-health
+    /// diagnostics — `whiten.pre.*` / `whiten.post.*` gauges (mean
+    /// pairwise cosine, condition number, top-k singular mass, uniformity)
+    /// plus fit/apply spans — into the attached telemetry. No-op without
+    /// telemetry; the whitened output is discarded (models re-whiten
+    /// inside `zoo::build`, which stays uninstrumented and bit-identical).
+    pub fn record_whitening_health(&self) {
+        if let Some(tel) = &self.telemetry {
+            let _ = observed_group_whiten(
+                &self.dataset.embeddings,
+                self.relaxed_groups,
+                WhiteningMethod::Zca,
+                DEFAULT_EPS,
+                tel,
+                "whiten",
+            );
         }
     }
 
@@ -92,12 +126,13 @@ impl ExperimentContext {
             ..AdamConfig::default()
         });
         let valid = cap(&self.warm.validation, self.eval_cap);
-        let report = fit(
+        let report = fit_observed(
             &mut model,
             &mut optimizer,
             self.warm.train.clone(),
             &valid,
             self.train_config,
+            &self.telemetry_or_default(),
             hook,
         );
         let test = cap(&self.warm.test, self.eval_cap);
@@ -126,12 +161,13 @@ impl ExperimentContext {
             ..AdamConfig::default()
         });
         let valid = cap(&self.cold.validation, self.eval_cap);
-        let report = fit(
+        let report = fit_observed(
             &mut model,
             &mut optimizer,
             self.cold.train.clone(),
             &valid,
             self.train_config,
+            &self.telemetry_or_default(),
             |_, _| {},
         );
         let test = cap(&self.cold.test, self.eval_cap);
@@ -204,6 +240,50 @@ mod tests {
         let ctx = tiny_context();
         let trained = ctx.run_cold("WhitenRec+");
         assert!(trained.test_metrics.n_cases > 0);
+    }
+
+    #[test]
+    fn telemetry_snapshot_carries_training_and_whitening_diagnostics() {
+        let mut ctx = tiny_context();
+        let tel = Telemetry::new();
+        ctx.telemetry = Some(tel.clone());
+        ctx.record_whitening_health();
+        let trained = ctx.run_warm("WhitenRec");
+        assert!(trained.test_metrics.n_cases > 0);
+
+        let snap = tel.registry.snapshot();
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        // The paper's direction, visible in one snapshot: whitening lowers
+        // the mean pairwise cosine and the covariance condition number.
+        assert!(gauge("whiten.post.mean_pairwise_cosine") < gauge("whiten.pre.mean_pairwise_cosine"));
+        assert!(gauge("whiten.post.condition_number") < gauge("whiten.pre.condition_number"));
+        // And training telemetry landed beside it.
+        assert!(gauge("train.loss").is_finite());
+        assert!(snap.histograms.iter().any(|(n, h)| n == "train.step_ms" && h.count > 0));
+        assert!(tel.tracer.events().iter().any(|e| e.cat == "whiten"));
+        assert!(tel.tracer.events().iter().any(|e| e.cat == "train"));
+    }
+
+    #[test]
+    fn attached_telemetry_does_not_change_training() {
+        let ctx_plain = tiny_context();
+        let mut ctx_obs = tiny_context();
+        ctx_obs.telemetry = Some(Telemetry::new());
+        let a = ctx_plain.run_warm("SASRec(T)");
+        let b = ctx_obs.run_warm("SASRec(T)");
+        let la: Vec<u32> = a.report.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+        let lb: Vec<u32> = b.report.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+        assert_eq!(la, lb, "telemetry must be write-only");
+        assert_eq!(
+            a.test_metrics.recall_at(20).to_bits(),
+            b.test_metrics.recall_at(20).to_bits()
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! | [`models`] | `wr-models` | the Table III model zoo |
 //! | [`train`] | `wr-train` | Adam, training loop, early stopping |
 //! | [`eval`] | `wr-eval` | Recall/NDCG, uniformity, conditioning |
+//! | [`obs`] | `wr-obs` | metrics registry, spans, embedding health |
 
 pub use wr_autograd as autograd;
 pub use wr_data as data;
@@ -43,6 +44,8 @@ pub use wr_eval as eval;
 pub use wr_linalg as linalg;
 pub use wr_models as models;
 pub use wr_nn as nn;
+pub use wr_obs as obs;
+pub use wr_runtime as runtime;
 pub use wr_tensor as tensor;
 pub use wr_textsim as textsim;
 pub use wr_train as train;
@@ -52,8 +55,10 @@ mod experiment;
 mod export;
 mod pipeline;
 mod table;
+mod telemetry_export;
 
 pub use experiment::{ExperimentContext, TrainedModel};
 pub use export::{append_records, load_records, ExperimentRecord};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineResult};
 pub use table::TableWriter;
+pub use telemetry_export::export_telemetry;

@@ -1,0 +1,112 @@
+//! `wr-obs` — std-only observability for the WhitenRec reproduction.
+//!
+//! Three pieces, all global-free and pool-safe:
+//!
+//! * [`registry`] — a [`Registry`] of [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s; lock-sharded lookup, lock-free
+//!   observation, deterministic name-sorted [`Snapshot`] with compact
+//!   JSON export (`wr-obs/v1`).
+//! * [`clock`] + [`span`] — the [`Clock`] trait ([`MonotonicClock`] in
+//!   production, [`MockClock`] in tests) and a [`Tracer`] of RAII
+//!   [`Span`]s exporting Chrome `trace_event` JSON (Perfetto /
+//!   `about:tracing`) and JSONL.
+//! * [`health`] — [`EmbeddingHealth`]: the paper's anisotropy
+//!   diagnostics (mean pairwise cosine, top-k singular mass, condition
+//!   number, uniformity/alignment) computed on raw `f32` matrices and
+//!   recordable as gauges.
+//!
+//! **Layering.** This crate sits at the very bottom of the workspace —
+//! it depends on nothing, and `wr-runtime` (which everything else builds
+//! on) depends on it to time pool jobs. That is why the health module
+//! carries its own small f64 eigensolver instead of using `wr-linalg`,
+//! and why JSON is written by local helpers instead of
+//! `wr_tensor::json` (same dialect; parse-compatibility is asserted by
+//! root integration tests).
+//!
+//! **Determinism contract.** Telemetry is strictly write-only with
+//! respect to computation: nothing in this crate is ever read back into
+//! a result-producing path. `wr-check`'s R4 rule pins the only
+//! production wall-clock reads to this crate, and the serve/runtime
+//! differential suites assert bit-identical results with instrumentation
+//! attached and across `WR_THREADS` settings.
+
+pub mod clock;
+pub mod health;
+mod jsonw;
+pub mod registry;
+pub mod span;
+
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use health::{alignment, EmbeddingHealth, HealthConfig};
+pub use registry::{
+    nearest_rank, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+};
+pub use span::{Span, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+
+use std::sync::Arc;
+
+/// One shared clock + registry + tracer, threaded through an instrumented
+/// pipeline as a unit. Cheap to clone pieces out of (everything is an
+/// `Arc`); construct one per experiment/benchmark run.
+#[derive(Clone)]
+pub struct Telemetry {
+    pub clock: Arc<dyn Clock>,
+    pub registry: Arc<Registry>,
+    pub tracer: Arc<Tracer>,
+}
+
+impl Telemetry {
+    /// Production telemetry on a fresh [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Telemetry on a caller-supplied clock (tests pass a [`MockClock`]).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        let tracer = Arc::new(Tracer::new(clock.clone()));
+        Telemetry {
+            clock,
+            registry: Arc::new(Registry::new()),
+            tracer,
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tracer", &self.tracer)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_shares_one_clock_between_tracer_and_caller() {
+        let clock = Arc::new(MockClock::new());
+        let tel = Telemetry::with_clock(clock.clone());
+        {
+            let _s = tel.tracer.span("tick", "test");
+            clock.advance(42);
+        }
+        assert_eq!(tel.tracer.events()[0].dur_ns, 42);
+        assert_eq!(tel.clock.now_ns(), 42);
+    }
+
+    #[test]
+    fn telemetry_clones_share_state() {
+        let tel = Telemetry::new();
+        let tel2 = tel.clone();
+        tel.registry.counter("n").inc();
+        assert_eq!(tel2.registry.counter("n").get(), 1);
+    }
+}

@@ -1,0 +1,572 @@
+//! Global-free metric registry: counters, gauges, fixed-bucket histograms.
+//!
+//! A [`Registry`] is an explicit value (usually behind an `Arc` inside
+//! [`crate::Telemetry`]) — there is no process-global state, so tests and
+//! parallel experiments each own an isolated metric namespace. Lookup is
+//! lock-sharded (FNV-1a of the metric name picks one of [`SHARDS`]
+//! mutex-guarded maps) and handles are `Arc`s to lock-free atomics, so the
+//! hot path — a worker thread bumping a counter or observing a histogram
+//! sample — never contends on the registry locks and is safe to call from
+//! inside `wr-runtime` pool jobs.
+//!
+//! Everything here is strictly write-only with respect to computation: no
+//! metric value is ever read back into a result-producing path
+//! (`wr-check` R4 enforces the absence of clock reads outside
+//! `crates/obs`; the differential suites assert bit-identity with
+//! telemetry attached).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::jsonw::{write_f64, write_str};
+
+/// Monotonic event count. `u64`, relaxed atomics — ordering between
+/// metric writes is irrelevant, only the totals are.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins scalar (f64 bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bound histogram with explicit underflow/overflow buckets.
+///
+/// For ascending `bounds = [b0, …, bn]` there are `n + 2` buckets:
+/// bucket 0 counts samples `< b0` (underflow), bucket `i` counts
+/// `b(i-1) <= v < b(i)`, and the last bucket counts `v >= bn` (overflow).
+/// `count`/`sum`/`min`/`max` are tracked exactly alongside the buckets.
+/// Observation is lock-free (one `fetch_add` plus CAS loops for the
+/// extrema), so pool workers can observe concurrently; totals are exact,
+/// percentiles are bucket-resolution estimates.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Point-in-time copy of one histogram, used for snapshots and JSON.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    /// `bounds` must be finite and strictly ascending (checked).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly ascending");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Log-spaced default bounds for durations in milliseconds:
+    /// 0.001 ms … 100 s, three buckets per decade.
+    pub fn default_ms_bounds() -> Vec<f64> {
+        let mut bounds = Vec::new();
+        let mut decade = 1e-3;
+        for _ in 0..9 {
+            for m in [1.0, 2.0, 5.0] {
+                bounds.push(decade * m);
+            }
+            decade *= 10.0;
+        }
+        bounds
+    }
+
+    /// Record one sample. NaN samples are counted in the overflow bucket
+    /// (they compare false against every bound) and excluded from the
+    /// extrema; this keeps observation panic-free on hostile inputs.
+    pub fn observe(&self, v: f64) {
+        let mut idx = self.bounds.len(); // overflow unless a bound catches it
+        for (i, b) in self.bounds.iter().enumerate() {
+            if v < *b {
+                idx = i;
+                break;
+            }
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.cas_f64(&self.sum_bits, |cur| cur + v);
+        self.cas_f64(&self.min_bits, |cur| if v < cur { v } else { cur });
+        self.cas_f64(&self.max_bits, |cur| if v > cur { v } else { cur });
+    }
+
+    fn cas_f64(&self, cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest observed sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest observed sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile estimated at bucket resolution: the value
+    /// returned is the upper bound of the bucket holding the target rank,
+    /// except that the unbounded edge buckets report the exact observed
+    /// extremum (underflow → `min`, overflow → `max`). Empty histograms
+    /// report 0.0.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let snap = self.snapshot();
+        snap.percentile(p)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket i; the edge buckets are unbounded on
+                // one side, so they report the exact observed extremum.
+                if i == 0 {
+                    return self.min;
+                }
+                return match self.bounds.get(i) {
+                    Some(b) => b.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// rank `ceil(p/100 · n)` (1-based, clamped). This is the single
+/// percentile definition shared by [`Histogram`] (at bucket resolution)
+/// and `wr-serve`'s exact latency percentiles.
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+const SHARDS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Lock-sharded, name-addressed metric store. See the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [Mutex<BTreeMap<String, Entry>>; SHARDS],
+}
+
+/// Point-in-time, name-sorted copy of every metric in a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+fn shard_of(name: &str) -> usize {
+    let mut h = 0xcbf29ce484222325u64; // FNV-1a
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn entry(&self, name: &str, make: impl FnOnce() -> Entry) -> Entry {
+        let mut shard = self
+            .shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        shard
+            .entry(name.to_string())
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.entry(name, || Entry::Counter(Arc::new(Counter::new()))) {
+            Entry::Counter(c) => c,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge `name` (same kind rules as [`Self::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.entry(name, || Entry::Gauge(Arc::new(Gauge::new()))) {
+            Entry::Gauge(g) => g,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram `name`. `bounds` is used only on first
+    /// creation; later callers receive the existing instance.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        match self.entry(name, || Entry::Histogram(Arc::new(Histogram::new(bounds)))) {
+            Entry::Histogram(h) => h,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Adopt an externally owned histogram under `name` (e.g. the runtime
+    /// pool's job timers live in the pool and are adopted into whichever
+    /// registry snapshots them). First registration wins; re-adopting the
+    /// same instance is a no-op.
+    pub fn adopt_histogram(&self, name: &str, h: &Arc<Histogram>) -> Arc<Histogram> {
+        match self.entry(name, || Entry::Histogram(h.clone())) {
+            Entry::Histogram(h) => h,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Name-sorted copy of every metric. Deterministic given deterministic
+    /// metric values: shards are walked in order and each shard's map is
+    /// already sorted, so only the final merge-sort by name is needed.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (name, entry) in shard.iter() {
+                match entry {
+                    Entry::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                    Entry::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                    Entry::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+        }
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+
+    /// Serialize a fresh [`Snapshot`] — see [`Snapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl Snapshot {
+    /// Compact JSON:
+    /// `{"format":"wr-obs/v1","counters":{…},"gauges":{…},"histograms":{name:{count,sum,min,max,mean,p50,p95,p99,bounds,buckets}}}`.
+    ///
+    /// The dialect matches `wr_tensor::json` (shortest round-trip floats,
+    /// `null` for non-finite) so downstream tooling parses it with the
+    /// same parser as every other artifact in the repo.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"format\":\"wr-obs/v1\",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push(':');
+            write_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            for (key, val) in [
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("mean", h.mean()),
+                ("p50", h.percentile(50.0)),
+                ("p95", h.percentile(95.0)),
+                ("p99", h.percentile(99.0)),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                write_f64(&mut out, val);
+            }
+            out.push_str(",\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_f64(&mut out, *b);
+            }
+            out.push_str("],\"buckets\":[");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("jobs");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("jobs").get(), 5);
+        let g = reg.gauge("depth");
+        g.set(3.5);
+        assert_eq!(reg.gauge("depth").get(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_split_at_bounds() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 2.0, 9.9, 10.0, 50.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // underflow (<1): 0.5 | [1,10): 1.0, 2.0, 9.9 | overflow (>=10): 10.0, 50.0
+        assert_eq!(s.buckets, vec![1, 3, 2]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 50.0);
+        assert!((s.sum - 73.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_underflow_and_overflow_extremes() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(-100.0);
+        h.observe(1e9);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1]);
+        assert_eq!(s.min, -100.0);
+        assert_eq!(s.max, 1e9);
+        // p99 lands in the overflow bucket → exact observed max.
+        assert_eq!(s.percentile(99.0), 1e9);
+        // p50 lands in the underflow bucket → clamped to observed min.
+        assert_eq!(s.percentile(50.0), -100.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zeros() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.buckets, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_nan_goes_to_overflow_without_poisoning_extrema() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1]);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 0.5);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_bucket_edges() {
+        let h = Histogram::new(&Histogram::default_ms_bounds());
+        for i in 0..100 {
+            h.observe(0.05 + (i as f64) * 0.001); // all in [0.05, 0.15)
+        }
+        let p50 = h.percentile(50.0);
+        assert!(p50 >= 0.05 && p50 <= 0.2, "p50 = {p50}");
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank(&xs, 50.0), 50.0);
+        assert_eq!(nearest_rank(&xs, 95.0), 95.0);
+        assert_eq!(nearest_rank(&xs, 99.0), 99.0);
+        assert_eq!(nearest_rank(&xs, 100.0), 100.0);
+        assert_eq!(nearest_rank(&[7.5], 50.0), 7.5);
+        assert_eq!(nearest_rank(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_json_shaped() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(2);
+        reg.gauge("m.mid").set(1.25);
+        reg.histogram("h.lat", &[1.0, 2.0]).observe(1.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"format\":\"wr-obs/v1\""));
+        assert!(json.contains("\"a.first\":2"));
+        assert!(json.contains("\"m.mid\":1.25"));
+        assert!(json.contains("\"h.lat\":{\"count\":1"));
+    }
+
+    #[test]
+    fn registry_is_shareable_across_handles() {
+        let reg = Arc::new(Registry::new());
+        let c1 = reg.counter("shared");
+        let c2 = reg.counter("shared");
+        c1.inc();
+        c2.inc();
+        assert_eq!(reg.counter("shared").get(), 2);
+    }
+}

@@ -1,0 +1,337 @@
+//! Hierarchical span timing with Chrome `trace_event` and JSONL export.
+//!
+//! A [`Tracer`] records [`TraceEvent`]s — named, categorized intervals
+//! measured with the tracer's [`Clock`]. Spans are RAII guards
+//! ([`Tracer::span`]): the interval starts at construction and is recorded
+//! on drop, so nesting follows lexical scope. Hierarchy is not stored
+//! explicitly; Chrome's trace viewer reconstructs it from interval
+//! containment per thread (`ph: "X"` complete events on the same `tid`
+//! stack visually), which is exactly the paper-trail we want: open the
+//! exported file in Perfetto (<https://ui.perfetto.dev>) or
+//! `about:tracing` and the epoch → step → pool-job structure is visible
+//! without any schema work.
+//!
+//! Thread attribution: each OS thread is assigned a small stable `tid` in
+//! first-seen order (the debug representation of [`std::thread::ThreadId`]
+//! keys the map — identity only, never parsed). Under `WR_THREADS=1`
+//! every event lands on `tid` 0, making single-threaded traces fully
+//! deterministic under a [`crate::MockClock`] — the golden-fixture tests
+//! rely on that.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::jsonw::{write_f64, write_str};
+
+/// One recorded interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Category shown as the event's `cat` in trace viewers (e.g. "train",
+    /// "serve", "whiten").
+    pub cat: &'static str,
+    /// Start, nanoseconds on the tracer's clock.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (zero-duration spans are legal and kept).
+    pub dur_ns: u64,
+    /// Stable per-thread id, first-seen order.
+    pub tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    events: Vec<TraceEvent>,
+    tids: BTreeMap<String, u64>,
+}
+
+/// Collects spans into an in-memory event buffer (bounded by `capacity`;
+/// overflow increments a drop counter instead of growing without limit).
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    inner: Mutex<TracerInner>,
+    dropped: AtomicU64,
+}
+
+/// Default event-buffer capacity (events beyond this are counted, not kept).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// RAII span guard: measures from construction to drop on the owning
+/// tracer's clock and records the completed interval.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: Option<String>,
+    cat: &'static str,
+    start_ns: u64,
+}
+
+impl Tracer {
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_capacity(clock, DEFAULT_TRACE_CAPACITY)
+    }
+
+    pub fn with_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        Tracer {
+            clock,
+            capacity,
+            inner: Mutex::new(TracerInner::default()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a span; the interval ends (and is recorded) when the returned
+    /// guard drops.
+    pub fn span(&self, name: impl Into<String>, cat: &'static str) -> Span<'_> {
+        Span {
+            tracer: self,
+            name: Some(name.into()),
+            cat,
+            start_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Record a completed interval directly (used by the span guard, and
+    /// by call sites that already hold start/end timestamps).
+    pub fn record(&self, name: impl Into<String>, cat: &'static str, start_ns: u64, end_ns: u64) {
+        let tid_key = format!("{:?}", std::thread::current().id());
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if inner.events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let next_tid = inner.tids.len() as u64;
+        let tid = *inner.tids.entry(tid_key).or_insert(next_tid);
+        inner.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ts_ns: start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            tid,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .events
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the buffer was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the recorded events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .events
+            .clone()
+    }
+
+    /// Chrome `trace_event` JSON (the object form):
+    /// `{"traceEvents":[{name,cat,ph:"X",ts,dur,pid,tid}],"displayTimeUnit":"ms"}`
+    /// with `ts`/`dur` in microseconds as the format requires. Load it in
+    /// `about:tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_str(&mut out, &e.name);
+            out.push_str(",\"cat\":");
+            write_str(&mut out, if e.cat.is_empty() { "default" } else { e.cat });
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            write_f64(&mut out, e.ts_ns as f64 / 1e3);
+            out.push_str(",\"dur\":");
+            write_f64(&mut out, e.dur_ns as f64 / 1e3);
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&e.tid.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"");
+        let dropped = self.dropped();
+        if dropped > 0 {
+            out.push_str(",\"wrObsDroppedEvents\":");
+            out.push_str(&dropped.to_string());
+        }
+        out.push('}');
+        out
+    }
+
+    /// One JSON object per line (`\n`-terminated), for log shippers:
+    /// `{"name":…,"cat":…,"ts_us":…,"dur_us":…,"tid":…}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str("{\"name\":");
+            write_str(&mut out, &e.name);
+            out.push_str(",\"cat\":");
+            write_str(&mut out, if e.cat.is_empty() { "default" } else { e.cat });
+            out.push_str(",\"ts_us\":");
+            write_f64(&mut out, e.ts_ns as f64 / 1e3);
+            out.push_str(",\"dur_us\":");
+            write_f64(&mut out, e.dur_ns as f64 / 1e3);
+            out.push_str(",\"tid\":");
+            out.push_str(&e.tid.to_string());
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl Span<'_> {
+    /// End the span now instead of at scope exit.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(name) = self.name.take() {
+            let end = self.tracer.clock.now_ns();
+            self.tracer.record(name, self.cat, self.start_ns, end);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    fn mock_tracer(tick: u64) -> (Arc<MockClock>, Tracer) {
+        let clock = Arc::new(MockClock::with_tick(tick));
+        let tracer = Tracer::new(clock.clone() as Arc<dyn Clock>);
+        (clock, tracer)
+    }
+
+    #[test]
+    fn span_records_on_drop_with_mock_durations() {
+        let (clock, tracer) = mock_tracer(0);
+        {
+            let _s = tracer.span("work", "test");
+            clock.advance(1500);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].ts_ns, 0);
+        assert_eq!(events[0].dur_ns, 1500);
+        assert_eq!(events[0].tid, 0);
+    }
+
+    #[test]
+    fn nested_spans_record_inner_first_with_contained_intervals() {
+        let (clock, tracer) = mock_tracer(0);
+        {
+            let _outer = tracer.span("outer", "test");
+            clock.advance(10);
+            {
+                let _inner = tracer.span("inner", "test");
+                clock.advance(5);
+            }
+            clock.advance(10);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        // Drop order: inner completes before outer.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        let (inner, outer) = (&events[0], &events[1]);
+        assert_eq!(inner.ts_ns, 10);
+        assert_eq!(inner.dur_ns, 5);
+        assert_eq!(outer.ts_ns, 0);
+        assert_eq!(outer.dur_ns, 25);
+        // Containment — what the trace viewer uses to nest them.
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(inner.ts_ns + inner.dur_ns <= outer.ts_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn zero_duration_span_is_kept() {
+        let (_clock, tracer) = mock_tracer(0);
+        tracer.span("instant", "test").end();
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].dur_ns, 0);
+    }
+
+    #[test]
+    fn capacity_overflow_counts_drops() {
+        let clock = Arc::new(MockClock::new());
+        let tracer = Tracer::with_capacity(clock as Arc<dyn Clock>, 2);
+        for i in 0..5 {
+            tracer.span(format!("s{i}"), "test").end();
+        }
+        assert_eq!(tracer.len(), 2);
+        assert_eq!(tracer.dropped(), 3);
+        assert!(tracer.to_chrome_json().contains("\"wrObsDroppedEvents\":3"));
+    }
+
+    #[test]
+    fn chrome_export_uses_microseconds() {
+        let (clock, tracer) = mock_tracer(0);
+        {
+            let _s = tracer.span("q", "serve");
+            clock.advance(2500); // 2.5 us
+        }
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"dur\":2.5"), "{json}");
+        assert!(json.contains("\"pid\":1"), "{json}");
+    }
+
+    #[test]
+    fn jsonl_is_one_event_per_line() {
+        let (_clock, tracer) = mock_tracer(100);
+        tracer.span("a", "t").end();
+        tracer.span("b", "t").end();
+        let jsonl = tracer.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"name\":\"b\""));
+    }
+
+    #[test]
+    fn record_accepts_explicit_intervals_and_saturates_backwards_time() {
+        let (_clock, tracer) = mock_tracer(0);
+        tracer.record("direct", "t", 100, 250);
+        tracer.record("clamped", "t", 300, 200); // end < start → dur 0
+        let events = tracer.events();
+        assert_eq!(events[0].dur_ns, 150);
+        assert_eq!(events[1].dur_ns, 0);
+    }
+}

@@ -44,12 +44,28 @@
 //! Callers that fold floating-point sums therefore get bit-identical results
 //! at any thread count as long as they reduce the returned values in index
 //! order (this is what `wr-eval::evaluate_cases` does).
+//!
+//! # Observability
+//!
+//! The pool carries `wr-obs` instrumentation: per-task queue-wait and
+//! execution timings (measured on a [`wr_obs::MonotonicClock`] owned by the
+//! pool — the runtime itself never reads `Instant::now`, per wr-check R4)
+//! aggregated into histograms, plus counters for dispatches and for jobs
+//! executed by workers vs. the participating caller. [`pool_stats`] exposes
+//! the counters (the `parallel_scaling` bench exports them so a single-CPU
+//! container is detectable from the artifact), and [`record_metrics`]
+//! copies everything into a caller's [`wr_obs::Registry`] snapshot. All of
+//! it is write-only: no telemetry value feeds scheduling or results, and
+//! the sequential `WR_THREADS=1` fast path takes no timestamps at all.
 
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+
+use wr_obs::clock::Clock;
+use wr_obs::{Histogram, MonotonicClock, Registry};
 
 // ---------------------------------------------------------------------------
 // Thread-count policy
@@ -105,6 +121,8 @@ struct Job {
     ctx: *const (),
     range: Range<usize>,
     latch: *const Latch,
+    /// Pool-clock timestamp at enqueue, for the queue-wait histogram.
+    enqueued_ns: u64,
 }
 
 // SAFETY: the raw pointers are only dereferenced while the dispatching
@@ -137,10 +155,23 @@ impl Latch {
 
 }
 
+/// Write-only pool telemetry (see the module-level "Observability" notes).
+struct PoolObs {
+    /// The pool's private time source; the only clock the runtime touches.
+    clock: MonotonicClock,
+    par_dispatches: AtomicU64,
+    seq_dispatches: AtomicU64,
+    jobs_by_workers: AtomicU64,
+    jobs_by_caller: AtomicU64,
+    queue_wait_ms: Histogram,
+    exec_ms: Histogram,
+}
+
 struct PoolState {
     queue: Mutex<VecDeque<Job>>,
     work_ready: Condvar,
     workers: AtomicUsize,
+    obs: PoolObs,
 }
 
 fn pool() -> &'static PoolState {
@@ -149,18 +180,42 @@ fn pool() -> &'static PoolState {
         queue: Mutex::new(VecDeque::new()),
         work_ready: Condvar::new(),
         workers: AtomicUsize::new(0),
+        obs: PoolObs {
+            clock: MonotonicClock::new(),
+            par_dispatches: AtomicU64::new(0),
+            seq_dispatches: AtomicU64::new(0),
+            jobs_by_workers: AtomicU64::new(0),
+            jobs_by_caller: AtomicU64::new(0),
+            queue_wait_ms: Histogram::new(&Histogram::default_ms_bounds()),
+            exec_ms: Histogram::new(&Histogram::default_ms_bounds()),
+        },
     })
 }
 
 /// Execute one job, converting panics into a latch flag so the dispatching
 /// thread can re-raise them instead of the whole process aborting.
-fn run_job(job: Job) {
+///
+/// `by_worker` is telemetry-only: it attributes the job to a pool worker
+/// or to the participating caller in the utilization counters.
+fn run_job(job: Job, by_worker: bool) {
+    let obs = &pool().obs;
+    let start_ns = obs.clock.now_ns();
+    obs.queue_wait_ms
+        .observe(start_ns.saturating_sub(job.enqueued_ns) as f64 / 1e6);
     // SAFETY: `job.ctx` points at the closure `job.call` was instantiated
     // for, and the dispatching thread keeps it alive by blocking on the
     // latch until this job has counted down.
     let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
         (job.call)(job.ctx, job.range.clone());
     }));
+    obs.exec_ms
+        .observe(obs.clock.now_ns().saturating_sub(start_ns) as f64 / 1e6);
+    let who = if by_worker {
+        &obs.jobs_by_workers
+    } else {
+        &obs.jobs_by_caller
+    };
+    who.fetch_add(1, Ordering::Relaxed);
     // SAFETY: dispatcher is still blocked on this latch.
     let latch = unsafe { &*job.latch };
     if result.is_err() {
@@ -181,7 +236,7 @@ fn worker_loop() {
                 q = p.work_ready.wait(q).unwrap();
             }
         };
-        run_job(job);
+        run_job(job, true);
     }
 }
 
@@ -231,7 +286,9 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
     }
     let n_chunks = n.div_ceil(chunk);
     if threads() <= 1 || n_chunks <= 1 {
-        // Guaranteed sequential fallback: same chunk boundaries, same order.
+        // Guaranteed sequential fallback: same chunk boundaries, same
+        // order, and no clock reads — only one counter bump.
+        pool().obs.seq_dispatches.fetch_add(1, Ordering::Relaxed);
         let mut start = 0;
         while start < n {
             let end = (start + chunk).min(n);
@@ -244,6 +301,8 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
     ensure_workers(threads().saturating_sub(1));
     let latch = Latch::new(n_chunks);
     let p = pool();
+    p.obs.par_dispatches.fetch_add(1, Ordering::Relaxed);
+    let enqueued_ns = p.obs.clock.now_ns();
     {
         let mut q = p.queue.lock().unwrap();
         let mut start = 0;
@@ -254,6 +313,7 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
                 ctx: &f as *const F as *const (),
                 range: start..end,
                 latch: &latch as *const Latch,
+                enqueued_ns,
             });
             start = end;
         }
@@ -265,7 +325,7 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
     loop {
         let job = p.queue.lock().unwrap().pop_front();
         match job {
-            Some(j) => run_job(j),
+            Some(j) => run_job(j, false),
             None => break,
         }
     }
@@ -394,6 +454,98 @@ pub fn parallel_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of the pool's utilization counters.
+///
+/// `jobs_by_workers` vs. `jobs_by_caller` is the load split between spawned
+/// pool workers and the dispatching thread (which always participates);
+/// on a single-CPU container `available_parallelism` is 1 and virtually all
+/// jobs run on the caller — which is exactly what the `parallel_scaling`
+/// bench exports this struct to make visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Current thread target ([`threads`]).
+    pub threads: usize,
+    /// What the OS reports as usable parallelism.
+    pub available_parallelism: usize,
+    /// Worker threads actually spawned so far.
+    pub workers_spawned: usize,
+    /// Dispatches that went through the queue.
+    pub par_dispatches: u64,
+    /// Dispatches that took the sequential fast path.
+    pub seq_dispatches: u64,
+    /// Queued jobs executed by pool workers.
+    pub jobs_by_workers: u64,
+    /// Queued jobs executed by the dispatching (caller) thread.
+    pub jobs_by_caller: u64,
+}
+
+/// Snapshot the pool's utilization counters.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        threads: threads(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        workers_spawned: p.workers.load(Ordering::Relaxed),
+        par_dispatches: p.obs.par_dispatches.load(Ordering::Relaxed),
+        seq_dispatches: p.obs.seq_dispatches.load(Ordering::Relaxed),
+        jobs_by_workers: p.obs.jobs_by_workers.load(Ordering::Relaxed),
+        jobs_by_caller: p.obs.jobs_by_caller.load(Ordering::Relaxed),
+    }
+}
+
+/// Copy the pool's telemetry into `registry` under the `runtime.` prefix:
+/// utilization gauges (values are cumulative-since-process-start, sampled
+/// at call time) plus count/mean/percentile aggregates of the per-task
+/// `runtime.queue_wait_ms` / `runtime.exec_ms` histograms.
+pub fn record_metrics(registry: &Registry) {
+    let s = pool_stats();
+    registry.gauge("runtime.threads").set(s.threads as f64);
+    registry
+        .gauge("runtime.available_parallelism")
+        .set(s.available_parallelism as f64);
+    registry
+        .gauge("runtime.workers_spawned")
+        .set(s.workers_spawned as f64);
+    registry
+        .gauge("runtime.par_dispatches")
+        .set(s.par_dispatches as f64);
+    registry
+        .gauge("runtime.seq_dispatches")
+        .set(s.seq_dispatches as f64);
+    registry
+        .gauge("runtime.jobs_by_workers")
+        .set(s.jobs_by_workers as f64);
+    registry
+        .gauge("runtime.jobs_by_caller")
+        .set(s.jobs_by_caller as f64);
+    // The pool histograms are process-global and may already be adopted by
+    // another registry, so export their aggregates as plain gauges.
+    for (name, h) in [
+        ("runtime.queue_wait_ms", &pool().obs.queue_wait_ms),
+        ("runtime.exec_ms", &pool().obs.exec_ms),
+    ] {
+        let snap = h.snapshot();
+        registry.gauge(&format!("{name}.count")).set(snap.count as f64);
+        registry.gauge(&format!("{name}.mean")).set(snap.mean());
+        registry
+            .gauge(&format!("{name}.p50"))
+            .set(snap.percentile(50.0));
+        registry
+            .gauge(&format!("{name}.p95"))
+            .set(snap.percentile(95.0));
+        registry
+            .gauge(&format!("{name}.p99"))
+            .set(snap.percentile(99.0));
+        registry.gauge(&format!("{name}.max")).set(snap.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,5 +665,95 @@ mod tests {
             let c = chunk_len(16_000, 1);
             assert_eq!(c, 1000);
         });
+    }
+
+    #[test]
+    fn pool_stats_count_dispatches_and_job_attribution() {
+        with_target(1, || {
+            let before = pool_stats();
+            parallel_for(100, 1, |_| {});
+            let after = pool_stats();
+            assert_eq!(after.seq_dispatches, before.seq_dispatches + 1);
+            assert_eq!(after.par_dispatches, before.par_dispatches);
+        });
+        with_target(4, || {
+            let before = pool_stats();
+            parallel_for(1000, 1, |i| {
+                std::hint::black_box(i);
+            });
+            let after = pool_stats();
+            assert_eq!(after.par_dispatches, before.par_dispatches + 1);
+            let jobs = (after.jobs_by_workers + after.jobs_by_caller)
+                - (before.jobs_by_workers + before.jobs_by_caller);
+            // chunk_len(1000, 1) at 4 threads = 63 → 16 chunks.
+            assert_eq!(jobs as usize, 1000usize.div_ceil(chunk_len(1000, 1)));
+            assert!(after.available_parallelism >= 1);
+        });
+    }
+
+    #[test]
+    fn record_metrics_exports_runtime_gauges() {
+        with_target(4, || {
+            parallel_for(256, 1, |_| {});
+            let reg = Registry::new();
+            record_metrics(&reg);
+            let snap = reg.snapshot();
+            let names: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+            for want in [
+                "runtime.threads",
+                "runtime.available_parallelism",
+                "runtime.jobs_by_workers",
+                "runtime.jobs_by_caller",
+                "runtime.exec_ms.count",
+                "runtime.queue_wait_ms.p95",
+            ] {
+                assert!(names.contains(&want), "missing gauge {want}");
+            }
+            let ap = snap
+                .gauges
+                .iter()
+                .find(|(n, _)| n == "runtime.available_parallelism")
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert!(ap >= 1.0);
+        });
+    }
+
+    /// Cross-thread span attribution: spans recorded from inside pool jobs
+    /// land on distinct `tid`s per executing thread. (Lives here rather
+    /// than in wr-obs because the pool is the only sanctioned thread
+    /// source — R3.)
+    #[test]
+    fn tracer_attributes_spans_across_pool_threads() {
+        use wr_obs::{MockClock, Tracer};
+        with_target(4, || {
+            let clock = std::sync::Arc::new(MockClock::with_tick(10));
+            let tracer = Tracer::new(clock as std::sync::Arc<dyn Clock>);
+            parallel_for(64, 1, |i| {
+                tracer.span(format!("job{i}"), "runtime").end();
+            });
+            let events = tracer.events();
+            assert_eq!(events.len(), 64);
+            // The caller participates, so tid 0 exists; every tid is small
+            // and stable (< number of distinct executing threads).
+            let max_tid = events.iter().map(|e| e.tid).max().unwrap();
+            assert!(max_tid < 8, "tids should be densely assigned, got {max_tid}");
+            // Durations come from the shared mock clock tick.
+            assert!(events.iter().all(|e| e.dur_ns == 10));
+        });
+    }
+
+    /// Telemetry is write-only: running with and without metric recording
+    /// around the same reduction yields bit-identical results.
+    #[test]
+    fn instrumentation_does_not_perturb_results() {
+        let run = || {
+            let vals = parallel_map(4096, 16, |i| ((i as u64 * 2654435761) as f64).sin());
+            vals.into_iter().fold(0.0f64, |a, b| a + b)
+        };
+        let a = with_target(4, run);
+        record_metrics(&Registry::new());
+        let b = with_target(4, run);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -4,6 +4,7 @@ use std::path::Path;
 
 use crate::{batch_top_k, top_k_filtered, BatcherConfig, EmbeddingCache, MicroBatcher, ScoredItem};
 use wr_nn::{load_params, restore_params, CheckpointError};
+use wr_obs::Telemetry;
 use wr_tensor::Tensor;
 use wr_train::SeqRecModel;
 
@@ -72,6 +73,11 @@ pub struct ServeEngine {
     cache: EmbeddingCache,
     batcher: MicroBatcher,
     cfg: ServeConfig,
+    /// Optional write-only telemetry: per-micro-batch spans, request/batch
+    /// counters, a queue-depth gauge. Never consulted when producing
+    /// responses — the differential suite asserts instrumented ==
+    /// uninstrumented bit-for-bit.
+    telemetry: Option<Telemetry>,
 }
 
 impl ServeEngine {
@@ -87,7 +93,23 @@ impl ServeEngine {
             cache,
             batcher,
             cfg,
+            telemetry: None,
         }
+    }
+
+    /// Attach telemetry (builder-style). Serving records, per micro-batch:
+    /// a `serve.batch` span, `serve.requests` / `serve.batches` counters, a
+    /// `serve.cache_scored_rows` counter (rows scored against the shared
+    /// cache — the cache-share signal: every row of every batch hits the
+    /// same `Arc`'d matrix), and the `serve.queue_depth` gauge (requests
+    /// still waiting after the current batch).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Restore `checkpoint` into `model` (same architecture it was saved
@@ -130,7 +152,18 @@ impl ServeEngine {
     pub fn serve(&self, requests: &[Request]) -> Vec<Response> {
         let mut responses = Vec::with_capacity(requests.len());
         for group in self.batcher.plan(requests.len()) {
-            let slice = &requests[group];
+            let slice = &requests[group.clone()];
+            let span = self.telemetry.as_ref().map(|tel| {
+                tel.registry.counter("serve.batches").inc();
+                tel.registry.counter("serve.requests").add(slice.len() as u64);
+                tel.registry
+                    .counter("serve.cache_scored_rows")
+                    .add(slice.len() as u64);
+                tel.registry
+                    .gauge("serve.queue_depth")
+                    .set((requests.len() - group.end) as f64);
+                tel.tracer.span(format!("batch[{}]", slice.len()), "serve")
+            });
             let contexts: Vec<&[usize]> = slice
                 .iter()
                 .map(|r| MicroBatcher::sanitize(&r.history))
@@ -150,6 +183,7 @@ impl ServeEngine {
             for (req, items) in slice.iter().zip(lists) {
                 responses.push(Response { id: req.id, items });
             }
+            drop(span);
         }
         responses
     }

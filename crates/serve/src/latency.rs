@@ -1,12 +1,19 @@
 //! Query-log replay with latency percentiles and throughput.
 //!
 //! `wr_bench` cannot be used here (it depends on the workspace root, which
-//! would close a dependency cycle), so this module carries its own timing
-//! and emits JSON in the same `{"suite": ..., "benches": [...]}` shape as
-//! `wr_bench::harness`, extended with percentile fields — downstream
-//! tooling that diffs bench exports parses both.
+//! would close a dependency cycle), so this module emits JSON in the same
+//! `{"suite": ..., "benches": [...]}` shape as `wr_bench::harness`,
+//! extended with percentile fields — downstream tooling that diffs bench
+//! exports parses both.
+//!
+//! Timing flows through `wr-obs`: [`replay_observed`] reads the
+//! telemetry's [`wr_obs::Clock`] (so tests can drive it with a
+//! [`wr_obs::MockClock`]) and the percentile math is
+//! [`wr_obs::nearest_rank`] — the single nearest-rank implementation
+//! shared with the histogram type. This module contains no direct
+//! `Instant::now` calls (wr-check R4 confines those to `crates/obs`).
 
-use std::time::Instant;
+use wr_obs::{nearest_rank, Histogram, Telemetry};
 
 use crate::{QueryLog, Request, Response, ServeEngine};
 
@@ -42,15 +49,6 @@ pub struct ReplayReport {
     pub top1_checksum: u64,
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 fn checksum(responses: &[Response]) -> u64 {
     let mut acc = 0xcbf29ce484222325u64; // FNV offset basis
     for r in responses {
@@ -61,36 +59,57 @@ fn checksum(responses: &[Response]) -> u64 {
 }
 
 /// Replay `log` through `engine` one micro-batch at a time, timing each
-/// batch, and return every response plus the latency report.
+/// batch on a fresh production clock, and return every response plus the
+/// latency report. Equivalent to [`replay_observed`] with telemetry
+/// nobody reads.
+pub fn replay(engine: &ServeEngine, log: &QueryLog) -> (Vec<Response>, ReplayReport) {
+    replay_observed(engine, log, &Telemetry::new())
+}
+
+/// [`replay`] with explicit telemetry: batch wall times come from
+/// `telemetry.clock`, every per-query latency is also observed into the
+/// `serve.latency_ms` histogram, the whole replay is wrapped in a
+/// `replay` span, and the report percentiles are exact nearest-rank over
+/// the raw batch-attributed samples (the histogram carries the same data
+/// at bucket resolution for snapshot export).
 ///
 /// The log is split into groups of the engine's `max_batch` (the same
 /// grouping [`crate::MicroBatcher::plan`] produces), so each timed `serve`
 /// call dispatches exactly one packed batch.
-pub fn replay(engine: &ServeEngine, log: &QueryLog) -> (Vec<Response>, ReplayReport) {
+pub fn replay_observed(
+    engine: &ServeEngine,
+    log: &QueryLog,
+    telemetry: &Telemetry,
+) -> (Vec<Response>, ReplayReport) {
+    let clock = &telemetry.clock;
+    let latency_hist = telemetry
+        .registry
+        .histogram("serve.latency_ms", &Histogram::default_ms_bounds());
     let max_batch = engine.config().max_batch.max(1);
     let mut responses: Vec<Response> = Vec::with_capacity(log.len());
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(log.len());
     let mut n_batches = 0usize;
 
-    // wr-check: allow(R4) — serve-side latency measurement is this
-    // module's purpose; timing never feeds back into served results.
-    let replay_start = Instant::now();
+    let replay_start_ns = clock.now_ns();
     let mut start = 0;
     while start < log.len() {
         let end = (start + max_batch).min(log.len());
         let group: &[Request] = &log.queries[start..end];
-        // wr-check: allow(R4) — per-batch wall clock for the latency
-        // percentiles; measurement only, results are unaffected.
-        let t = Instant::now();
+        let t_ns = clock.now_ns();
         let answered = engine.serve(group);
-        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let ms = clock.now_ns().saturating_sub(t_ns) as f64 / 1e6;
+        latency_hist.observe(ms);
         // Every query in the batch waited for the whole batch.
         latencies_ms.extend(std::iter::repeat(ms).take(group.len()));
         responses.extend(answered);
         n_batches += 1;
         start = end;
     }
-    let total_s = replay_start.elapsed().as_secs_f64();
+    let end_ns = clock.now_ns();
+    telemetry
+        .tracer
+        .record("replay", "serve", replay_start_ns, end_ns);
+    let total_s = end_ns.saturating_sub(replay_start_ns) as f64 / 1e9;
 
     let mut sorted = latencies_ms.clone();
     sorted.sort_by(|a, b| a.total_cmp(b));
@@ -110,9 +129,9 @@ pub fn replay(engine: &ServeEngine, log: &QueryLog) -> (Vec<Response>, ReplayRep
         },
         mean_ms,
         min_ms: sorted.first().copied().unwrap_or(0.0),
-        p50_ms: percentile(&sorted, 50.0),
-        p95_ms: percentile(&sorted, 95.0),
-        p99_ms: percentile(&sorted, 99.0),
+        p50_ms: nearest_rank(&sorted, 50.0),
+        p95_ms: nearest_rank(&sorted, 95.0),
+        p99_ms: nearest_rank(&sorted, 99.0),
         top1_checksum: checksum(&responses),
     };
     (responses, report)
@@ -152,7 +171,9 @@ impl ReplayReport {
 mod tests {
     use super::*;
     use crate::{ServeConfig, ServeEngine};
+    use std::sync::Arc;
     use wr_models::{IdTower, LossKind, ModelConfig, SasRec};
+    use wr_obs::MockClock;
     use wr_tensor::Rng64;
 
     fn tiny_engine() -> ServeEngine {
@@ -184,14 +205,13 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
+    fn percentiles_are_nearest_rank() {
+        // The shared implementation — sanity-check it at the call site.
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&xs, 50.0), 50.0);
-        assert_eq!(percentile(&xs, 95.0), 95.0);
-        assert_eq!(percentile(&xs, 99.0), 99.0);
-        assert_eq!(percentile(&xs, 100.0), 100.0);
-        assert_eq!(percentile(&[7.5], 50.0), 7.5);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(nearest_rank(&xs, 50.0), 50.0);
+        assert_eq!(nearest_rank(&xs, 95.0), 95.0);
+        assert_eq!(nearest_rank(&xs, 99.0), 99.0);
+        assert_eq!(nearest_rank(&[], 50.0), 0.0);
     }
 
     #[test]
@@ -209,6 +229,72 @@ mod tests {
         // Replay responses match a direct serve of the same queries.
         let direct = engine.serve(&log.queries);
         assert_eq!(responses, direct);
+    }
+
+    #[test]
+    fn mock_clock_makes_the_report_deterministic() {
+        let engine = tiny_engine();
+        let log = QueryLog::synthetic(20, 25, 5, 3);
+        // Each clock read advances 1 ms. Reads per replay: 1 start + 2 per
+        // batch + 1 end. Batch wall time = exactly 1 ms each.
+        let clock = Arc::new(MockClock::with_tick(1_000_000));
+        let tel = Telemetry::with_clock(clock);
+        let (_, report) = replay_observed(&engine, &log, &tel);
+        assert_eq!(report.n_batches, 3); // ceil(20 / 8)
+        assert_eq!(report.p50_ms, 1.0);
+        assert_eq!(report.p95_ms, 1.0);
+        assert_eq!(report.p99_ms, 1.0);
+        assert_eq!(report.mean_ms, 1.0);
+        assert_eq!(report.min_ms, 1.0);
+        // total = (1 + 2·3 + 1 − 1) ticks… exactly: reads happen at 0,
+        // then start/end pairs; last read index = 7 → total 7 ms.
+        assert!((report.total_s - 0.007).abs() < 1e-12, "{}", report.total_s);
+        // The histogram saw one sample per batch.
+        let snap = tel.registry.snapshot();
+        let lat = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve.latency_ms")
+            .map(|(_, h)| h.clone())
+            .unwrap();
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.min, 1.0);
+        // And the replay span covers the whole run.
+        let events = tel.tracer.events();
+        assert!(events.iter().any(|e| e.name == "replay"));
+    }
+
+    #[test]
+    fn engine_telemetry_records_batches_without_changing_results() {
+        let log = QueryLog::synthetic(21, 25, 5, 9);
+        let plain = tiny_engine();
+        let expected = plain.serve(&log.queries);
+
+        let tel = Telemetry::new();
+        let observed_engine = tiny_engine().with_telemetry(tel.clone());
+        let got = observed_engine.serve(&log.queries);
+        assert_eq!(expected, got, "telemetry must be write-only");
+
+        let snap = tel.registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("serve.requests"), 21);
+        assert_eq!(counter("serve.batches"), 3); // ceil(21 / 8)
+        assert_eq!(counter("serve.cache_scored_rows"), 21);
+        let depth = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "serve.queue_depth")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(depth, 0.0, "after the last batch the queue is empty");
+        // One span per micro-batch.
+        assert_eq!(tel.tracer.events().len(), 3);
     }
 
     #[test]

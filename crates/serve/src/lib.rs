@@ -46,7 +46,7 @@ mod topk;
 pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
 pub use cache::EmbeddingCache;
 pub use engine::{Request, Response, ServeConfig, ServeEngine};
-pub use latency::{replay, ReplayReport};
+pub use latency::{replay, replay_observed, ReplayReport};
 pub use querylog::{QueryLog, QueryLogError};
 pub use topk::batch_top_k;
 

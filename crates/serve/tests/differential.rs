@@ -149,6 +149,35 @@ fn checkpoint_round_trip_serves_identically() {
 }
 
 #[test]
+fn instrumentation_does_not_change_results() {
+    // Telemetry is write-only: the same model served with a full
+    // Telemetry attached (spans, counters, gauges, replay latency
+    // histogram) must answer bit-for-bit like the bare engine, at every
+    // thread count.
+    let reqs = queries(50, 6);
+    let plain = engine(16, 8).serve(&reqs);
+
+    let tel = wr_obs::Telemetry::new();
+    let observed_engine = engine(16, 8).with_telemetry(tel.clone());
+    let log = QueryLog {
+        queries: reqs.clone(),
+    };
+    for threads in [1usize, 8] {
+        wr_runtime::set_threads(threads);
+        let direct = observed_engine.serve(&reqs);
+        assert_bit_identical(&direct, &plain, &format!("instrumented, {threads} threads"));
+        let (replayed, _report) = wr_serve::replay_observed(&observed_engine, &log, &tel);
+        assert_bit_identical(&replayed, &plain, &format!("replayed, {threads} threads"));
+    }
+    wr_runtime::set_threads(1);
+
+    // And the telemetry actually saw the traffic.
+    assert!(tel.registry.counter("serve.batches").get() >= 7 * 4);
+    assert_eq!(tel.registry.counter("serve.requests").get(), 50 * 4);
+    assert!(!tel.tracer.events().is_empty());
+}
+
+#[test]
 fn filtering_never_leaks_seen_items_under_batching() {
     let engine = engine(15, 4);
     let reqs = queries(40, 5);

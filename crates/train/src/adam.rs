@@ -45,6 +45,9 @@ pub struct Adam {
     pub config: AdamConfig,
     state: BTreeMap<u64, Slot>,
     step: u64,
+    /// Pre-clip global gradient L2 norm of the latest step — telemetry
+    /// only (the trainer's grad-norm histogram); never read by the update.
+    last_grad_norm: f32,
 }
 
 impl Adam {
@@ -53,6 +56,7 @@ impl Adam {
             config,
             state: BTreeMap::new(),
             step: 0,
+            last_grad_norm: 0.0,
         }
     }
 
@@ -75,6 +79,7 @@ impl Adam {
             }
         }
         let norm = (sq_sum as f32).sqrt();
+        self.last_grad_norm = norm;
         let clip_scale = if norm.is_finite() && norm > c.clip_norm {
             c.clip_norm / norm
         } else {
@@ -124,10 +129,18 @@ impl Adam {
         self.step
     }
 
+    /// Pre-clip global gradient L2 norm of the most recent [`Adam::step`]
+    /// (0.0 before any step). Exposed for the trainer's grad-norm
+    /// histogram; the update itself never reads it back.
+    pub fn last_grad_norm(&self) -> f32 {
+        self.last_grad_norm
+    }
+
     /// Drop all moment state (used when restarting training).
     pub fn reset(&mut self) {
         self.state.clear();
         self.step = 0;
+        self.last_grad_norm = 0.0;
     }
 }
 

@@ -11,4 +11,4 @@ mod trainer;
 
 pub use adam::{Adam, AdamConfig};
 pub use schedule::LrSchedule;
-pub use trainer::{fit, EpochRecord, SeqRecModel, TrainConfig, TrainReport};
+pub use trainer::{fit, fit_observed, EpochRecord, SeqRecModel, TrainConfig, TrainReport};

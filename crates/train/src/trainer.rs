@@ -1,10 +1,16 @@
 //! The training loop with validation-based early stopping.
-
-use std::time::Instant;
+//!
+//! All timing goes through `wr-obs`'s [`Clock`] (the production
+//! [`wr_obs::MonotonicClock`] by default, a mock in tests) — the trainer
+//! never reads `Instant::now` directly, per wr-check R4. [`fit_observed`]
+//! additionally records per-epoch loss/NDCG gauges and step-time /
+//! grad-norm histograms and wraps each epoch in a trace span; [`fit`] is
+//! the same loop with throwaway telemetry.
 
 use crate::{Adam, LrSchedule};
 use wr_data::{Batch, Batcher, EvalCase};
 use wr_nn::Param;
+use wr_obs::{Clock, Telemetry};
 use wr_tensor::{Rng64, Tensor};
 
 /// Interface every model in the zoo implements.
@@ -135,17 +141,58 @@ impl TrainReport {
 /// Train `model` with early stopping on validation NDCG@20, restoring the
 /// best parameters before returning. `epoch_hook` runs after each epoch —
 /// the Fig. 6/7 analyses collect their per-epoch statistics there.
+///
+/// Equivalent to [`fit_observed`] with telemetry nobody reads; the loop
+/// itself is shared, so instrumented and uninstrumented training execute
+/// identical arithmetic.
 pub fn fit<M: SeqRecModel>(
     model: &mut M,
     optimizer: &mut Adam,
     train_sequences: Vec<Vec<usize>>,
     validation: &[EvalCase],
     config: TrainConfig,
+    epoch_hook: impl FnMut(&M, &EpochRecord),
+) -> TrainReport {
+    fit_observed(
+        model,
+        optimizer,
+        train_sequences,
+        validation,
+        config,
+        &Telemetry::new(),
+        epoch_hook,
+    )
+}
+
+/// [`fit`] with telemetry: per-epoch `train.loss` / `train.valid_ndcg` /
+/// `train.epoch_seconds` gauges, `train.step_ms` and `train.grad_norm`
+/// histograms (one sample per optimization step), a `train.epochs`
+/// counter, and a `train.epoch` span per epoch on the tracer. All report
+/// timing (`EpochRecord::seconds`, `TrainReport::total_seconds`) is read
+/// from `telemetry.clock`, so a [`wr_obs::MockClock`] makes the report
+/// fully deterministic. Telemetry is write-only: no recorded value feeds
+/// the optimization path.
+pub fn fit_observed<M: SeqRecModel>(
+    model: &mut M,
+    optimizer: &mut Adam,
+    train_sequences: Vec<Vec<usize>>,
+    validation: &[EvalCase],
+    config: TrainConfig,
+    telemetry: &Telemetry,
     mut epoch_hook: impl FnMut(&M, &EpochRecord),
 ) -> TrainReport {
     let mut rng = Rng64::seed_from(config.seed);
     let batcher = Batcher::new(train_sequences, config.batch_size, config.max_seq);
     assert!(batcher.n_sequences() > 0, "no trainable sequences");
+
+    let clock: &dyn Clock = &*telemetry.clock;
+    let registry = &telemetry.registry;
+    let loss_gauge = registry.gauge("train.loss");
+    let ndcg_gauge = registry.gauge("train.valid_ndcg");
+    let epoch_seconds_gauge = registry.gauge("train.epoch_seconds");
+    let epoch_counter = registry.counter("train.epochs");
+    let step_ms = registry.histogram("train.step_ms", &wr_obs::Histogram::default_ms_bounds());
+    let grad_norm = registry.histogram("train.grad_norm", &grad_norm_bounds());
 
     let params = model.params();
     let mut best_snapshot: Vec<Tensor> = params.iter().map(Param::get).collect();
@@ -153,21 +200,21 @@ pub fn fit<M: SeqRecModel>(
     let mut best_epoch = 0usize;
     let mut stale = 0usize;
     let mut epochs = Vec::new();
-    // wr-check: allow(R4) — wall-clock is recorded into the report for
-    // human inspection only; no training decision reads it.
-    let start = Instant::now();
+    let start_ns = clock.now_ns();
 
     for epoch in 0..config.max_epochs {
         if let Some(schedule) = config.lr_schedule {
             optimizer.config.lr = schedule.at(epoch);
         }
-        // wr-check: allow(R4) — per-epoch timing feeds the report, never
-        // the optimization path.
-        let epoch_start = Instant::now();
+        let epoch_span = telemetry.tracer.span(format!("epoch{epoch}"), "train");
+        let epoch_start_ns = clock.now_ns();
         let mut loss_sum = 0.0f64;
         let mut n_batches = 0usize;
         for batch in batcher.epoch(&mut rng) {
+            let step_start_ns = clock.now_ns();
             let loss = model.train_step(&batch, optimizer, &mut rng);
+            step_ms.observe(clock.now_ns().saturating_sub(step_start_ns) as f64 / 1e6);
+            grad_norm.observe(optimizer.last_grad_norm() as f64);
             debug_assert!(loss.is_finite(), "non-finite training loss at epoch {epoch}");
             loss_sum += loss as f64;
             n_batches += 1;
@@ -184,8 +231,15 @@ pub fn fit<M: SeqRecModel>(
             epoch,
             train_loss,
             valid_ndcg,
-            seconds: epoch_start.elapsed().as_secs_f64(),
+            seconds: clock.now_ns().saturating_sub(epoch_start_ns) as f64 / 1e9,
         };
+        epoch_span.end();
+        loss_gauge.set(train_loss as f64);
+        if let Some(v) = valid_ndcg {
+            ndcg_gauge.set(v as f64);
+        }
+        epoch_seconds_gauge.set(record.seconds);
+        epoch_counter.inc();
         epoch_hook(model, &record);
         epochs.push(record);
 
@@ -217,10 +271,23 @@ pub fn fit<M: SeqRecModel>(
         model_name: model.name(),
         best_valid_ndcg: best_valid.max(0.0),
         best_epoch,
-        total_seconds: start.elapsed().as_secs_f64(),
+        total_seconds: clock.now_ns().saturating_sub(start_ns) as f64 / 1e9,
         param_count: model.param_count(),
         epochs,
     }
+}
+
+/// Log-spaced histogram bounds for gradient norms (1e-4 … 1e4).
+fn grad_norm_bounds() -> Vec<f64> {
+    let mut bounds = Vec::new();
+    let mut decade = 1e-4;
+    for _ in 0..8 {
+        for m in [1.0, 3.0] {
+            bounds.push(decade * m);
+        }
+        decade *= 10.0;
+    }
+    bounds
 }
 
 /// NDCG@20 of `model` on validation cases (history-excluded full ranking).
@@ -473,6 +540,98 @@ mod tests {
         fit(&mut model, &mut opt, train, &valid, config, |_, _| {});
         // After epoch 2 the schedule set lr = 0.4 * 0.5^2 = 0.1.
         assert!((opt.config.lr - 0.1).abs() < 1e-6, "lr = {}", opt.config.lr);
+    }
+
+    #[test]
+    fn fit_observed_records_metrics_with_deterministic_mock_time() {
+        use std::sync::Arc;
+        use wr_obs::MockClock;
+
+        let (train, valid) = toy_data(8, 20);
+        let mut model = ToyModel::new(8, 3);
+        let mut opt = Adam::new(AdamConfig::default());
+        let config = TrainConfig {
+            max_epochs: 3,
+            batch_size: 8,
+            max_seq: 10,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        // Every clock read advances by exactly 1 ms: epoch/step timings
+        // become pure functions of the number of reads.
+        let clock = Arc::new(MockClock::with_tick(1_000_000));
+        let tel = Telemetry::with_clock(clock);
+        let report = fit_observed(&mut model, &mut opt, train, &valid, config, &tel, |_, _| {});
+
+        // 20 sequences / batch 8 → 3 steps per epoch. Per epoch the clock is
+        // read: 1 span start + 1 epoch start + 2 per step + 1 epoch end + 1
+        // span end = 3 + 2·steps reads ⇒ seconds is identical every epoch.
+        assert_eq!(report.epochs.len(), 3);
+        let secs: Vec<f64> = report.epochs.iter().map(|e| e.seconds).collect();
+        assert!(secs.iter().all(|s| (*s - secs[0]).abs() < 1e-12), "{secs:?}");
+        assert!(report.total_seconds > 0.0);
+
+        let snap = tel.registry.snapshot();
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        assert!((gauge("train.loss") - report.epochs.last().unwrap().train_loss as f64).abs() < 1e-6);
+        assert!(gauge("train.valid_ndcg") >= 0.0);
+        assert!(gauge("train.epoch_seconds") > 0.0);
+        let counters: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(counters.contains(&"train.epochs"));
+        let steps = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "train.step_ms")
+            .map(|(_, h)| h.count)
+            .unwrap();
+        assert_eq!(steps, 9); // 3 epochs × 3 steps
+        let gn = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "train.grad_norm")
+            .map(|(_, h)| h.clone())
+            .unwrap();
+        assert_eq!(gn.count, 9);
+        assert!(gn.min > 0.0, "grad norms should be positive, got {}", gn.min);
+
+        // One span per epoch, named and categorized.
+        let events = tel.tracer.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "epoch0");
+        assert_eq!(events[0].cat, "train");
+        assert!(events.iter().all(|e| e.dur_ns > 0));
+    }
+
+    #[test]
+    fn fit_and_fit_observed_produce_identical_training() {
+        let (train, valid) = toy_data(10, 30);
+        let config = TrainConfig {
+            max_epochs: 4,
+            batch_size: 8,
+            max_seq: 10,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        let mut m1 = ToyModel::new(10, 13);
+        let mut o1 = Adam::new(AdamConfig::default());
+        let r1 = fit(&mut m1, &mut o1, train.clone(), &valid, config, |_, _| {});
+        let mut m2 = ToyModel::new(10, 13);
+        let mut o2 = Adam::new(AdamConfig::default());
+        let tel = Telemetry::new();
+        let r2 = fit_observed(&mut m2, &mut o2, train, &valid, config, &tel, |_, _| {});
+        // Telemetry is write-only: losses and final weights are bit-equal.
+        let l1: Vec<u32> = r1.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+        let l2: Vec<u32> = r2.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+        assert_eq!(l1, l2);
+        let w1 = m1.emb.table.get();
+        let w2 = m2.emb.table.get();
+        assert_eq!(w1.data(), w2.data());
     }
 
     #[test]

@@ -22,12 +22,14 @@ mod flow;
 mod group;
 mod incremental;
 mod metrics;
+mod observed;
 mod transform;
 
 pub use ensemble::EnsembleMode;
 pub use flow::FlowWhitening;
 pub use group::{group_whiten, GroupWhitening};
 pub use incremental::IncrementalWhitening;
+pub use observed::{observed_group_whiten, record_embedding_health};
 pub use metrics::{
     average_pairwise_cosine, pairwise_cosine_cdf, pairwise_cosines, whiteness_error,
 };

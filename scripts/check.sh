@@ -36,11 +36,25 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/serve-bench --scale 0.05 --epochs 1 --queries 256 \
     --batch 32 --k 10 --check-naive 64 \
-    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/report.json"
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/report.json" \
+    --trace-out "$smoke_dir/trace.json" --metrics-out "$smoke_dir/metrics.json"
 grep -q '"p50_ms"' "$smoke_dir/report.json"
 grep -q '"p95_ms"' "$smoke_dir/report.json"
 grep -q '"p99_ms"' "$smoke_dir/report.json"
 grep -q '"qps"' "$smoke_dir/report.json"
 echo "   serve-bench report ok: $(cat "$smoke_dir/report.json" | head -c 120)…"
+
+# Telemetry exports: the trace must be Chrome trace_event JSON (the binary
+# shape-validates before writing; assert the top-level key here too), and
+# the metrics snapshot must carry the serve queue-depth gauge plus the
+# whitening condition-number diagnostics.
+echo "== check: serve-bench telemetry exports =="
+grep -q '"traceEvents"' "$smoke_dir/trace.json"
+grep -q '"ph":"X"' "$smoke_dir/trace.json"
+grep -q '"serve.queue_depth"' "$smoke_dir/metrics.json"
+grep -q '"whiten.pre.condition_number"' "$smoke_dir/metrics.json"
+grep -q '"whiten.post.condition_number"' "$smoke_dir/metrics.json"
+grep -q '"serve.latency_ms"' "$smoke_dir/metrics.json"
+echo "   trace + metrics ok: $(wc -c < "$smoke_dir/trace.json") / $(wc -c < "$smoke_dir/metrics.json") bytes"
 
 echo "== check: ok =="
