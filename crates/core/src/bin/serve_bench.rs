@@ -35,11 +35,21 @@
 //! dataset table's pre/post-whitening embedding health
 //! (`whiten.pre.*` / `whiten.post.*`). Both documents are shape-validated
 //! before they are written.
+//!
+//! Setting `WR_FAULT_SEED` to a nonzero value arms deterministic chaos:
+//! a seeded `wr_fault::FaultPlan` poisons cache rows and score rows with
+//! NaN and induces micro-batch panics, and the replay must finish anyway
+//! via the engine's quarantine/retry/isolation machinery. The injected
+//! total is bridged into the `fault.injected` counter of the metrics
+//! export (`--check-naive` is skipped under chaos — degraded answers
+//! intentionally differ from the fault-free reference).
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use whitenrec::data::{DatasetKind, DatasetSpec};
+use whitenrec::fault::{FaultKind, FaultPlan, SharedInjector, WR_FAULT_SEED_ENV};
 use whitenrec::nn::save_params;
 use whitenrec::obs::Telemetry;
 use whitenrec::ExperimentContext;
@@ -53,6 +63,7 @@ fn main() -> ExitCode {
         eprintln!("  [--max-len N] [--log PATH] [--save-log PATH] [--batch N] [--k N]");
         eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-naive N]");
         eprintln!("  [--trace-out PATH] [--metrics-out PATH]");
+        eprintln!("  env: WR_FAULT_SEED=N  arm deterministic fault injection (0/unset = off)");
         return ExitCode::SUCCESS;
     }
     match run(&args) {
@@ -105,6 +116,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let metrics_out = flag(args, "--metrics-out");
     let telemetry = if trace_out.is_some() || metrics_out.is_some() {
         let tel = Telemetry::new();
+        // The full fault-tolerance surface is present (at zero) in every
+        // export, so a clean run and a chaos run have the same shape.
+        tel.registry.register_fault_counters();
         ctx.telemetry = Some(tel.clone());
         // Embedding health of the dataset table, raw vs whitened — the
         // paper's diagnostics, exported beside the serving metrics.
@@ -113,6 +127,18 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
+    // Chaos mode: a nonzero WR_FAULT_SEED arms a deterministic fault
+    // schedule over the serving path (cache poison, score poison, induced
+    // batch panics). The replay must survive it; the injected/recovered
+    // totals land in the metrics export.
+    let fault_plan: Option<Arc<FaultPlan>> = FaultPlan::from_env().map(Arc::new);
+    if let Some(plan) = &fault_plan {
+        eprintln!(
+            "chaos: fault injection armed ({WR_FAULT_SEED_ENV}={}, rates {:?})",
+            plan.seed(),
+            plan.rates()
+        );
+    }
     let max_len: usize = parse_num(args, "--max-len", ctx.model_config.max_seq)?;
 
     let cfg = ServeConfig {
@@ -151,6 +177,16 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(tel) => engine.with_telemetry(tel.clone()),
         None => engine,
     };
+    let engine = match &fault_plan {
+        Some(plan) => engine.with_faults(plan.clone() as SharedInjector),
+        None => engine,
+    };
+    if !engine.quarantined_items().is_empty() {
+        eprintln!(
+            "chaos: {} poisoned cache rows quarantined at load",
+            engine.quarantined_items().len()
+        );
+    }
 
     // Query log: load a recorded trace when it exists, else generate a
     // seeded synthetic one over this catalog.
@@ -180,7 +216,12 @@ fn run(args: &[String]) -> Result<(), String> {
     };
 
     let check_n: usize = parse_num(args, "--check-naive", 0)?;
-    if check_n > 0 {
+    if check_n > 0 && fault_plan.is_some() {
+        // The naive scorer is a fault-free reference; under an armed
+        // schedule the batched path intentionally degrades, so the
+        // differential would report injected faults as bugs.
+        eprintln!("chaos: skipping --check-naive (fault injection is armed)");
+    } else if check_n > 0 {
         let n = check_n.min(log.len());
         let naive = engine.serve_naive(&log.queries[..n]);
         if naive != responses[..n] {
@@ -207,6 +248,22 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag(args, "--out") {
         std::fs::write(&path, json + "\n").map_err(|e| e.to_string())?;
         eprintln!("report -> {path}");
+    }
+    if let Some(plan) = &fault_plan {
+        eprintln!(
+            "chaos: {} faults injected (io {}, truncation {}, bit_flip {}, nan {}, panic {})",
+            plan.injected_total(),
+            plan.injected(FaultKind::IoError),
+            plan.injected(FaultKind::Truncation),
+            plan.injected(FaultKind::BitFlip),
+            plan.injected(FaultKind::NanPoison),
+            plan.injected(FaultKind::Panic),
+        );
+        if let Some(tel) = &telemetry {
+            tel.registry
+                .counter("fault.injected")
+                .add(plan.injected_total());
+        }
     }
     if let Some(tel) = &telemetry {
         whitenrec::runtime::record_metrics(&tel.registry);

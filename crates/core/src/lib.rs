@@ -41,6 +41,7 @@
 pub use wr_autograd as autograd;
 pub use wr_data as data;
 pub use wr_eval as eval;
+pub use wr_fault as fault;
 pub use wr_linalg as linalg;
 pub use wr_models as models;
 pub use wr_nn as nn;

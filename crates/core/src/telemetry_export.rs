@@ -99,6 +99,31 @@ mod tests {
     }
 
     #[test]
+    fn fault_tolerance_counters_appear_in_the_metrics_export() {
+        // The binaries register the recovery surface eagerly, so a clean
+        // run's export carries every fault counter at zero — the chaos
+        // smoke in scripts/check.sh greps these names.
+        let tel = Telemetry::new();
+        tel.registry.register_fault_counters();
+
+        let dir = std::env::temp_dir().join(format!("wr-telemetry-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        export_telemetry(&tel, None, Some(&metrics)).unwrap();
+
+        let doc = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = Json::parse(&doc).unwrap();
+        let counters = parsed.get("counters").expect("counters section");
+        for name in wr_obs::FAULT_COUNTERS {
+            assert!(
+                counters.get(name).and_then(|v| v.as_f64()).is_some(),
+                "metrics export must carry the {name} counter (found doc: {doc})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn empty_telemetry_still_exports_valid_documents() {
         let tel = Telemetry::new();
         let dir = std::env::temp_dir().join(format!("wr-telemetry-empty-{}", std::process::id()));

@@ -1,33 +1,44 @@
 //! Persist materialized datasets so experiments can share one generation.
+//!
+//! Writers are crash-safe: the full artifact is built in memory, sealed
+//! with a `#crc32:` integrity footer line, and landed via
+//! `wr_fault::write_atomic` (temp file → fsync → rename). A `kill -9`
+//! mid-save leaves the previous generation, never a torn file, and a
+//! bit-flipped file fails its CRC on load instead of silently feeding a
+//! damaged dataset into an experiment. Loaders skip `#` comment lines and
+//! accept footer-less files, so hand-written fixtures stay loadable.
 
-use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
+use wr_fault::{seal_lines, verify_lines, write_atomic};
 use wr_tensor::{json, Json, Tensor};
 
 fn bad_data(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Write sequences as JSON-lines (one user per line).
+/// Write sequences as JSON-lines (one user per line), sealed + atomic.
 pub fn save_sequences(path: impl AsRef<Path>, sequences: &[Vec<usize>]) -> std::io::Result<()> {
-    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut body = String::new();
     for s in sequences {
-        writeln!(out, "{}", json::usize_array_to_string(s))?;
+        body.push_str(&json::usize_array_to_string(s));
+        body.push('\n');
     }
-    out.flush()
+    write_atomic(path, seal_lines(body).as_bytes())
 }
 
-/// Read sequences written by [`save_sequences`].
+/// Read sequences written by [`save_sequences`]. The integrity footer is
+/// verified when present; `#` comment lines and blank lines are skipped.
 pub fn load_sequences(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<usize>>> {
-    let file = BufReader::new(std::fs::File::open(path)?);
+    let text = std::fs::read_to_string(path)?;
+    let body = verify_lines(&text)?;
     let mut out = Vec::new();
-    for line in file.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    for raw in body.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let seq = Json::parse(&line)
+        let seq = Json::parse(line)
             .map_err(bad_data)?
             .as_usize_vec()
             .ok_or_else(|| bad_data("sequence line is not an integer array"))?;
@@ -37,15 +48,17 @@ pub fn load_sequences(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<usize>>
 }
 
 /// Write an embedding matrix as JSON (`{dims, data}` via `wr_tensor`'s
-/// JSON support).
+/// JSON support), sealed + atomic.
 pub fn save_embeddings(path: impl AsRef<Path>, embeddings: &Tensor) -> std::io::Result<()> {
-    std::fs::write(path, embeddings.to_json_string())
+    write_atomic(path, seal_lines(embeddings.to_json_string()).as_bytes())
 }
 
-/// Read an embedding matrix written by [`save_embeddings`].
+/// Read an embedding matrix written by [`save_embeddings`]. The integrity
+/// footer is verified when present.
 pub fn load_embeddings(path: impl AsRef<Path>) -> std::io::Result<Tensor> {
     let text = std::fs::read_to_string(path)?;
-    Tensor::from_json_str(&text).map_err(bad_data)
+    let body = verify_lines(&text)?;
+    Tensor::from_json_str(body).map_err(bad_data)
 }
 
 #[cfg(test)]
@@ -84,6 +97,46 @@ mod tests {
         std::fs::write(&path, "definitely not json").unwrap();
         assert!(load_embeddings(&path).is_err());
         assert!(load_sequences(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn saved_files_carry_a_verified_integrity_footer() {
+        let seqs = vec![vec![1usize, 2, 3], vec![4]];
+        let path = tmp("sealed.jsonl");
+        save_sequences(&path, &seqs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().last().unwrap().starts_with("#crc32:"),
+            "writer must seal the file"
+        );
+        // Any edit to a sealed file is rejected on load.
+        let tampered = text.replace("[1,2,3]", "[9,2,3]");
+        std::fs::write(&path, &tampered).unwrap();
+        assert!(load_sequences(&path).is_err(), "tampered seal must not load");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn footerless_legacy_files_still_load() {
+        let path = tmp("legacy.jsonl");
+        std::fs::write(&path, "[5,6]\n# a hand-written comment\n[7]\n").unwrap();
+        let back = load_sequences(&path).unwrap();
+        assert_eq!(back, vec![vec![5, 6], vec![7]]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn embeddings_reject_bit_flips() {
+        let mut rng = Rng64::seed_from(3);
+        let e = Tensor::randn(&[4, 2], &mut rng);
+        let path = tmp("emb_flip.json");
+        save_embeddings(&path, &e).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_embeddings(&path).is_err());
         std::fs::remove_file(path).ok();
     }
 }

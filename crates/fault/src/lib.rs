@@ -1,0 +1,114 @@
+//! # wr-fault — deterministic fault injection for the WhitenRec stack.
+//!
+//! The paper's whole pipeline hinges on one frozen whitened table computed
+//! once and reused at serving time, so a torn checkpoint or a silently
+//! NaN-poisoned embedding row is the worst failure mode this workspace
+//! can have. This crate turns those failures into *deterministic,
+//! replayable test inputs* instead of hopes:
+//!
+//! * [`FaultInjector`] — the hook trait the hardened paths accept
+//!   (`wr_nn::save_params_with`, the `wr_data` writers, the
+//!   `wr_serve::ServeEngine` scoring loop). [`NoFaults`] is the free
+//!   production default.
+//! * [`FaultPlan`] — a seeded schedule (xoshiro-style SplitMix64 mixing,
+//!   `WR_FAULT_SEED`) that injects I/O errors, byte truncations, single
+//!   bit-flips, NaN poisoning, and induced batch panics. Every decision is
+//!   a **pure function of `(seed, site, index)`** — never of wall-clock
+//!   time, thread interleaving, or call order — so the same seed replays
+//!   the same faults regardless of batch composition or `WR_THREADS`.
+//! * [`atomic_io`] — crash-safe persistence: `write_atomic` (write temp →
+//!   fsync → rename → fsync dir) and the workspace's one [`crc32`]
+//!   implementation, used by the checkpoint/dataset integrity footers.
+//! * [`backoff`] — [`RetryPolicy`] (bounded exponential backoff) and the
+//!   [`Sleeper`] trait so tests drive retries without ever sleeping.
+//!
+//! **Layering.** Zero dependencies; sits at the very bottom of the
+//! workspace next to `wr-obs` so every persistence and serving crate can
+//! accept an injector without cycles. The crate never reads the clock
+//! (wr-check R4) and its only panics are the *deliberate* ones scheduled
+//! by a plan ([`FaultPlan::maybe_panic`]), which callers contain with
+//! `catch_unwind` at micro-batch boundaries.
+
+pub mod atomic_io;
+pub mod backoff;
+mod plan;
+
+pub use atomic_io::{
+    crc32, seal_lines, verify_lines, write_atomic, write_atomic_with, CRC_LINE_PREFIX,
+};
+pub use backoff::{NoSleep, RetryPolicy, Sleeper, ThreadSleeper};
+pub use plan::{
+    Corruption, FaultKind, FaultPlan, FaultRates, FaultRecord, InducedPanic, WR_FAULT_SEED_ENV,
+};
+
+use std::sync::Arc;
+
+/// Injection hooks the hardened paths consult. All methods are no-ops in
+/// production ([`NoFaults`]); [`FaultPlan`] implements them from a seeded
+/// schedule. Implementations must be deterministic in `(site, index)` —
+/// the recovery tests replay schedules and assert identical outcomes.
+pub trait FaultInjector: Send + Sync {
+    /// An I/O error to surface *instead of* performing the write at
+    /// `site`/`index`, or `None` to proceed.
+    fn write_error(&self, site: &str, index: u64) -> Option<std::io::Error>;
+
+    /// Corrupt an outgoing byte buffer in place (truncation or a single
+    /// bit-flip). Returns what was done, `None` when the bytes were left
+    /// intact.
+    fn corrupt(&self, site: &str, index: u64, bytes: &mut Vec<u8>) -> Option<Corruption>;
+
+    /// NaN-poison an `f32` buffer in place; returns how many values were
+    /// poisoned (0 = untouched).
+    fn poison(&self, site: &str, index: u64, data: &mut [f32]) -> usize;
+
+    /// Deliberately panics (with an [`InducedPanic`] payload) when the
+    /// schedule has a panic for `(site, index)` that is still live at this
+    /// retry `attempt`. Callers contain it with `std::panic::catch_unwind`.
+    fn maybe_panic(&self, site: &str, index: u64, attempt: u32);
+}
+
+/// The production injector: injects nothing, costs nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn write_error(&self, _site: &str, _index: u64) -> Option<std::io::Error> {
+        None
+    }
+
+    fn corrupt(&self, _site: &str, _index: u64, _bytes: &mut Vec<u8>) -> Option<Corruption> {
+        None
+    }
+
+    fn poison(&self, _site: &str, _index: u64, _data: &mut [f32]) -> usize {
+        0
+    }
+
+    fn maybe_panic(&self, _site: &str, _index: u64, _attempt: u32) {}
+}
+
+/// Shared injector handle, the form the hardened constructors take.
+pub type SharedInjector = Arc<dyn FaultInjector>;
+
+/// A [`NoFaults`] behind an `Arc`, for default fields.
+pub fn no_faults() -> SharedInjector {
+    Arc::new(NoFaults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let inj = NoFaults;
+        assert!(inj.write_error("x", 0).is_none());
+        let mut bytes = vec![1u8, 2, 3];
+        assert!(inj.corrupt("x", 0, &mut bytes).is_none());
+        assert_eq!(bytes, vec![1, 2, 3]);
+        let mut data = vec![1.0f32, 2.0];
+        assert_eq!(inj.poison("x", 0, &mut data), 0);
+        assert!(data.iter().all(|v| v.is_finite()));
+        inj.maybe_panic("x", 0, 0); // must not panic
+    }
+}

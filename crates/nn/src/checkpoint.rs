@@ -1,24 +1,41 @@
 //! Binary model checkpoints.
 //!
-//! Format (`WRCK` v1, little-endian, length-prefixed):
+//! Format (`WRCK` v2, little-endian, length-prefixed, CRC-sealed):
 //!
 //! ```text
-//! magic "WRCK" | u32 version | u32 n_entries
+//! magic "WRCK" | u32 version=2 | u32 n_entries
 //! per entry: u32 name_len | name bytes (utf-8)
 //!            u32 n_dims   | u64 dims…
 //!            u64 n_values | f32 values…
+//! footer:    u32 crc32(everything above) | magic "KCRW"
 //! ```
 //!
-//! Buffered writes, single pass, no intermediate allocation beyond the
-//! entry being encoded — checkpoints are the only large artifacts the
-//! library persists, so the path is kept boring and fast.
+//! v2 hardens the v1 layout for crash safety end to end:
+//!
+//! * **Atomic persistence** — [`save_params`] serializes to memory and
+//!   lands the bytes via `wr_fault::write_atomic` (temp file → fsync →
+//!   rename → directory fsync), so a `kill -9` mid-save leaves either the
+//!   previous complete generation or the new one, never a torn file.
+//! * **Integrity footer** — the trailing CRC32 (IEEE) covers every byte
+//!   of the header and entries; [`load_params`] recomputes it and rejects
+//!   any mismatch with the typed [`CheckpointError::Corrupt`], so a torn
+//!   or bit-flipped checkpoint is *never* silently loaded.
+//! * **Generation fallback** — [`latest_valid_checkpoint`] scans a
+//!   directory of `*.wrck` generations newest-first and returns the first
+//!   one that passes full validation, so recovery degrades to the
+//!   previous good generation instead of failing outright.
+//!
+//! v1 files (no footer) predate the integrity guarantee and are rejected
+//! with a `Corrupt` error naming the missing footer; the operator re-saves
+//! from source to upgrade.
 
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
 
 use crate::Param;
+use wr_fault::{crc32, write_atomic_with, FaultInjector, NoFaults};
 use wr_tensor::Tensor;
 
 /// Little-endian reader over a byte slice (the offline workspace has no
@@ -67,7 +84,10 @@ impl<'a> Cursor<'a> {
 }
 
 const MAGIC: &[u8; 4] = b"WRCK";
-const VERSION: u32 = 1;
+const FOOTER_MAGIC: &[u8; 4] = b"KCRW";
+const VERSION: u32 = 2;
+/// Bytes of the integrity footer: u32 CRC + footer magic.
+const FOOTER_LEN: usize = 8;
 
 /// Errors from checkpoint IO.
 #[derive(Debug)]
@@ -75,6 +95,10 @@ pub enum CheckpointError {
     Io(io::Error),
     /// Not a checkpoint file / wrong version.
     Format(String),
+    /// The integrity footer does not match the payload — the file is
+    /// torn, bit-flipped, or otherwise damaged. Callers should fall back
+    /// to [`latest_valid_checkpoint`] over their checkpoint directory.
+    Corrupt(String),
     /// A parameter expected by `restore` is absent or mis-shaped.
     Mismatch(String),
 }
@@ -84,6 +108,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
             CheckpointError::Format(m) => write!(f, "checkpoint format: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
         }
     }
@@ -103,16 +128,13 @@ fn entry_key(index: usize, p: &Param) -> String {
     format!("{index:04}:{}", p.name())
 }
 
-/// Save parameters to `path`, keyed by position + name (a model's
-/// `params()` order is deterministic for a given architecture).
-pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> Result<(), CheckpointError> {
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(MAGIC)?;
-    out.write_all(&VERSION.to_le_bytes())?;
-    out.write_all(&(params.len() as u32).to_le_bytes())?;
+/// Serialize `params` to the v2 wire form, integrity footer included.
+fn encode_params(params: &[Param]) -> Vec<u8> {
     let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for (i, p) in params.iter().enumerate() {
-        buf.clear();
         let key = entry_key(i, p);
         let name = key.as_bytes();
         buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -126,21 +148,75 @@ pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> Result<(), Check
         for &v in value.data() {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        out.write_all(&buf)?;
     }
-    out.flush()?;
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(FOOTER_MAGIC);
+    buf
+}
+
+/// Save parameters to `path`, keyed by position + name (a model's
+/// `params()` order is deterministic for a given architecture).
+///
+/// Crash-safe: the serialized bytes (CRC footer included) are written to
+/// a same-directory temp file, fsynced, and atomically renamed over
+/// `path` — a crash at any instant leaves either the old generation or
+/// the new one on disk, never a torn file.
+pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> Result<(), CheckpointError> {
+    save_params_with(path, params, &NoFaults)
+}
+
+/// [`save_params`] with a fault injector on the write path — the hook the
+/// `wr-fault` recovery tests drive (injected I/O errors surface as
+/// [`CheckpointError::Io`]; injected corruption lands on disk and must be
+/// rejected by the next [`load_params`]).
+pub fn save_params_with(
+    path: impl AsRef<Path>,
+    params: &[Param],
+    injector: &dyn FaultInjector,
+) -> Result<(), CheckpointError> {
+    let bytes = encode_params(params);
+    write_atomic_with(path, &bytes, injector, 0)?;
     Ok(())
+}
+
+/// Verify the integrity footer and return the payload (header + entries)
+/// it seals.
+fn check_footer(raw: &[u8]) -> Result<&[u8], CheckpointError> {
+    if raw.len() < FOOTER_LEN + 4 {
+        return Err(CheckpointError::Corrupt(format!(
+            "file too short for a sealed checkpoint ({} bytes)",
+            raw.len()
+        )));
+    }
+    let (payload, footer) = raw.split_at(raw.len() - FOOTER_LEN);
+    if &footer[4..] != FOOTER_MAGIC {
+        return Err(CheckpointError::Corrupt(
+            "missing integrity footer (truncated file, or a pre-v2 checkpoint)".into(),
+        ));
+    }
+    let stored = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(CheckpointError::Corrupt(format!(
+            "crc mismatch: footer {stored:08x} vs payload {actual:08x}"
+        )));
+    }
+    Ok(payload)
 }
 
 /// Load all entries of a checkpoint into a name → tensor map.
 ///
-/// The map is a `BTreeMap` so any caller that iterates it (printing,
-/// diffing, re-serializing) sees a deterministic key order.
+/// The integrity footer is verified first: a file that fails its CRC is
+/// rejected with [`CheckpointError::Corrupt`] before any entry is
+/// decoded. The map is a `BTreeMap` so any caller that iterates it
+/// (printing, diffing, re-serializing) sees a deterministic key order.
 pub fn load_params(path: impl AsRef<Path>) -> Result<BTreeMap<String, Tensor>, CheckpointError> {
-    let mut input = BufReader::new(File::open(path)?);
+    let mut input = File::open(path)?;
     let mut raw = Vec::new();
     input.read_to_end(&mut raw)?;
-    let mut buf = Cursor { buf: &raw[..] };
+    let payload = check_footer(&raw)?;
+    let mut buf = Cursor { buf: payload };
 
     let magic = buf.take(4, "magic")?;
     if magic != MAGIC {
@@ -192,6 +268,31 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<BTreeMap<String, Tensor>, C
         );
     }
     Ok(map)
+}
+
+/// Scan `dir` for `*.wrck` checkpoints and return the newest one that
+/// passes full validation (footer CRC and entry decode), or `None` when
+/// no generation survives.
+///
+/// Generation order is the lexicographic filename order — checkpoint
+/// writers embed a zero-padded counter (e.g. `epoch-000004.wrck`) so the
+/// newest generation sorts last. A corrupt newest generation falls back
+/// to the one before it instead of failing recovery outright.
+pub fn latest_valid_checkpoint(dir: impl AsRef<Path>) -> Result<Option<PathBuf>, CheckpointError> {
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir.as_ref())? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("wrck") {
+            candidates.push(path);
+        }
+    }
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        if load_params(&path).is_ok() {
+            return Ok(Some(path));
+        }
+    }
+    Ok(None)
 }
 
 /// Restore parameter values in place from a loaded map. Every parameter
@@ -269,7 +370,7 @@ mod tests {
     fn rejects_garbage_file() {
         let path = tmp("garbage");
         std::fs::write(&path, b"not a checkpoint at all").unwrap();
-        assert!(matches!(load_params(&path), Err(CheckpointError::Format(_))));
+        assert!(matches!(load_params(&path), Err(CheckpointError::Corrupt(_))));
         std::fs::remove_file(path).ok();
     }
 
@@ -281,7 +382,23 @@ mod tests {
         save_params(&path, &[a]).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(matches!(load_params(&path), Err(CheckpointError::Format(_))));
+        assert!(matches!(load_params(&path), Err(CheckpointError::Corrupt(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_v1_file_without_footer() {
+        // A v1 checkpoint is the v2 payload with version=1 and no footer.
+        let path = tmp("v1");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match load_params(&path) {
+            Err(CheckpointError::Corrupt(m)) => assert!(m.contains("pre-v2"), "got: {m}"),
+            other => panic!("v1 file must be rejected as corrupt, got {other:?}"),
+        }
         std::fs::remove_file(path).ok();
     }
 
@@ -308,6 +425,11 @@ mod tests {
             bytes.extend_from_slice(&VERSION.to_le_bytes());
             bytes.extend_from_slice(&1u32.to_le_bytes()); // one entry
             bytes.extend_from_slice(entry_tail);
+            // Seal with a *valid* footer so the hostile header — not the
+            // CRC check — is what the loader has to survive.
+            let crc = wr_fault::crc32(&bytes);
+            bytes.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(FOOTER_MAGIC);
             std::fs::write(&path, &bytes).unwrap();
             load_params(&path)
         };

@@ -33,7 +33,10 @@ mod session;
 mod transformer;
 
 pub use attention::{bidirectional_padding_mask, causal_padding_mask, MultiHeadSelfAttention};
-pub use checkpoint::{load_params, restore_params, save_params, CheckpointError};
+pub use checkpoint::{
+    latest_valid_checkpoint, load_params, restore_params, save_params, save_params_with,
+    CheckpointError,
+};
 pub use embedding::{Embedding, FrozenTable};
 pub use gru::{Gru, GruStack};
 pub use linear::{Linear, Mlp, ProjectionHead};

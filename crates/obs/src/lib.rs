@@ -40,6 +40,7 @@ pub use clock::{Clock, MockClock, MonotonicClock};
 pub use health::{alignment, EmbeddingHealth, HealthConfig};
 pub use registry::{
     nearest_rank, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    FAULT_COUNTERS,
 };
 pub use span::{Span, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 

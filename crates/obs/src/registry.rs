@@ -293,9 +293,34 @@ fn shard_of(name: &str) -> usize {
     (h % SHARDS as u64) as usize
 }
 
+/// Names of the fault-tolerance counters every observed binary exports.
+///
+/// They are registered eagerly (at zero) by
+/// [`Registry::register_fault_counters`] so a metrics export always shows
+/// the full recovery surface — a clean run reads `fault.injected: 0`, not
+/// a missing key. The incrementing sites live in their own crates: the
+/// chaos bridge in the binaries (`fault.injected`), the serving engine
+/// (`serve.*`), and the resumable trainer (`train.resumes`).
+pub const FAULT_COUNTERS: [&str; 5] = [
+    "fault.injected",
+    "serve.rejected_overload",
+    "serve.quarantined_rows",
+    "serve.retries",
+    "train.resumes",
+];
+
 impl Registry {
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// Eagerly create every [`FAULT_COUNTERS`] entry at zero, so metric
+    /// exports carry the whole fault-tolerance surface even on runs where
+    /// nothing went wrong.
+    pub fn register_fault_counters(&self) {
+        for name in FAULT_COUNTERS {
+            self.counter(name);
+        }
     }
 
     fn entry(&self, name: &str, make: impl FnOnce() -> Entry) -> Entry {

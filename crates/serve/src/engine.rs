@@ -1,8 +1,13 @@
-//! The serving engine: checkpoint → shared cache → batched top-k answers.
+//! The serving engine: checkpoint → shared cache → batched top-k answers,
+//! hardened for degraded-mode operation (admission control, per-batch
+//! panic containment, NaN/Inf quarantine, bounded retry).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::{batch_top_k, top_k_filtered, BatcherConfig, EmbeddingCache, MicroBatcher, ScoredItem};
+use wr_fault::{no_faults, RetryPolicy, SharedInjector, Sleeper, ThreadSleeper};
 use wr_nn::{load_params, restore_params, CheckpointError};
 use wr_obs::Telemetry;
 use wr_tensor::Tensor;
@@ -48,6 +53,62 @@ impl Default for ServeConfig {
     }
 }
 
+/// Degraded-mode knobs, separate from [`ServeConfig`] so the happy-path
+/// configuration stays untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Admission-control bound: [`ServeEngine::try_serve`] rejects a call
+    /// carrying more than this many requests with
+    /// [`ServeError::Overloaded`] instead of queuing unbounded work.
+    pub max_queue_depth: usize,
+    /// Bounded retry-with-backoff for micro-batches that panic.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_queue_depth: 1024,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Typed serving failures surfaced by [`ServeEngine::try_serve`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The call exceeded [`ResilienceConfig::max_queue_depth`]. The caller
+    /// should shed load (split the batch, back off) — nothing was scored.
+    Overloaded { depth: usize, limit: usize },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, limit } => {
+                write!(f, "serve overloaded: {depth} requests exceed queue depth {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Rows of `items` containing any non-finite value — these are
+/// quarantined out of every candidate set.
+fn non_finite_rows(items: &Tensor) -> Vec<usize> {
+    (0..items.rows())
+        .filter(|&r| items.row(r).iter().any(|v| !v.is_finite()))
+        .collect()
+}
+
+/// A score that must disqualify its row from the fast path: NaN poisons
+/// every comparison, +Inf pins the top slot. The engine's own quarantine
+/// mask (`NEG_INFINITY`) is *not* poison — it deliberately sorts last.
+fn is_poisoned(v: f32) -> bool {
+    v.is_nan() || (v.is_infinite() && v > 0.0)
+}
+
 /// Online inference over a trained sequential recommender.
 ///
 /// Construction snapshots the model's item representations into an
@@ -73,6 +134,17 @@ pub struct ServeEngine {
     cache: EmbeddingCache,
     batcher: MicroBatcher,
     cfg: ServeConfig,
+    resilience: ResilienceConfig,
+    /// Fault-injection hook on the hot path ([`wr_fault::NoFaults`] in
+    /// production). Consulted for induced panics and score poisoning; the
+    /// recovery machinery below must absorb whatever it injects.
+    injector: SharedInjector,
+    /// How batch-retry backoff waits ([`ThreadSleeper`] in production,
+    /// [`wr_fault::NoSleep`] in tests so nothing ever blocks).
+    sleeper: Arc<dyn Sleeper>,
+    /// Item rows found non-finite at cache load; masked to `-inf` in every
+    /// score row so they can never be recommended.
+    quarantined_items: Vec<usize>,
     /// Optional write-only telemetry: per-micro-batch spans, request/batch
     /// counters, a queue-depth gauge. Never consulted when producing
     /// responses — the differential suite asserts instrumented ==
@@ -83,7 +155,9 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// Serve an in-memory model.
     pub fn new(model: Box<dyn SeqRecModel>, cfg: ServeConfig) -> Self {
-        let cache = EmbeddingCache::from_model(model.as_ref());
+        let items = model.item_representations();
+        let quarantined_items = non_finite_rows(&items);
+        let cache = EmbeddingCache::new(items);
         let batcher = MicroBatcher::new(BatcherConfig {
             max_batch: cfg.max_batch,
             max_seq: cfg.max_seq,
@@ -93,8 +167,46 @@ impl ServeEngine {
             cache,
             batcher,
             cfg,
+            resilience: ResilienceConfig::default(),
+            injector: no_faults(),
+            sleeper: Arc::new(ThreadSleeper),
+            quarantined_items,
             telemetry: None,
         }
+    }
+
+    /// Attach a fault injector (builder-style). The item cache is
+    /// re-snapshotted through the injector's `cache.load` site so poisoned
+    /// rows are quarantined exactly as a damaged on-disk cache would be;
+    /// `serve.row` / `serve.score` faults are injected per request on the
+    /// hot path and absorbed by retry, isolation, and quarantine.
+    pub fn with_faults(mut self, injector: SharedInjector) -> Self {
+        let mut items = self.model.item_representations();
+        for r in 0..items.rows() {
+            injector.poison("cache.load", r as u64, items.row_mut(r));
+        }
+        self.quarantined_items = non_finite_rows(&items);
+        self.cache = EmbeddingCache::new(items);
+        self.injector = injector;
+        self
+    }
+
+    /// Override degraded-mode knobs (builder-style).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Replace the backoff sleeper (builder-style). Tests inject
+    /// [`wr_fault::NoSleep`] so retry storms never block the suite.
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Item rows quarantined at cache load (non-finite embeddings).
+    pub fn quarantined_items(&self) -> &[usize] {
+        &self.quarantined_items
     }
 
     /// Attach telemetry (builder-style). Serving records, per micro-batch:
@@ -104,6 +216,12 @@ impl ServeEngine {
     /// same `Arc`'d matrix), and the `serve.queue_depth` gauge (requests
     /// still waiting after the current batch).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        // Create the degraded-mode counters at 0 eagerly: a metrics export
+        // from a healthy process must still show the recovery counters, so
+        // dashboards can alert on them going *from* zero.
+        telemetry.registry.counter("serve.rejected_overload");
+        telemetry.registry.counter("serve.quarantined_rows");
+        telemetry.registry.counter("serve.retries");
         self.telemetry = Some(telemetry);
         self
     }
@@ -149,6 +267,14 @@ impl ServeEngine {
 
     /// Answer a batch of queries. Requests are micro-batched in arrival
     /// order; responses come back in the same order.
+    ///
+    /// Degraded-mode behavior: a micro-batch that panics is retried up to
+    /// [`ResilienceConfig::retry`] times with exponential backoff; if it
+    /// still fails, its requests are re-scored one at a time so a single
+    /// poisoned request fails alone (empty item list) while its batch
+    /// peers get their normal, bit-identical answers. Score rows carrying
+    /// NaN/+Inf fall back to a full-sort path that skips non-finite
+    /// candidates (counted as `serve.quarantined_rows`).
     pub fn serve(&self, requests: &[Request]) -> Vec<Response> {
         let mut responses = Vec::with_capacity(requests.len());
         for group in self.batcher.plan(requests.len()) {
@@ -164,28 +290,165 @@ impl ServeEngine {
                     .set((requests.len() - group.end) as f64);
                 tel.tracer.span(format!("batch[{}]", slice.len()), "serve")
             });
-            let contexts: Vec<&[usize]> = slice
-                .iter()
-                .map(|r| MicroBatcher::sanitize(&r.history))
-                .collect();
-            let scores = self.score_group(&contexts);
-            let seen: Vec<&[usize]> = slice
-                .iter()
-                .map(|r| {
-                    if self.cfg.filter_seen {
-                        r.history.as_slice()
-                    } else {
-                        &[]
-                    }
-                })
-                .collect();
-            let lists = batch_top_k(&scores, self.cfg.k, &seen);
-            for (req, items) in slice.iter().zip(lists) {
-                responses.push(Response { id: req.id, items });
-            }
+            responses.extend(self.serve_group_with_recovery(slice));
             drop(span);
         }
         responses
+    }
+
+    /// [`ServeEngine::serve`] behind admission control: calls carrying
+    /// more than [`ResilienceConfig::max_queue_depth`] requests are
+    /// rejected outright (typed, counted) instead of queuing unbounded
+    /// work behind the micro-batcher.
+    pub fn try_serve(&self, requests: &[Request]) -> Result<Vec<Response>, ServeError> {
+        let limit = self.resilience.max_queue_depth;
+        if requests.len() > limit {
+            if let Some(tel) = &self.telemetry {
+                tel.registry.counter("serve.rejected_overload").inc();
+            }
+            return Err(ServeError::Overloaded {
+                depth: requests.len(),
+                limit,
+            });
+        }
+        Ok(self.serve(requests))
+    }
+
+    /// Run one micro-batch with containment: panic → bounded retry with
+    /// backoff → per-request isolation.
+    fn serve_group_with_recovery(&self, slice: &[Request]) -> Vec<Response> {
+        let policy = self.resilience.retry;
+        for attempt in 0..policy.max_attempts {
+            match catch_unwind(AssertUnwindSafe(|| self.process_group(slice, attempt))) {
+                Ok(responses) => return responses,
+                Err(_payload) => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.registry.counter("serve.retries").inc();
+                    }
+                    if attempt + 1 < policy.max_attempts {
+                        self.sleeper.sleep_ns(policy.delay_ns(attempt));
+                    }
+                }
+            }
+        }
+        // The batch keeps dying: isolate requests so the poisoned one
+        // fails alone. Single-request scoring is bit-identical to batched
+        // scoring (the differential suite's contract), so the survivors'
+        // answers match what the healthy batch would have produced.
+        slice
+            .iter()
+            .map(|req| {
+                let one = std::slice::from_ref(req);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    self.process_group(one, policy.max_attempts)
+                })) {
+                    Ok(mut responses) => responses.pop().unwrap_or(Response {
+                        id: req.id,
+                        items: Vec::new(),
+                    }),
+                    Err(_) => Response {
+                        id: req.id,
+                        items: Vec::new(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Score one micro-batch. May panic (induced faults or genuine bugs);
+    /// the caller contains it. `attempt` feeds the injector so transient
+    /// faults clear on retry.
+    fn process_group(&self, slice: &[Request], attempt: u32) -> Vec<Response> {
+        for req in slice {
+            self.injector.maybe_panic("serve.row", req.id, attempt);
+        }
+        let contexts: Vec<&[usize]> = slice
+            .iter()
+            .map(|r| MicroBatcher::sanitize(&r.history))
+            .collect();
+        let mut scores = self.score_group(&contexts);
+        for (r, req) in slice.iter().enumerate() {
+            self.injector.poison("serve.score", req.id, scores.row_mut(r));
+        }
+        self.extract_top_k(slice, scores)
+    }
+
+    /// Top-k extraction with quarantine: masked items sort last, poisoned
+    /// rows take the slow non-finite-aware path.
+    fn extract_top_k(&self, slice: &[Request], mut scores: Tensor) -> Vec<Response> {
+        // Quarantined items (non-finite cache rows) are masked to -inf
+        // *first*: one bad item column must not poison whole rows.
+        if !self.quarantined_items.is_empty() {
+            for r in 0..slice.len() {
+                let row = scores.row_mut(r);
+                for &c in &self.quarantined_items {
+                    row[c] = f32::NEG_INFINITY;
+                }
+            }
+        }
+        let poisoned: Vec<bool> = (0..slice.len())
+            .map(|r| scores.row(r).iter().copied().any(is_poisoned))
+            .collect();
+        let seen: Vec<&[usize]> = slice
+            .iter()
+            .map(|r| {
+                if self.cfg.filter_seen {
+                    r.history.as_slice()
+                } else {
+                    &[]
+                }
+            })
+            .collect();
+        let lists = batch_top_k(&scores, self.cfg.k, &seen);
+        let n_poisoned = poisoned.iter().filter(|&&p| p).count();
+        if n_poisoned > 0 {
+            if let Some(tel) = &self.telemetry {
+                tel.registry
+                    .counter("serve.quarantined_rows")
+                    .add(n_poisoned as u64);
+            }
+        }
+        slice
+            .iter()
+            .zip(lists)
+            .enumerate()
+            .map(|(r, (req, items))| {
+                let items = if poisoned[r] {
+                    // batch_top_k's total_cmp would rank NaN/+Inf first;
+                    // re-rank this row from scratch, finite scores only.
+                    self.quarantined_row_top_k(scores.row(r), &req.history)
+                } else {
+                    items
+                };
+                Response { id: req.id, items }
+            })
+            .collect()
+    }
+
+    /// Degraded per-row scorer: full sort over finite scores only, same
+    /// (`total_cmp` descending, ascending index) tie policy as the fast
+    /// path. NaN and +Inf entries are dropped from the candidate set.
+    fn quarantined_row_top_k(&self, row: &[f32], history: &[usize]) -> Vec<ScoredItem> {
+        let mut excluded = vec![false; row.len()];
+        if self.cfg.filter_seen {
+            for &h in history {
+                if h < excluded.len() {
+                    excluded[h] = true;
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..row.len())
+            .filter(|&i| row[i].is_finite() && !excluded[i])
+            .collect();
+        order.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+        order
+            .into_iter()
+            .take(self.cfg.k)
+            .map(|i| ScoredItem {
+                item: i,
+                score: row[i],
+            })
+            .collect()
     }
 
     /// Reference scorer for the differential tests: one user at a time, no

@@ -35,6 +35,16 @@
 //! Both claims are enforced by `tests/differential.rs`, which compares the
 //! batched engine against a naive one-user-at-a-time full-sort scorer and
 //! against itself under `WR_THREADS=1` vs `8`.
+//!
+//! # Degraded mode
+//!
+//! The engine stays up when individual requests go bad ([`ServeEngine`]
+//! docs): [`ServeEngine::try_serve`] applies admission control
+//! ([`ServeError::Overloaded`]), micro-batches that panic are retried
+//! with bounded backoff and then re-scored one request at a time so a
+//! poisoned request fails alone, and non-finite embeddings/scores are
+//! quarantined (masked items, full-sort fallback rows). `wr_fault`
+//! injects these failures deterministically in `tests/degraded.rs`.
 
 mod batcher;
 mod cache;
@@ -45,7 +55,7 @@ mod topk;
 
 pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
 pub use cache::EmbeddingCache;
-pub use engine::{Request, Response, ServeConfig, ServeEngine};
+pub use engine::{Request, ResilienceConfig, Response, ServeConfig, ServeEngine, ServeError};
 pub use latency::{replay, replay_observed, ReplayReport};
 pub use querylog::{QueryLog, QueryLogError};
 pub use topk::batch_top_k;

@@ -93,44 +93,84 @@ impl QueryLog {
         out
     }
 
+    /// Save as sealed JSONL: the lines are suffixed with a `#crc32:`
+    /// integrity footer and landed atomically (temp → fsync → rename),
+    /// so a crash mid-save never tears a recorded trace.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), QueryLogError> {
-        std::fs::write(path, self.to_jsonl())?;
+        wr_fault::write_atomic(path, wr_fault::seal_lines(self.to_jsonl()).as_bytes())?;
         Ok(())
     }
 
-    /// Parse the JSONL wire form. Blank lines are skipped so hand-edited
-    /// logs stay loadable.
+    fn parse_line(line: &str, number: usize) -> Result<Request, QueryLogError> {
+        let parse_err = |message: String| QueryLogError::Parse {
+            line: number,
+            message,
+        };
+        let v = Json::parse(line).map_err(parse_err)?;
+        let id = v
+            .get("id")
+            .and_then(|x| x.as_usize())
+            .ok_or_else(|| parse_err("missing or non-integer \"id\"".into()))?;
+        let history = v
+            .get("history")
+            .and_then(|x| x.as_usize_vec())
+            .ok_or_else(|| parse_err("missing or malformed \"history\"".into()))?;
+        Ok(Request {
+            id: id as u64,
+            history,
+        })
+    }
+
+    /// Parse the JSONL wire form, strictly: the first malformed line is
+    /// an error naming its position. Blank lines and `#` comments are
+    /// skipped so hand-edited logs stay loadable.
     pub fn from_jsonl(text: &str) -> Result<QueryLog, QueryLogError> {
         let mut queries = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = raw.trim();
-            if line.is_empty() {
+            if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let parse_err = |message: String| QueryLogError::Parse {
-                line: i + 1,
-                message,
-            };
-            let v = Json::parse(line).map_err(parse_err)?;
-            let id = v
-                .get("id")
-                .and_then(|x| x.as_usize())
-                .ok_or_else(|| parse_err("missing or non-integer \"id\"".into()))?;
-            let history = v
-                .get("history")
-                .and_then(|x| x.as_usize_vec())
-                .ok_or_else(|| parse_err("missing or malformed \"history\"".into()))?;
-            queries.push(Request {
-                id: id as u64,
-                history,
-            });
+            queries.push(QueryLog::parse_line(line, i + 1)?);
         }
         Ok(QueryLog { queries })
     }
 
+    /// Parse the JSONL wire form leniently: malformed lines are skipped
+    /// and counted instead of aborting the load. A recorder that died
+    /// mid-line (or an operator's stray edit) costs one query, not the
+    /// whole trace. Returns `(log, skipped_line_count)`.
+    pub fn from_jsonl_lenient(text: &str) -> (QueryLog, usize) {
+        let mut queries = Vec::new();
+        let mut skipped = 0usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match QueryLog::parse_line(line, i + 1) {
+                Ok(q) => queries.push(q),
+                Err(_) => skipped += 1,
+            }
+        }
+        (QueryLog { queries }, skipped)
+    }
+
+    /// Strict load: integrity footer verified when present, first
+    /// malformed line aborts.
     pub fn load(path: impl AsRef<Path>) -> Result<QueryLog, QueryLogError> {
         let text = std::fs::read_to_string(path)?;
-        QueryLog::from_jsonl(&text)
+        let body = wr_fault::verify_lines(&text)?;
+        QueryLog::from_jsonl(body)
+    }
+
+    /// Lenient load for replay tooling: a failed footer check is still an
+    /// error (the whole file is suspect), but individually malformed
+    /// lines are skipped and counted.
+    pub fn load_lenient(path: impl AsRef<Path>) -> Result<(QueryLog, usize), QueryLogError> {
+        let text = std::fs::read_to_string(path)?;
+        let body = wr_fault::verify_lines(&text)?;
+        Ok(QueryLog::from_jsonl_lenient(body))
     }
 }
 
@@ -189,8 +229,51 @@ mod tests {
         let path = dir.join("trace.jsonl");
         let log = QueryLog::synthetic(16, 20, 5, 1);
         log.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().last().unwrap().starts_with("#crc32:"),
+            "save must seal the trace"
+        );
         let back = QueryLog::load(&path).unwrap();
         assert_eq!(log, back);
+        let (lenient, skipped) = QueryLog::load_lenient(&path).unwrap();
+        assert_eq!(lenient, log);
+        assert_eq!(skipped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_counts_malformed_lines() {
+        let text = concat!(
+            "{\"id\":1,\"history\":[1]}\n",
+            "not json at all\n",
+            "{\"id\":2}\n",                      // missing history
+            "{\"id\":\"x\",\"history\":[]}\n",  // non-integer id
+            "# a comment survives\n",
+            "{\"id\":3,\"history\":[4,5]}\n",
+        );
+        let (log, skipped) = QueryLog::from_jsonl_lenient(text);
+        assert_eq!(skipped, 3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.queries[0].id, 1);
+        assert_eq!(log.queries[1].id, 3);
+        assert_eq!(log.queries[1].history, vec![4, 5]);
+        // The strict parser still aborts on the same input.
+        assert!(QueryLog::from_jsonl(text).is_err());
+    }
+
+    #[test]
+    fn tampered_sealed_trace_is_rejected_even_leniently() {
+        let dir = std::env::temp_dir().join("wr_serve_querylog_tamper");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        QueryLog::synthetic(8, 20, 5, 2).save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\"id\":0", "\"id\":7", 1)).unwrap();
+        // A broken integrity footer means the whole file is suspect —
+        // lenient line-skipping must not paper over it.
+        assert!(matches!(QueryLog::load(&path), Err(QueryLogError::Io(_))));
+        assert!(matches!(QueryLog::load_lenient(&path), Err(QueryLogError::Io(_))));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -142,6 +142,76 @@ impl Adam {
         self.step = 0;
         self.last_grad_norm = 0.0;
     }
+
+    /// Snapshot the optimizer state keyed by parameter *position* in
+    /// `params`. Runtime `Param::id`s are assigned per process, so a
+    /// checkpoint written by one run must not record them — the position
+    /// in a model's deterministic `params()` order is the stable key.
+    /// Parameters that never received a gradient export `None`.
+    pub fn export_state(&self, params: &[Param]) -> AdamStateExport {
+        AdamStateExport {
+            step: self.step,
+            slots: params
+                .iter()
+                .map(|p| self.state.get(&p.id()).map(|s| (s.m.clone(), s.v.clone())))
+                .collect(),
+        }
+    }
+
+    /// Restore state exported by [`Adam::export_state`], re-keying each
+    /// positional slot to the *current* runtime id of the parameter at
+    /// that position. Replaces any existing state.
+    pub fn import_state(
+        &mut self,
+        params: &[Param],
+        export: &AdamStateExport,
+    ) -> Result<(), String> {
+        if params.len() != export.slots.len() {
+            return Err(format!(
+                "optimizer state has {} slots but model has {} parameters",
+                export.slots.len(),
+                params.len()
+            ));
+        }
+        for (i, (p, slot)) in params.iter().zip(&export.slots).enumerate() {
+            if let Some((m, v)) = slot {
+                if m.dims() != p.dims() || v.dims() != p.dims() {
+                    return Err(format!(
+                        "slot {i} ({:?}): moments {:?}/{:?} vs parameter {:?}",
+                        p.name(),
+                        m.dims(),
+                        v.dims(),
+                        p.dims()
+                    ));
+                }
+            }
+        }
+        self.state.clear();
+        self.step = export.step;
+        self.last_grad_norm = 0.0;
+        for (p, slot) in params.iter().zip(&export.slots) {
+            if let Some((m, v)) = slot {
+                self.state.insert(
+                    p.id(),
+                    Slot {
+                        m: m.clone(),
+                        v: v.clone(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Optimizer state detached from runtime parameter ids — the wire-safe
+/// form produced by [`Adam::export_state`]. `slots[i]` holds the first
+/// and second moments of the `i`-th parameter of the model's `params()`
+/// order, or `None` if that parameter has not been updated yet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamStateExport {
+    pub step: u64,
+    pub slots: Vec<Option<(Tensor, Tensor)>>,
 }
 
 #[cfg(test)]
@@ -217,6 +287,57 @@ mod tests {
         let v = theta.get();
         assert!(v.non_finite_count() == 0);
         assert!(v.data().iter().all(|x| x.abs() <= 1.1));
+    }
+
+    #[test]
+    fn export_import_round_trips_across_optimizer_instances() {
+        let theta = Param::new("theta", Tensor::from_slice(&[1.0, 2.0]));
+        let untouched = Param::new("frozen", Tensor::from_slice(&[5.0]));
+        let mut opt = Adam::new(AdamConfig::default());
+        // `untouched` is never bound into a graph: no gradient, no slot.
+        let run_step = |opt: &mut Adam, theta: &Param| {
+            let g = Graph::new();
+            let mut sess = Session::train(&g, Rng64::seed_from(0));
+            let th = sess.bind(theta);
+            let loss = g.sum_all(g.mul(th, th));
+            g.backward(loss);
+            opt.step(&g, sess.bindings());
+        };
+        run_step(&mut opt, &theta);
+        run_step(&mut opt, &theta);
+
+        let params = vec![theta.clone(), untouched.clone()];
+        let export = opt.export_state(&params);
+        assert_eq!(export.step, 2);
+        assert!(export.slots[0].is_some());
+        assert!(export.slots[1].is_none());
+
+        // Import re-keys onto a *different* runtime param (fresh id, same
+        // position); the resumed optimizer continues the exact trajectory.
+        let theta_b = Param::new("theta", theta.get());
+        let params_b = vec![theta_b.clone(), untouched.clone()];
+        let mut resumed = Adam::new(AdamConfig::default());
+        resumed.import_state(&params_b, &export).unwrap();
+        run_step(&mut opt, &theta);
+        run_step(&mut resumed, &theta_b);
+        assert_eq!(theta.get().data(), theta_b.get().data());
+        assert_eq!(opt.steps(), resumed.steps());
+    }
+
+    #[test]
+    fn import_rejects_mismatched_state() {
+        let theta = Param::new("theta", Tensor::from_slice(&[1.0, 2.0]));
+        let export = AdamStateExport {
+            step: 3,
+            slots: vec![Some((Tensor::zeros(&[3]), Tensor::zeros(&[3])))],
+        };
+        let mut opt = Adam::new(AdamConfig::default());
+        assert!(opt.import_state(&[theta.clone()], &export).is_err());
+        let short = AdamStateExport {
+            step: 3,
+            slots: vec![],
+        };
+        assert!(opt.import_state(&[theta], &short).is_err());
     }
 
     #[test]

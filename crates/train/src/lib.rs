@@ -6,9 +6,16 @@
 //! restores the best parameters.
 
 mod adam;
+mod resume;
 mod schedule;
 mod trainer;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{Adam, AdamConfig, AdamStateExport};
+pub use resume::{
+    latest_valid_train_checkpoint, load_train_checkpoint, save_train_checkpoint, TrainCheckpoint,
+};
 pub use schedule::LrSchedule;
-pub use trainer::{fit, fit_observed, EpochRecord, SeqRecModel, TrainConfig, TrainReport};
+pub use trainer::{
+    fit, fit_observed, fit_resumable, CheckpointPolicy, EpochRecord, SeqRecModel, TrainConfig,
+    TrainReport,
+};

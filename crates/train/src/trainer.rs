@@ -7,9 +7,12 @@
 //! grad-norm histograms and wraps each epoch in a trace span; [`fit`] is
 //! the same loop with throwaway telemetry.
 
+use crate::resume::{
+    latest_valid_train_checkpoint, save_train_checkpoint, TrainCheckpoint,
+};
 use crate::{Adam, LrSchedule};
 use wr_data::{Batch, Batcher, EvalCase};
-use wr_nn::Param;
+use wr_nn::{CheckpointError, Param};
 use wr_obs::{Clock, Telemetry};
 use wr_tensor::{Rng64, Tensor};
 
@@ -181,7 +184,152 @@ pub fn fit_observed<M: SeqRecModel>(
     telemetry: &Telemetry,
     mut epoch_hook: impl FnMut(&M, &EpochRecord),
 ) -> TrainReport {
-    let mut rng = Rng64::seed_from(config.seed);
+    match run_loop(
+        model,
+        optimizer,
+        train_sequences,
+        validation,
+        config,
+        telemetry,
+        LoopStart::fresh(config.seed),
+        None,
+        &mut epoch_hook,
+    ) {
+        Ok(report) => report,
+        // Without a checkpoint policy the loop performs no fallible IO.
+        Err(e) => unreachable!("checkpoint-free training cannot fail: {e}"),
+    }
+}
+
+/// Where and how often [`fit_resumable`] persists its resumable state.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory receiving `train-<epoch>.wrts` generations (created if
+    /// absent). Old generations are kept: recovery falls back across them
+    /// when the newest is damaged.
+    pub dir: std::path::PathBuf,
+    /// Checkpoint after every `every`-th epoch (1 = every epoch; the
+    /// final epoch is always checkpointed).
+    pub every: usize,
+}
+
+/// [`fit_observed`] with crash-safe resumption: the loop checkpoints its
+/// full state (parameters, best-weights snapshot, Adam moments + step,
+/// RNG stream position, early-stopping bookkeeping) to `policy.dir` at
+/// epoch boundaries, and on startup restores the newest valid generation
+/// found there — continuing **bit-identically** to the uninterrupted run.
+/// A kill at any instant costs at most `policy.every` epochs of work.
+///
+/// Each resume increments the `train.resumes` counter on `telemetry`
+/// (created at 0 so the metric is visible even for runs that never
+/// resume).
+#[allow(clippy::too_many_arguments)]
+pub fn fit_resumable<M: SeqRecModel>(
+    model: &mut M,
+    optimizer: &mut Adam,
+    train_sequences: Vec<Vec<usize>>,
+    validation: &[EvalCase],
+    config: TrainConfig,
+    telemetry: &Telemetry,
+    policy: &CheckpointPolicy,
+    mut epoch_hook: impl FnMut(&M, &EpochRecord),
+) -> Result<TrainReport, CheckpointError> {
+    std::fs::create_dir_all(&policy.dir)?;
+    let resumes = telemetry.registry.counter("train.resumes");
+    let params = model.params();
+    let start = match latest_valid_train_checkpoint(&policy.dir)? {
+        Some((_, cp)) => {
+            if cp.params.len() != params.len() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint has {} parameters, model has {}",
+                    cp.params.len(),
+                    params.len()
+                )));
+            }
+            for (p, t) in params.iter().zip(&cp.params) {
+                if t.dims() != p.dims() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "parameter {:?}: checkpoint {:?} vs model {:?}",
+                        p.name(),
+                        t.dims(),
+                        p.dims()
+                    )));
+                }
+            }
+            for (p, t) in params.iter().zip(&cp.params) {
+                p.set(t.clone());
+            }
+            optimizer
+                .import_state(&params, &cp.adam)
+                .map_err(CheckpointError::Mismatch)?;
+            resumes.inc();
+            LoopStart {
+                epoch_next: cp.epoch_next,
+                rng: Rng64::from_state(cp.rng_state),
+                best_snapshot: Some(cp.best_snapshot),
+                best_valid: cp.best_valid,
+                best_epoch: cp.best_epoch,
+                stale: cp.stale,
+            }
+        }
+        None => LoopStart::fresh(config.seed),
+    };
+    run_loop(
+        model,
+        optimizer,
+        train_sequences,
+        validation,
+        config,
+        telemetry,
+        start,
+        Some(policy),
+        &mut epoch_hook,
+    )
+}
+
+/// Training-loop entry state: where the epoch counter, RNG stream, and
+/// early-stopping bookkeeping begin. Fresh runs start at zero; resumed
+/// runs restore every field from a [`TrainCheckpoint`].
+struct LoopStart {
+    epoch_next: usize,
+    rng: Rng64,
+    /// `None` = snapshot the model's current parameters at loop entry.
+    best_snapshot: Option<Vec<Tensor>>,
+    best_valid: f32,
+    best_epoch: usize,
+    stale: usize,
+}
+
+impl LoopStart {
+    fn fresh(seed: u64) -> LoopStart {
+        LoopStart {
+            epoch_next: 0,
+            rng: Rng64::seed_from(seed),
+            best_snapshot: None,
+            best_valid: f32::NEG_INFINITY,
+            best_epoch: 0,
+            stale: 0,
+        }
+    }
+}
+
+/// The one training loop behind [`fit`], [`fit_observed`], and
+/// [`fit_resumable`]: instrumented and resumable variants execute
+/// identical arithmetic, differing only in entry state and whether epoch
+/// boundaries persist a [`TrainCheckpoint`].
+#[allow(clippy::too_many_arguments)]
+fn run_loop<M: SeqRecModel>(
+    model: &mut M,
+    optimizer: &mut Adam,
+    train_sequences: Vec<Vec<usize>>,
+    validation: &[EvalCase],
+    config: TrainConfig,
+    telemetry: &Telemetry,
+    start: LoopStart,
+    checkpoint: Option<&CheckpointPolicy>,
+    epoch_hook: &mut impl FnMut(&M, &EpochRecord),
+) -> Result<TrainReport, CheckpointError> {
+    let mut rng = start.rng;
     let batcher = Batcher::new(train_sequences, config.batch_size, config.max_seq);
     assert!(batcher.n_sequences() > 0, "no trainable sequences");
 
@@ -195,14 +343,16 @@ pub fn fit_observed<M: SeqRecModel>(
     let grad_norm = registry.histogram("train.grad_norm", &grad_norm_bounds());
 
     let params = model.params();
-    let mut best_snapshot: Vec<Tensor> = params.iter().map(Param::get).collect();
-    let mut best_valid = f32::NEG_INFINITY;
-    let mut best_epoch = 0usize;
-    let mut stale = 0usize;
+    let mut best_snapshot: Vec<Tensor> = start
+        .best_snapshot
+        .unwrap_or_else(|| params.iter().map(Param::get).collect());
+    let mut best_valid = start.best_valid;
+    let mut best_epoch = start.best_epoch;
+    let mut stale = start.stale;
     let mut epochs = Vec::new();
     let start_ns = clock.now_ns();
 
-    for epoch in 0..config.max_epochs {
+    for epoch in start.epoch_next..config.max_epochs {
         if let Some(schedule) = config.lr_schedule {
             optimizer.config.lr = schedule.at(epoch);
         }
@@ -243,6 +393,7 @@ pub fn fit_observed<M: SeqRecModel>(
         epoch_hook(model, &record);
         epochs.push(record);
 
+        let mut stop_now = false;
         if let Some(v) = valid_ndcg {
             if v > best_valid {
                 best_valid = v;
@@ -254,9 +405,37 @@ pub fn fit_observed<M: SeqRecModel>(
             } else {
                 stale += 1;
                 if stale >= config.patience {
-                    break;
+                    stop_now = true;
                 }
             }
+        }
+
+        if let Some(policy) = checkpoint {
+            // Persist at the configured cadence, and always at the final
+            // epoch (scheduled or early-stopped) so the terminal state is
+            // on disk. The RNG state is captured *after* this epoch's
+            // draws: a resumed loop continues the exact stream.
+            let boundary = (epoch + 1) % policy.every.max(1) == 0;
+            if boundary || stop_now || epoch + 1 == config.max_epochs {
+                let cp = TrainCheckpoint {
+                    epoch_next: epoch + 1,
+                    rng_state: rng.state(),
+                    params: params.iter().map(Param::get).collect(),
+                    best_snapshot: best_snapshot.clone(),
+                    adam: optimizer.export_state(&params),
+                    best_valid,
+                    best_epoch,
+                    stale,
+                };
+                save_train_checkpoint(
+                    policy.dir.join(format!("train-{:06}.wrts", epoch + 1)),
+                    &cp,
+                )?;
+            }
+        }
+
+        if stop_now {
+            break;
         }
     }
 
@@ -267,14 +446,14 @@ pub fn fit_observed<M: SeqRecModel>(
         }
     }
 
-    TrainReport {
+    Ok(TrainReport {
         model_name: model.name(),
         best_valid_ndcg: best_valid.max(0.0),
         best_epoch,
         total_seconds: clock.now_ns().saturating_sub(start_ns) as f64 / 1e9,
         param_count: model.param_count(),
         epochs,
-    }
+    })
 }
 
 /// Log-spaced histogram bounds for gradient norms (1e-4 … 1e4).

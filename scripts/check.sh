@@ -55,6 +55,27 @@ grep -q '"serve.queue_depth"' "$smoke_dir/metrics.json"
 grep -q '"whiten.pre.condition_number"' "$smoke_dir/metrics.json"
 grep -q '"whiten.post.condition_number"' "$smoke_dir/metrics.json"
 grep -q '"serve.latency_ms"' "$smoke_dir/metrics.json"
+# The fault-tolerance surface is exported even on a clean run (at zero).
+grep -q '"fault.injected"' "$smoke_dir/metrics.json"
+grep -q '"serve.rejected_overload"' "$smoke_dir/metrics.json"
+grep -q '"serve.quarantined_rows"' "$smoke_dir/metrics.json"
+grep -q '"serve.retries"' "$smoke_dir/metrics.json"
+grep -q '"train.resumes"' "$smoke_dir/metrics.json"
 echo "   trace + metrics ok: $(wc -c < "$smoke_dir/trace.json") / $(wc -c < "$smoke_dir/metrics.json") bytes"
+
+# Chaos smoke: replay the same fixture under an armed fault schedule. The
+# binary must exit cleanly (recovering via quarantine/retry/isolation, no
+# --check-naive here — degraded answers intentionally differ) and the
+# metrics export must show nonzero injected faults and a recovery path
+# that actually fired.
+echo "== check: serve-bench chaos smoke (WR_FAULT_SEED) =="
+WR_FAULT_SEED=20240613 ./target/release/serve-bench --scale 0.05 --epochs 1 \
+    --queries 256 --batch 32 --k 10 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/chaos-report.json" \
+    --metrics-out "$smoke_dir/chaos-metrics.json"
+grep -q '"qps"' "$smoke_dir/chaos-report.json"
+grep -Eq '"fault\.injected":[1-9]' "$smoke_dir/chaos-metrics.json"
+grep -Eq '"serve\.(quarantined_rows|retries)":[1-9]' "$smoke_dir/chaos-metrics.json"
+echo "   chaos ok: $(grep -Eo '"(fault\.injected|serve\.quarantined_rows|serve\.retries)":[0-9]+' "$smoke_dir/chaos-metrics.json" | tr '\n' ' ')"
 
 echo "== check: ok =="
