@@ -33,13 +33,13 @@ fn bench_with_pool_stats(h: &mut Harness, name: String, f: impl FnMut()) {
 }
 
 fn main() {
+    // Machine shape (`available_parallelism`, `single_cpu_caveat`) is
+    // auto-recorded into the report meta by `Harness::new`.
     let mut h = Harness::new("parallel_scaling");
-    let stats = wr_runtime::pool_stats();
     eprintln!(
         "  (machine reports {} available threads)",
-        stats.available_parallelism
+        wr_runtime::pool_stats().available_parallelism
     );
-    h.meta("available_parallelism", stats.available_parallelism as f64);
 
     // gemm: 1024x512 · 512x512 — the shape class behind encoder layers.
     let mut rng = Rng64::seed_from(1);

@@ -79,11 +79,19 @@ impl Harness {
     pub fn new(suite: impl Into<String>) -> Self {
         let suite = suite.into();
         eprintln!("== {suite} ==");
-        Harness {
+        let mut h = Harness {
             suite,
             results: Vec::new(),
             meta: Vec::new(),
-        }
+        };
+        // Machine shape is recorded on every suite so checked-in reports
+        // are self-describing: `single_cpu_caveat` flags runs where thread
+        // sweeps and QPS numbers collapse to serial behaviour and should
+        // not be compared against multi-core reports.
+        let cores = wr_runtime::pool_stats().available_parallelism;
+        h.meta("available_parallelism", cores as f64);
+        h.meta("single_cpu_caveat", if cores <= 1 { 1.0 } else { 0.0 });
+        h
     }
 
     /// Time `f`, auto-calibrating the iteration count from one warm-up call.
@@ -136,13 +144,21 @@ impl Harness {
     }
 
     /// Record a suite-level fact (machine shape, configuration), exported
-    /// once under the report's `"meta"` object.
+    /// once under the report's `"meta"` object. Re-recording a key
+    /// replaces its value, so suites can override the auto-recorded
+    /// machine facts without emitting duplicate JSON keys.
     pub fn meta(&mut self, key: impl Into<String>, value: f64) {
-        self.meta.push((key.into(), value));
+        let key = key.into();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key, value));
+        }
     }
 
-    /// `{"suite": ..., "meta": {...}, "benches": [...]}`, compact; the
-    /// `meta` object is omitted when no suite-level facts were recorded.
+    /// `{"suite": ..., "meta": {...}, "benches": [...]}`, compact. The
+    /// `meta` object always carries at least the auto-recorded machine
+    /// shape from [`Harness::new`].
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"suite\":");
@@ -204,6 +220,8 @@ mod tests {
     fn annotations_and_meta_reach_the_json() {
         std::env::set_var("WR_BENCH_MS", "2");
         let mut h = Harness::new("annotated");
+        // meta() upserts: overriding the auto-recorded machine fact must
+        // replace it, not emit a duplicate JSON key.
         h.meta("available_parallelism", 8.0);
         h.bench("spin", || {
             black_box((0..10).sum::<u64>());
@@ -217,5 +235,16 @@ mod tests {
         assert_eq!(b.get("jobs_by_workers").unwrap().as_f64(), Some(12.0));
         assert_eq!(b.get("threads").unwrap().as_f64(), Some(4.0));
         std::env::remove_var("WR_BENCH_MS");
+    }
+
+    #[test]
+    fn machine_shape_is_auto_recorded() {
+        let h = Harness::new("auto-meta");
+        let parsed = wr_tensor::Json::parse(&h.to_json()).unwrap();
+        let meta = parsed.get("meta").unwrap();
+        let cores = meta.get("available_parallelism").unwrap().as_f64().unwrap();
+        assert!(cores >= 1.0);
+        let caveat = meta.get("single_cpu_caveat").unwrap().as_f64().unwrap();
+        assert_eq!(caveat, if cores <= 1.0 { 1.0 } else { 0.0 });
     }
 }

@@ -8,6 +8,8 @@
 //!             [--no-filter-seen] [--seed 17] [--out report.json]
 //!             [--check-naive N] [--trace-out trace.json]
 //!             [--metrics-out metrics.json]
+//!             [--ann-nlist N] [--ann-nprobe N] [--ann-index index.wriv]
+//!             [--ann-seed N]
 //! ```
 //!
 //! The model comes from a trained checkpoint when `--checkpoint` names an
@@ -36,6 +38,16 @@
 //! (`whiten.pre.*` / `whiten.post.*`). Both documents are shape-validated
 //! before they are written.
 //!
+//! `--ann-nlist N` (nonzero) switches the engine to IVF-flat retrieval:
+//! an index with `N` inverted lists is built over the frozen item table
+//! (deterministic `--ann-seed`), or loaded from `--ann-index` when that
+//! file exists (and saved there after a build, like `--checkpoint`).
+//! `--ann-nprobe` sets the exactness dial — it defaults to `N`, the
+//! full-probe setting that is bit-identical to the exact gemm scorer, so
+//! `--check-naive` doubles as the ANN differential gate; dial it down
+//! for sublinear scans. Probe accounting lands in the metrics export as
+//! `serve.ann.lists_probed` / `serve.ann.rows_scanned`.
+//!
 //! Setting `WR_FAULT_SEED` to a nonzero value arms deterministic chaos:
 //! a seeded `wr_fault::FaultPlan` poisons cache rows and score rows with
 //! NaN and induces micro-batch panics, and the replay must finish anyway
@@ -63,6 +75,7 @@ fn main() -> ExitCode {
         eprintln!("  [--max-len N] [--log PATH] [--save-log PATH] [--batch N] [--k N]");
         eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-naive N]");
         eprintln!("  [--trace-out PATH] [--metrics-out PATH]");
+        eprintln!("  [--ann-nlist N] [--ann-nprobe N] [--ann-index PATH] [--ann-seed N]");
         eprintln!("  env: WR_FAULT_SEED=N  arm deterministic fault injection (0/unset = off)");
         return ExitCode::SUCCESS;
     }
@@ -180,6 +193,53 @@ fn run(args: &[String]) -> Result<(), String> {
     let engine = match &fault_plan {
         Some(plan) => engine.with_faults(plan.clone() as SharedInjector),
         None => engine,
+    };
+
+    // IVF retrieval: --ann-nlist arms it; the index is loaded from
+    // --ann-index when that file exists, else built here (deterministic
+    // seed) and saved there so later runs replay against the same index.
+    let ann_nlist: usize = parse_num(args, "--ann-nlist", 0)?;
+    let engine = if ann_nlist > 0 {
+        let nprobe: usize = parse_num(args, "--ann-nprobe", ann_nlist)?;
+        let ann_seed: u64 = parse_num(args, "--ann-seed", 7)?;
+        let index_path = flag(args, "--ann-index");
+        let index = match &index_path {
+            Some(p) if std::path::Path::new(p).is_file() => {
+                let loaded = wr_serve::IvfIndex::load(p, engine.cache().items())
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "ann: loaded WRIV index from {p} ({} lists, seed {})",
+                    loaded.nlist(),
+                    loaded.build_seed()
+                );
+                loaded
+            }
+            _ => {
+                let built = engine
+                    .cache()
+                    .build_ivf(ann_nlist, ann_seed)
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "ann: built {} lists over {} items (seed {ann_seed}, max list {})",
+                    built.nlist(),
+                    built.n_items(),
+                    built.max_list_len()
+                );
+                if let Some(p) = &index_path {
+                    built.save(p).map_err(|e| e.to_string())?;
+                    eprintln!("ann: index written to {p}");
+                }
+                built
+            }
+        };
+        eprintln!(
+            "ann: scoring via IVF, nprobe {} / {} lists",
+            nprobe.clamp(1, index.nlist()),
+            index.nlist()
+        );
+        engine.with_ann(Arc::new(index), nprobe)
+    } else {
+        engine
     };
     if !engine.quarantined_items().is_empty() {
         eprintln!(

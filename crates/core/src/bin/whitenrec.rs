@@ -7,7 +7,14 @@
 //! whitenrec train --model WhitenRec+ --dataset Arts [--scale 0.2]
 //!     [--epochs 15] [--cold] [--save model.wrck] [--records out.jsonl]
 //!     [--metrics-out metrics.json] [--trace-out trace.json]
+//!     [--resume-dir DIR] [--checkpoint-every N]
 //!     Train one zoo model, print metrics, optionally checkpoint + export.
+//!     `--resume-dir` routes the warm loop through the crash-safe
+//!     resumable trainer: full training state (parameters, Adam moments,
+//!     RNG position, early-stopping bookkeeping) is checkpointed to DIR
+//!     every N epochs (default 1), and a re-run against the same DIR
+//!     resumes from the newest valid generation, bit-identically to an
+//!     uninterrupted run.
 //!     The metrics snapshot carries per-epoch `train.*` telemetry, the
 //!     runtime pool's utilization gauges, and the paper's embedding-health
 //!     diagnostics for the dataset's table before and after whitening
@@ -146,8 +153,36 @@ fn train(args: &[String]) -> ExitCode {
         ctx.dataset.n_items(),
         ctx.dataset.n_users(),
     );
+    let resume_dir = flag(args, "--resume-dir");
+    if resume_dir.is_some() && cold {
+        eprintln!("--resume-dir is a warm-loop feature (the cold protocol retrains from scratch)");
+        return ExitCode::FAILURE;
+    }
     let trained = if cold {
         ctx.run_cold(&model_name)
+    } else if let Some(dir) = resume_dir {
+        let every = match flag(args, "--checkpoint-every") {
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("bad --checkpoint-every {s}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => 1,
+        };
+        let policy = whitenrec::train::CheckpointPolicy {
+            dir: std::path::PathBuf::from(&dir),
+            every,
+        };
+        println!("resumable: WRTS generations in {dir} (every {every} epoch(s))");
+        match ctx.run_warm_resumable(&model_name, &policy) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("resumable training failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         ctx.run_warm(&model_name)
     };

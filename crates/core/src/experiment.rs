@@ -5,7 +5,11 @@ use wr_eval::MetricSet;
 use wr_models::{zoo, ModelConfig};
 use wr_obs::Telemetry;
 use wr_tensor::Rng64;
-use wr_train::{fit_observed, Adam, AdamConfig, EpochRecord, SeqRecModel, TrainConfig, TrainReport};
+use wr_train::{
+    fit_observed, fit_resumable, Adam, AdamConfig, CheckpointPolicy, EpochRecord, SeqRecModel,
+    TrainConfig, TrainReport,
+};
+use wr_nn::CheckpointError;
 use wr_whiten::{observed_group_whiten, WhiteningMethod, DEFAULT_EPS};
 
 /// A materialized dataset with its warm and cold splits, plus the shared
@@ -142,6 +146,43 @@ impl ExperimentContext {
             report,
             test_metrics: metrics,
         }
+    }
+
+    /// As [`Self::run_warm`], through the crash-safe resumable loop
+    /// (DESIGN.md §9): training state is checkpointed to `policy.dir` at
+    /// epoch boundaries and, when a valid `WRTS` generation already lives
+    /// there, the run resumes from it bit-identically to an
+    /// uninterrupted run. This is the path `whitenrec train
+    /// --resume-dir` exercises.
+    pub fn run_warm_resumable(
+        &self,
+        name: &str,
+        policy: &CheckpointPolicy,
+    ) -> Result<TrainedModel, CheckpointError> {
+        let mut model = self.build_model(name);
+        let mut optimizer = Adam::new(AdamConfig {
+            lr: 1e-3,
+            weight_decay: 1e-6,
+            ..AdamConfig::default()
+        });
+        let valid = cap(&self.warm.validation, self.eval_cap);
+        let report = fit_resumable(
+            &mut model,
+            &mut optimizer,
+            self.warm.train.clone(),
+            &valid,
+            self.train_config,
+            &self.telemetry_or_default(),
+            policy,
+            |_, _| {},
+        )?;
+        let test = cap(&self.warm.test, self.eval_cap);
+        let metrics = self.evaluate(model.as_ref(), &test);
+        Ok(TrainedModel {
+            model,
+            report,
+            test_metrics: metrics,
+        })
     }
 
     /// Train on the cold split's warm-only sequences; evaluate on cold

@@ -212,6 +212,96 @@ impl Ord for WorstFirst {
     }
 }
 
+/// Bounded top-`k` accumulator over `(item, score)` pairs — the one
+/// bounded-heap extraction every ranking consumer shares.
+///
+/// Push candidates in any order; [`TopK::into_sorted`] returns at most `k`
+/// of them, best first, under the repo-wide total order (descending
+/// `total_cmp` score, ascending item index on ties). The heap holds the
+/// *worst* kept candidate at its top, so each push is `O(log k)` and a
+/// full scan of `n` candidates is `O(n log k)` — never a full sort.
+///
+/// Consumers: [`top_k_filtered`] (dense score rows), [`merge_top_k`]
+/// (partial-list merging), the `wr-ann` inverted-list scan, and
+/// `wr_serve::batch_top_k`'s per-segment extraction.
+pub struct TopK {
+    heap: std::collections::BinaryHeap<WorstFirst>,
+    k: usize,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            k,
+        }
+    }
+
+    /// Offer one candidate. Kept only while it beats the current worst of
+    /// the `k` best seen so far.
+    pub fn push(&mut self, item: usize, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = WorstFirst { score, item };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            // `entry < worst` means the candidate is strictly better than
+            // the worst kept item under the total order above.
+            if entry < *worst {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Candidates kept so far (saturates at `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain into the final best-first list.
+    pub fn into_sorted(self) -> Vec<ScoredItem> {
+        let mut out: Vec<ScoredItem> = self
+            .heap
+            .into_iter()
+            .map(|e| ScoredItem {
+                item: e.item,
+                score: e.score,
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+        out
+    }
+}
+
+/// K-way merge of per-list / per-shard partial top-k results into one
+/// global top-`k`, under the same total order every partial was extracted
+/// with (`total_cmp` descending, ascending item index on ties).
+///
+/// Exact by construction: the global top-`k` of a disjoint union is a
+/// subset of the per-part top-`k`s, so merging partials of length ≥ the
+/// requested `k` loses nothing. Partials may be any length (shorter ones
+/// simply contribute fewer candidates). Items appearing in *multiple*
+/// partials are offered once per appearance — callers merging overlapping
+/// candidate sets (replicated shards) must deduplicate upstream; the
+/// in-tree callers (ANN inverted lists, `batch_top_k` column segments)
+/// partition their items, so duplicates cannot arise.
+pub fn merge_top_k(k: usize, partials: &[Vec<ScoredItem>]) -> Vec<ScoredItem> {
+    let mut acc = TopK::new(k);
+    for part in partials {
+        for s in part {
+            acc.push(s.item, s.score);
+        }
+    }
+    acc.into_sorted()
+}
+
 /// Deterministic top-`k` over one score row with seen-item filtering.
 ///
 /// Returns at most `k` items sorted by descending score, ties broken by
@@ -219,8 +309,8 @@ impl Ord for WorstFirst {
 /// ranking site in the workspace uses). Item ids listed in `seen` are
 /// excluded from the candidates; out-of-range ids in `seen` are ignored.
 ///
-/// Runs in `O(n log k)` with a bounded min-heap, so full-catalog scoring at
-/// serving time never sorts the whole row.
+/// Runs in `O(n log k)` with a bounded min-heap ([`TopK`]), so
+/// full-catalog scoring at serving time never sorts the whole row.
 pub fn top_k_filtered(scores: &[f32], k: usize, seen: &[usize]) -> Vec<ScoredItem> {
     if k == 0 || scores.is_empty() {
         return Vec::new();
@@ -235,35 +325,16 @@ pub fn top_k_filtered(scores: &[f32], k: usize, seen: &[usize]) -> Vec<ScoredIte
         }
         seen_mask = Some(m);
     }
-    let mut heap: std::collections::BinaryHeap<WorstFirst> =
-        std::collections::BinaryHeap::with_capacity(k + 1);
+    let mut acc = TopK::new(k);
     for (item, &score) in scores.iter().enumerate() {
         if let Some(m) = &seen_mask {
             if m[item] {
                 continue;
             }
         }
-        let entry = WorstFirst { score, item };
-        if heap.len() < k {
-            heap.push(entry);
-        } else if let Some(worst) = heap.peek() {
-            // `entry < worst` means the candidate is strictly better than
-            // the worst kept item under the total order above.
-            if entry < *worst {
-                heap.pop();
-                heap.push(entry);
-            }
-        }
+        acc.push(item, score);
     }
-    let mut out: Vec<ScoredItem> = heap
-        .into_iter()
-        .map(|e| ScoredItem {
-            item: e.item,
-            score: e.score,
-        })
-        .collect();
-    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
-    out
+    acc.into_sorted()
 }
 
 /// Convenience: evaluate case NDCG vectors of two models for a t-test.
@@ -462,6 +533,85 @@ mod tests {
                 assert_eq!(s.score.to_bits(), scores[s.item].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn merge_top_k_is_exact_over_partitions() {
+        use wr_tensor::Rng64;
+        let mut rng = Rng64::seed_from(29);
+        for trial in 0..20 {
+            let n = 16 + rng.below(400);
+            // Coarse quantization forces cross-partition ties.
+            let scores: Vec<f32> = (0..n).map(|_| (rng.below(9) as f32) * 0.125).collect();
+            let k = 1 + rng.below(24);
+            // Partition the candidates into 1..=6 arbitrary disjoint parts.
+            let n_parts = 1 + rng.below(6);
+            let mut parts: Vec<Vec<ScoredItem>> = vec![Vec::new(); n_parts];
+            let assignment: Vec<usize> = (0..n).map(|_| rng.below(n_parts)).collect();
+            let partials: Vec<Vec<ScoredItem>> = {
+                for (item, &p) in assignment.iter().enumerate() {
+                    parts[p].push(ScoredItem {
+                        item,
+                        score: scores[item],
+                    });
+                }
+                // Each part contributes only its local top-k (the partial a
+                // list scan or shard would actually send).
+                parts
+                    .into_iter()
+                    .map(|part| {
+                        let mut acc = TopK::new(k);
+                        for s in &part {
+                            acc.push(s.item, s.score);
+                        }
+                        acc.into_sorted()
+                    })
+                    .collect()
+            };
+            let merged = merge_top_k(k, &partials);
+            let global = top_k_filtered(&scores, k, &[]);
+            assert_eq!(merged, global, "trial {trial} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn merge_top_k_edge_cases() {
+        // No partials / empty partials / k = 0.
+        assert!(merge_top_k(5, &[]).is_empty());
+        assert!(merge_top_k(5, &[Vec::new(), Vec::new()]).is_empty());
+        let one = vec![vec![
+            ScoredItem { item: 3, score: 1.0 },
+            ScoredItem { item: 7, score: 0.5 },
+        ]];
+        assert!(merge_top_k(0, &one).is_empty());
+        // Merging a single partial truncates it to k, order untouched.
+        let merged = merge_top_k(1, &one);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].item, 3);
+        // Ties across partials resolve by ascending item index.
+        let parts = vec![
+            vec![ScoredItem { item: 9, score: 0.5 }],
+            vec![ScoredItem { item: 2, score: 0.5 }],
+        ];
+        let merged = merge_top_k(2, &parts);
+        let items: Vec<usize> = merged.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![2, 9]);
+    }
+
+    #[test]
+    fn topk_accumulator_matches_filtered_scan() {
+        let scores = [0.3f32, 0.9, 0.9, 0.1, 0.6];
+        let mut acc = TopK::new(3);
+        assert!(acc.is_empty());
+        for (i, &s) in scores.iter().enumerate() {
+            acc.push(i, s);
+        }
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc.into_sorted(), top_k_filtered(&scores, 3, &[]));
+        // k = 0 accepts pushes and stays empty.
+        let mut zero = TopK::new(0);
+        zero.push(0, 1.0);
+        assert!(zero.into_sorted().is_empty());
     }
 
     #[test]

@@ -78,6 +78,14 @@ impl EmbeddingCache {
     pub fn shares_storage_with(&self, other: &EmbeddingCache) -> bool {
         Arc::ptr_eq(&self.items, &other.items) && Arc::ptr_eq(&self.items_t, &other.items_t)
     }
+
+    /// Build an IVF-flat index over this catalog (deterministic for fixed
+    /// `(table, nlist, seed)` — see `wr_ann`). The whitened table is the
+    /// intended input: isotropic geometry is what makes the coarse
+    /// quantizer's cells well-behaved for inner-product search.
+    pub fn build_ivf(&self, nlist: usize, seed: u64) -> Result<wr_ann::IvfIndex, wr_ann::AnnError> {
+        wr_ann::IvfIndex::build(&self.items, nlist, seed)
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use crate::{batch_top_k, top_k_filtered, BatcherConfig, EmbeddingCache, MicroBatcher, ScoredItem};
+use wr_ann::{IvfIndex, SearchStats};
 use wr_fault::{no_faults, RetryPolicy, SharedInjector, Sleeper, ThreadSleeper};
 use wr_nn::{load_params, restore_params, CheckpointError};
 use wr_obs::Telemetry;
@@ -72,6 +73,30 @@ impl Default for ResilienceConfig {
             retry: RetryPolicy::default(),
         }
     }
+}
+
+/// Which retrieval strategy [`ServeEngine`] scores candidates with.
+///
+/// `Exact` is the default dense path: one gemm `users·Vᵀ` over the whole
+/// catalog. `Ivf` probes an attached [`IvfIndex`] instead, scanning only
+/// the `nprobe` most promising inverted lists per query — sublinear in
+/// |I|, with `nprobe = nlist` provably (and differentially tested)
+/// bit-identical to `Exact` on healthy engines.
+///
+/// Degraded-mode semantics differ in one documented corner: `Exact`
+/// masks quarantined item rows to `-inf` (they can still surface when
+/// fewer than `k` finite candidates exist), while `Ivf` excludes them
+/// from the candidate set outright. On a healthy engine the quarantine
+/// set is empty and the two are indistinguishable. Injected *score*
+/// poisoning (`serve.score`) only exists on the dense path — the IVF
+/// scan never materializes a dense score row — so chaos drills exercise
+/// the `Exact` scorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scorer {
+    /// Dense gemm over the full catalog.
+    Exact,
+    /// IVF-flat probe of `nprobe` inverted lists (clamped to `nlist`).
+    Ivf { nprobe: usize },
 }
 
 /// Typed serving failures surfaced by [`ServeEngine::try_serve`].
@@ -150,6 +175,10 @@ pub struct ServeEngine {
     /// responses — the differential suite asserts instrumented ==
     /// uninstrumented bit-for-bit.
     telemetry: Option<Telemetry>,
+    /// Candidate-retrieval strategy; [`Scorer::Ivf`] requires `index`.
+    scorer: Scorer,
+    /// The IVF index behind [`Scorer::Ivf`], shared across engine clones.
+    index: Option<Arc<IvfIndex>>,
 }
 
 impl ServeEngine {
@@ -172,7 +201,35 @@ impl ServeEngine {
             sleeper: Arc::new(ThreadSleeper),
             quarantined_items,
             telemetry: None,
+            scorer: Scorer::Exact,
+            index: None,
         }
+    }
+
+    /// Switch the engine to IVF retrieval (builder-style): score via
+    /// `index` with the given `nprobe` instead of the dense gemm. The
+    /// index must have been built over (or loaded against) this engine's
+    /// item table — shape disagreement is a construction bug, checked
+    /// here rather than discovered per query.
+    pub fn with_ann(mut self, index: Arc<IvfIndex>, nprobe: usize) -> Self {
+        assert_eq!(
+            (index.n_items(), index.dim()),
+            (self.cache.n_items(), self.cache.dim()),
+            "IVF index shape disagrees with the embedding cache"
+        );
+        self.scorer = Scorer::Ivf { nprobe };
+        self.index = Some(index);
+        self
+    }
+
+    /// The active retrieval strategy.
+    pub fn scorer(&self) -> Scorer {
+        self.scorer
+    }
+
+    /// The attached IVF index, when [`Scorer::Ivf`] is active.
+    pub fn ann_index(&self) -> Option<&Arc<IvfIndex>> {
+        self.index.as_ref()
     }
 
     /// Attach a fault injector (builder-style). The item cache is
@@ -222,6 +279,11 @@ impl ServeEngine {
         telemetry.registry.counter("serve.rejected_overload");
         telemetry.registry.counter("serve.quarantined_rows");
         telemetry.registry.counter("serve.retries");
+        // ANN probe accounting, eagerly at 0 for the same reason: an
+        // exact-scorer export still names the counters, so a dashboard
+        // can tell "ANN off" (0) from "ANN missing" (absent).
+        telemetry.registry.counter("serve.ann.lists_probed");
+        telemetry.registry.counter("serve.ann.rows_scanned");
         self.telemetry = Some(telemetry);
         self
     }
@@ -366,11 +428,60 @@ impl ServeEngine {
             .iter()
             .map(|r| MicroBatcher::sanitize(&r.history))
             .collect();
+        if let Scorer::Ivf { nprobe } = self.scorer {
+            return self.process_group_ann(slice, &contexts, nprobe);
+        }
         let mut scores = self.score_group(&contexts);
         for (r, req) in slice.iter().enumerate() {
             self.injector.poison("serve.score", req.id, scores.row_mut(r));
         }
         self.extract_top_k(slice, scores)
+    }
+
+    /// Score one micro-batch through the IVF index: encode histories with
+    /// the same model forward as the dense path, then probe per query in
+    /// parallel (one pool task per request row, stitched in order — the
+    /// usual thread-count-independent shape). Seen-item filtering and the
+    /// item quarantine are applied as candidate exclusions.
+    fn process_group_ann(
+        &self,
+        slice: &[Request],
+        contexts: &[&[usize]],
+        nprobe: usize,
+    ) -> Vec<Response> {
+        let index = self
+            .index
+            .as_ref()
+            .expect("Scorer::Ivf requires with_ann (enforced by the builder)");
+        let users = self.model.user_representations(contexts);
+        // Borrow only `Sync` pieces into the pool closure (the engine
+        // itself carries the `Box<dyn SeqRecModel>`, which is not).
+        let (k, filter_seen) = (self.cfg.k, self.cfg.filter_seen);
+        let quarantined = &self.quarantined_items;
+        let index_ref: &IvfIndex = index;
+        let users_ref = &users;
+        let results: Vec<(Vec<ScoredItem>, SearchStats)> =
+            wr_runtime::parallel_map(slice.len(), 1, |r| {
+                let mut excluded: Vec<usize> = if filter_seen {
+                    slice[r].history.clone()
+                } else {
+                    Vec::new()
+                };
+                excluded.extend_from_slice(quarantined);
+                index_ref.search(users_ref.row(r), k, nprobe, &excluded)
+            });
+        if let Some(tel) = &self.telemetry {
+            let (lists, rows) = results.iter().fold((0u64, 0u64), |(l, s), (_, st)| {
+                (l + st.lists_probed as u64, s + st.rows_scanned as u64)
+            });
+            tel.registry.counter("serve.ann.lists_probed").add(lists);
+            tel.registry.counter("serve.ann.rows_scanned").add(rows);
+        }
+        slice
+            .iter()
+            .zip(results)
+            .map(|(req, (items, _))| Response { id: req.id, items })
+            .collect()
     }
 
     /// Top-k extraction with quarantine: masked items sort last, poisoned
@@ -487,8 +598,22 @@ impl ServeEngine {
             .collect()
     }
 
-    /// Single-query convenience (the interactive path).
+    /// Single-query convenience (the interactive path). Honors the active
+    /// [`Scorer`], so an IVF engine answers interactively through the
+    /// same index as its batch path.
     pub fn recommend(&self, history: &[usize]) -> Vec<ScoredItem> {
+        if let Scorer::Ivf { nprobe } = self.scorer {
+            let req = Request {
+                id: 0,
+                history: history.to_vec(),
+            };
+            let ctx = MicroBatcher::sanitize(&req.history);
+            return self
+                .process_group_ann(std::slice::from_ref(&req), &[ctx], nprobe)
+                .pop()
+                .map(|r| r.items)
+                .unwrap_or_default();
+        }
         let ctx = MicroBatcher::sanitize(history);
         let scores = self.score_group(&[ctx]);
         let seen: &[usize] = if self.cfg.filter_seen { history } else { &[] };

@@ -51,13 +51,14 @@ mod cache;
 mod engine;
 mod latency;
 mod querylog;
-mod topk;
+pub mod topk;
 
 pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
 pub use cache::EmbeddingCache;
-pub use engine::{Request, ResilienceConfig, Response, ServeConfig, ServeEngine, ServeError};
+pub use engine::{Request, ResilienceConfig, Response, Scorer, ServeConfig, ServeEngine, ServeError};
 pub use latency::{replay, replay_observed, ReplayReport};
 pub use querylog::{QueryLog, QueryLogError};
-pub use topk::batch_top_k;
+pub use topk::{batch_top_k, merge_top_k};
 
+pub use wr_ann::{AnnError, IvfIndex, SearchStats};
 pub use wr_eval::{top_k_filtered, ScoredItem};

@@ -1,6 +1,17 @@
 //! Batch-parallel top-k extraction over a score matrix.
+//!
+//! The per-row scan is *segmented*: each score row is cut into
+//! fixed-width column segments, each segment feeds its own bounded heap
+//! ([`wr_eval::TopK`]), and the partials are combined with
+//! [`merge_top_k`] — the same k-way merge the IVF list-scan and any
+//! future sharded gateway use. The top-k of a disjoint union equals the
+//! merge of per-part top-ks under one total order (`total_cmp`
+//! descending, ascending item-index tie-break), so the segmented scan is
+//! *exactly* — bit-for-bit — the single-pass [`wr_eval::top_k_filtered`]
+//! result; the tests pin that equivalence.
 
-use wr_eval::{top_k_filtered, ScoredItem};
+pub use wr_eval::merge_top_k;
+use wr_eval::{ScoredItem, TopK};
 use wr_tensor::Tensor;
 
 /// Minimum rows per dispatched chunk: a top-k scan over a full catalog is
@@ -8,14 +19,40 @@ use wr_tensor::Tensor;
 /// tiny batches should not fan out one row at a time.
 const ROW_GRAIN: usize = 2;
 
+/// Columns per scan segment. Wide enough that the heap, not the merge,
+/// dominates; narrow enough that a segment's scores stay cache-resident.
+const SEGMENT: usize = 4096;
+
+/// Top-`k` of one score row via segmented scan + k-way merge. `seen_mask`
+/// is the row-length exclusion bitmap (seen items skipped before the
+/// heap, exactly as [`wr_eval::top_k_filtered`] skips them).
+fn row_top_k_segmented(row: &[f32], k: usize, seen_mask: &[bool]) -> Vec<ScoredItem> {
+    let n = row.len();
+    let n_segments = n.div_ceil(SEGMENT).max(1);
+    let mut partials: Vec<Vec<ScoredItem>> = Vec::with_capacity(n_segments);
+    for s in 0..n_segments {
+        let lo = s * SEGMENT;
+        let hi = (lo + SEGMENT).min(n);
+        let mut acc = TopK::new(k);
+        for item in lo..hi {
+            if !seen_mask[item] {
+                acc.push(item, row[item]);
+            }
+        }
+        partials.push(acc.into_sorted());
+    }
+    merge_top_k(k, &partials)
+}
+
 /// Top-`k` per row of `scores: [batch, n_items]`, excluding each row's
 /// `seen` items, parallelized over the batch on the `wr-runtime` pool.
 ///
 /// Each row is extracted by exactly one pool task into its own output
 /// slot (`parallel_chunks_mut` over the result vector, chunk boundaries
-/// independent of thread count), and the per-row scorer
-/// [`wr_eval::top_k_filtered`] is deterministic (`total_cmp`, index
-/// tie-break) — so the output is bit-identical for any `WR_THREADS`.
+/// independent of thread count), and the per-row segmented scorer is
+/// deterministic (`total_cmp`, index tie-break) — so the output is
+/// bit-identical for any `WR_THREADS`, and bit-identical to the unsplit
+/// [`wr_eval::top_k_filtered`] scan.
 ///
 /// `seen` must have one entry per batch row.
 pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<ScoredItem>> {
@@ -26,13 +63,25 @@ pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<Scor
         "one seen-list per batch row required"
     );
     let rows = scores.rows();
+    let n_items = scores.cols();
     let mut out: Vec<Vec<ScoredItem>> = vec![Vec::new(); rows];
     let chunk = wr_runtime::chunk_len(rows, ROW_GRAIN);
     wr_runtime::parallel_chunks_mut(&mut out, chunk, |ci, slot_chunk| {
         let base = ci * chunk;
+        let mut mask = vec![false; n_items];
         for (off, slot) in slot_chunk.iter_mut().enumerate() {
             let row = base + off;
-            *slot = top_k_filtered(scores.row(row), k, seen[row]);
+            for &s in seen[row] {
+                if s < n_items {
+                    mask[s] = true;
+                }
+            }
+            *slot = row_top_k_segmented(scores.row(row), k, &mask);
+            for &s in seen[row] {
+                if s < n_items {
+                    mask[s] = false;
+                }
+            }
         }
     });
     out
@@ -41,6 +90,7 @@ pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<Scor
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wr_eval::top_k_filtered;
     use wr_tensor::Rng64;
 
     #[test]
@@ -55,6 +105,29 @@ mod tests {
         for r in 0..17 {
             let solo = top_k_filtered(scores.row(r), 10, seen[r]);
             assert_eq!(batched[r], solo, "row {r}");
+        }
+    }
+
+    #[test]
+    fn segmented_scan_is_bit_identical_to_unsplit() {
+        // Rows wider than one segment, quantized scores so ties straddle
+        // segment boundaries — the hard case for the merge.
+        let mut rng = Rng64::seed_from(9);
+        let cols = SEGMENT * 2 + 513;
+        let data: Vec<f32> = (0..3 * cols).map(|_| (rng.below(7) as f32) * 0.5).collect();
+        let scores = Tensor::from_vec(data, &[3, cols]);
+        let seen_store: Vec<Vec<usize>> = (0..3)
+            .map(|_| (0..10).map(|_| rng.below(cols)).collect())
+            .collect();
+        let seen: Vec<&[usize]> = seen_store.iter().map(|s| s.as_slice()).collect();
+        let batched = batch_top_k(&scores, 25, &seen);
+        for r in 0..3 {
+            let solo = top_k_filtered(scores.row(r), 25, seen[r]);
+            assert_eq!(batched[r].len(), solo.len(), "row {r}");
+            for (a, b) in batched[r].iter().zip(&solo) {
+                assert_eq!(a.item, b.item, "row {r}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "row {r}");
+            }
         }
     }
 

@@ -63,6 +63,27 @@ grep -q '"serve.retries"' "$smoke_dir/metrics.json"
 grep -q '"train.resumes"' "$smoke_dir/metrics.json"
 echo "   trace + metrics ok: $(wc -c < "$smoke_dir/trace.json") / $(wc -c < "$smoke_dir/metrics.json") bytes"
 
+# ANN smoke: replay the same fixture (shared checkpoint — identical
+# weights) through the IVF scorer at full probe. nprobe defaults to nlist,
+# where the index must be *bit-identical* to the dense scorer: the in-run
+# --check-naive differential must pass and the replay top1_checksum must
+# equal the exact run's, and the serve.ann.* counters must show the scan
+# actually went through the inverted lists.
+echo "== check: serve-bench ANN smoke (full-probe == exact) =="
+./target/release/serve-bench --scale 0.05 --epochs 1 --queries 256 \
+    --batch 32 --k 10 --check-naive 64 \
+    --checkpoint "$smoke_dir/smoke.wrck" \
+    --ann-nlist 16 --ann-index "$smoke_dir/ivf.wriv" \
+    --out "$smoke_dir/ann-report.json" --metrics-out "$smoke_dir/ann-metrics.json"
+exact_sum="$(grep -Eo '"top1_checksum":"[0-9a-f]+"' "$smoke_dir/report.json")"
+ann_sum="$(grep -Eo '"top1_checksum":"[0-9a-f]+"' "$smoke_dir/ann-report.json")"
+[ -n "$exact_sum" ] && [ "$exact_sum" = "$ann_sum" ] \
+    || { echo "   ANN full-probe checksum diverged: $exact_sum vs $ann_sum"; exit 1; }
+grep -Eq '"serve\.ann\.rows_scanned":[1-9]' "$smoke_dir/ann-metrics.json"
+grep -Eq '"serve\.ann\.lists_probed":[1-9]' "$smoke_dir/ann-metrics.json"
+test -s "$smoke_dir/ivf.wriv"
+echo "   ann ok: $ann_sum $(grep -Eo '"serve\.ann\.rows_scanned":[0-9]+' "$smoke_dir/ann-metrics.json")"
+
 # Chaos smoke: replay the same fixture under an armed fault schedule. The
 # binary must exit cleanly (recovering via quarantine/retry/isolation, no
 # --check-naive here — degraded answers intentionally differ) and the
