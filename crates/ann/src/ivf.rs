@@ -215,7 +215,11 @@ impl IvfIndex {
         let mut stats = SearchStats::default();
         for &(l, _) in order.iter().take(nprobe) {
             stats.lists_probed += 1;
-            let (lo, hi) = (self.offsets[l], self.offsets[l + 1]);
+            // `l < nlist` and `offsets.len() == nlist + 1` by construction;
+            // checked reads keep a corrupt index from panicking a probe.
+            let (Some(&lo), Some(&hi)) = (self.offsets.get(l), self.offsets.get(l + 1)) else {
+                continue;
+            };
             let mut acc = TopK::new(k);
             for r in lo..hi {
                 let id = self.packed_ids[r];

@@ -1,0 +1,659 @@
+//! Pass 2 of the semantic analyzer: the workspace call graph and the
+//! reachability rules built on it.
+//!
+//! Links every per-file symbol table ([`crate::symbols`]) into one graph:
+//!
+//! * **Resolution** is by name + arity. `Type::name(…)` path calls match
+//!   the qualified definition exactly; `.name(…)` method calls link to
+//!   *every* impl/trait method with that name and arity (a sound
+//!   over-approximation — trait dispatch links all implementors); plain
+//!   calls match free functions, preferring same-crate definitions when
+//!   both exist (shadowed names). Calls with no candidate land in an
+//!   explicit `unresolved` bucket that is counted and reportable — never
+//!   silently dropped.
+//! * **R6 panic-reachability** walks the graph from the declared hot-path
+//!   root set (`ServeEngine::serve` / `try_serve`, `IvfIndex::search`,
+//!   `batch_top_k`, and `parallel_*` closure bodies in the serving
+//!   crates) and flags every panic site in a reachable non-kernel
+//!   function, printing the full call chain from the root.
+//! * **R7 lock-order** builds the lock-class nesting graph (acquisitions
+//!   made while another guard is live, directly or through calls) and
+//!   flags cycles and locks held across a `parallel_*` dispatch.
+//! * **R8 hot-loop-alloc** flags allocation calls inside loops of
+//!   hot-path-reachable functions.
+//!
+//! Kernel crates (R1's domain — their panic discipline is already owned
+//! by the no-panic rule with documented `try_` siblings) and the
+//! harness/linter crates are traversed for reachability but do not emit
+//! R6/R8 findings; see DESIGN.md §5b.
+
+use crate::rules::{Rule, Violation, KERNEL_CRATES};
+use crate::symbols::{FileSymbols, FnDef, PARALLEL_FNS};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Crates whose `parallel_*` closure bodies are hot-path roots.
+const CLOSURE_ROOT_CRATES: &[&str] = &["serve", "ann", "runtime", "obs"];
+
+/// Qualified names of the declared hot-path root set.
+const HOT_ROOTS: &[&str] =
+    &["ServeEngine::serve", "ServeEngine::try_serve", "IvfIndex::search", "batch_top_k"];
+
+/// A call the resolver could not bind to any workspace definition.
+#[derive(Debug, Clone)]
+pub struct UnresolvedCall {
+    pub caller: String,
+    pub callee: String,
+    pub arity: usize,
+    pub path: String,
+    pub line: u32,
+}
+
+/// Aggregate numbers for the `wr-check/v2` report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Non-test functions (incl. parallel-closure pseudo-functions).
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Call sites with no workspace candidate.
+    pub unresolved: usize,
+    /// Distinct unresolved callee names.
+    pub unresolved_names: usize,
+    /// Functions reachable from the hot-path root set.
+    pub hot_functions: usize,
+}
+
+/// Result of the semantic pass.
+pub struct Analysis {
+    pub violations: Vec<Violation>,
+    pub stats: GraphStats,
+    pub unresolved: Vec<UnresolvedCall>,
+}
+
+struct Graph<'a> {
+    /// (file index, fn index) per node, production functions only.
+    nodes: Vec<(usize, usize)>,
+    files: &'a [FileSymbols],
+    edges: Vec<Vec<usize>>,
+}
+
+impl<'a> Graph<'a> {
+    fn def(&self, n: usize) -> &'a FnDef {
+        let (f, i) = self.nodes[n];
+        &self.files[f].fns[i]
+    }
+    fn krate(&self, n: usize) -> &'a str {
+        &self.files[self.nodes[n].0].krate
+    }
+    fn path(&self, n: usize) -> &'a str {
+        &self.files[self.nodes[n].0].path
+    }
+}
+
+/// Whether R6/R8 findings are reported for a crate. Kernel crates answer
+/// to R1 (documented panicking wrappers with `try_` siblings); the
+/// harness and the linter itself are not serving code.
+fn reports_semantic(krate: &str) -> bool {
+    !KERNEL_CRATES.contains(&krate) && !matches!(krate, "bench" | "check" | "workspace")
+}
+
+/// Run the semantic rules over the workspace symbol tables.
+pub fn analyze(files: &[FileSymbols]) -> Analysis {
+    // ---- collect production nodes ----
+    let mut nodes: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (di, def) in file.fns.iter().enumerate() {
+            if !def.is_test {
+                nodes.push((fi, di));
+            }
+        }
+    }
+    let mut g = Graph { nodes, files, edges: Vec::new() };
+    let n = g.nodes.len();
+
+    // ---- resolution indexes ----
+    let mut by_qual: BTreeMap<(&str, usize), Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<(&str, usize), Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<(&str, usize), Vec<usize>> = BTreeMap::new();
+    let mut by_parent_qual: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        let d = g.def(i);
+        by_qual.entry((d.qual.as_str(), d.arity)).or_default().push(i);
+        if d.has_self {
+            methods.entry((d.name.as_str(), d.arity)).or_default().push(i);
+        } else if d.qual == d.name {
+            free.entry((d.name.as_str(), d.arity)).or_default().push(i);
+        }
+        if d.is_closure_root {
+            if let Some(pos) = d.qual.rfind("::{closure@") {
+                by_parent_qual.entry(&d.qual[..pos]).or_default().push(i);
+            }
+        }
+    }
+
+    // ---- resolve calls into edges ----
+    let mut unresolved: Vec<UnresolvedCall> = Vec::new();
+    let mut edge_count = 0usize;
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Edges from calls whose resolution is trustworthy (free fns, path
+    // calls, `self.method()`). Bare `.method()` name-matching is a sound
+    // over-approximation for panic reachability but far too coarse for
+    // the lock analysis — `spans.len()` must not bind to `Tracer::len`.
+    let mut reliable_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // call-site → resolved targets, preserved for the lock analysis.
+    let mut call_targets: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let d = g.def(i);
+        let caller_crate = g.krate(i);
+        for (ci, call) in d.calls.iter().enumerate() {
+            let mut targets: Vec<usize> = Vec::new();
+            if let Some(recv) = &call.recv {
+                // `Type::name(…)` — `Self` was resolved during extraction
+                // only when syntactically present; resolve leftovers here.
+                let qual = format!("{recv}::{}", call.name);
+                if let Some(v) = by_qual.get(&(qual.as_str(), call.arity)) {
+                    targets.extend(v.iter().copied());
+                }
+                if recv == "Self" {
+                    // `Self::name` — match any method/assoc fn with the name.
+                    if let Some(v) = methods.get(&(call.name.as_str(), call.arity)) {
+                        targets.extend(v.iter().copied());
+                    }
+                }
+                if targets.is_empty() {
+                    // `wr_eval::rank(…)` / `crate::helper(…)` — a module
+                    // path, not a type: bind to free fns in the named crate.
+                    let crate_hint = match recv.as_str() {
+                        "crate" | "self" | "super" => Some(caller_crate.to_string()),
+                        r if r.starts_with("wr_") => Some(r["wr_".len()..].to_string()),
+                        _ => None,
+                    };
+                    if let (Some(hint), Some(v)) =
+                        (crate_hint, free.get(&(call.name.as_str(), call.arity)))
+                    {
+                        targets.extend(v.iter().copied().filter(|&t| g.krate(t) == hint));
+                    }
+                }
+            } else if call.is_method {
+                if let Some(v) = methods.get(&(call.name.as_str(), call.arity)) {
+                    targets.extend(v.iter().copied());
+                }
+            } else {
+                if let Some(v) = free.get(&(call.name.as_str(), call.arity)) {
+                    // Same-crate definitions shadow cross-crate ones.
+                    let same: Vec<usize> =
+                        v.iter().copied().filter(|&t| g.krate(t) == caller_crate).collect();
+                    targets.extend(if same.is_empty() { v.clone() } else { same });
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            if targets.is_empty() {
+                unresolved.push(UnresolvedCall {
+                    caller: d.qual.clone(),
+                    callee: call.name.clone(),
+                    arity: call.arity,
+                    path: g.path(i).to_string(),
+                    line: call.line,
+                });
+            } else {
+                edge_count += targets.len();
+                edges[i].extend(targets.iter().copied());
+                if !call.is_method || call.on_self {
+                    reliable_edges[i].extend(targets.iter().copied());
+                }
+            }
+            call_targets[i].push((ci, targets));
+        }
+        // Parallel-closure bodies are invoked by their enclosing function.
+        if let Some(v) = by_parent_qual.get(d.qual.as_str()) {
+            for &t in v {
+                if g.nodes[t].0 == g.nodes[i].0 && t != i {
+                    edges[i].push(t);
+                    reliable_edges[i].push(t);
+                    edge_count += 1;
+                }
+            }
+        }
+    }
+    for e in edges.iter_mut().chain(reliable_edges.iter_mut()) {
+        e.sort_unstable();
+        e.dedup();
+    }
+    g.edges = edges;
+
+    // ---- hot-path reachability (BFS with parent pointers) ----
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut hot: Vec<bool> = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for i in 0..n {
+        let d = g.def(i);
+        let is_root = HOT_ROOTS.contains(&d.qual.as_str())
+            || (d.is_closure_root && CLOSURE_ROOT_CRATES.contains(&g.krate(i)));
+        if is_root {
+            hot[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &g.edges[u] {
+            if !hot[v] {
+                hot[v] = true;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    let chain = |mut i: usize| -> String {
+        let mut parts = vec![g.def(i).qual.clone()];
+        while let Some(p) = parent[i] {
+            parts.push(g.def(p).qual.clone());
+            i = p;
+        }
+        parts.reverse();
+        parts.join(" → ")
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+
+    // ---- R6: panic sites in hot-reachable non-kernel functions ----
+    for i in 0..n {
+        if !hot[i] || !reports_semantic(g.krate(i)) {
+            continue;
+        }
+        let d = g.def(i);
+        for p in &d.panics {
+            violations.push(Violation {
+                rule: Rule::PanicReachability,
+                path: g.path(i).to_string(),
+                line: p.line,
+                message: format!(
+                    "{} is reachable from the hot path [{}] — use a checked form or justify",
+                    p.what,
+                    chain(i)
+                ),
+                suppressed: None,
+            });
+        }
+    }
+
+    // ---- R8: allocations in loops of hot-reachable functions ----
+    for i in 0..n {
+        if !hot[i] || !reports_semantic(g.krate(i)) {
+            continue;
+        }
+        let d = g.def(i);
+        for a in &d.allocs {
+            violations.push(Violation {
+                rule: Rule::HotLoopAlloc,
+                path: g.path(i).to_string(),
+                line: a.line,
+                message: format!(
+                    "{} allocates inside a loop on the hot path [{}] — hoist it or justify",
+                    a.what,
+                    chain(i)
+                ),
+                suppressed: None,
+            });
+        }
+    }
+
+    // ---- transitive lock classes and parallel-dispatch flags ----
+    let mut trans_locks: Vec<BTreeSet<String>> = (0..n)
+        .map(|i| g.def(i).locks.iter().map(|l| l.class.clone()).collect())
+        .collect();
+    let mut dispatches: Vec<bool> = (0..n)
+        .map(|i| g.def(i).calls.iter().any(|c| PARALLEL_FNS.contains(&c.name.as_str())))
+        .collect();
+    // Fixpoint over the (possibly cyclic) call graph, following only
+    // reliably-resolved edges (see `reliable_edges`).
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for &t in &reliable_edges[i] {
+                if dispatches[t] && !dispatches[i] {
+                    dispatches[i] = true;
+                    changed = true;
+                }
+                if !trans_locks[t].is_empty() {
+                    let add: Vec<String> = trans_locks[t]
+                        .iter()
+                        .filter(|c| !trans_locks[i].contains(*c))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        trans_locks[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- R7: lock-nesting edges, cycles, locks held across dispatch ----
+    // Edge (A → B): class B acquired while a guard of class A is live,
+    // either directly or through a call made under the guard.
+    let mut lock_edges: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    let mut r7_seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for i in 0..n {
+        let d = g.def(i);
+        for l in &d.locks {
+            for l2 in &d.locks {
+                if l2.k > l.k && l2.k < l.scope_end_k && l2.class != l.class {
+                    lock_edges.entry((l.class.clone(), l2.class.clone())).or_insert_with(|| {
+                        (g.path(i).to_string(), l2.line, format!("in {}", d.qual))
+                    });
+                }
+            }
+            for (ci, targets) in &call_targets[i] {
+                let call = &d.calls[*ci];
+                if call.k <= l.k || call.k >= l.scope_end_k {
+                    continue;
+                }
+                let reliable = !call.is_method || call.on_self;
+                let direct_parallel = PARALLEL_FNS.contains(&call.name.as_str());
+                let transitive_parallel =
+                    reliable && targets.iter().any(|&t| dispatches[t]);
+                if direct_parallel || transitive_parallel {
+                    let message = format!(
+                        "lock `{}` is held across a parallel_* dispatch (guard taken at line {} in {}) — workers may need the same lock",
+                        l.class, l.line, d.qual
+                    );
+                    if r7_seen.insert((g.path(i).to_string(), call.line, message.clone())) {
+                        violations.push(Violation {
+                            rule: Rule::LockOrder,
+                            path: g.path(i).to_string(),
+                            line: call.line,
+                            message,
+                            suppressed: None,
+                        });
+                    }
+                }
+                if !reliable {
+                    continue;
+                }
+                for t in targets {
+                    for c2 in &trans_locks[*t] {
+                        if *c2 != l.class {
+                            lock_edges
+                                .entry((l.class.clone(), c2.clone()))
+                                .or_insert_with(|| {
+                                    (
+                                        g.path(i).to_string(),
+                                        call.line,
+                                        format!("via call to {} in {}", call.name, d.qual),
+                                    )
+                                });
+                        } else {
+                            // Same class re-acquired through a call while
+                            // held: self-deadlock on a non-reentrant Mutex.
+                            let message = format!(
+                                "lock `{}` may be re-acquired through call to {} while already held in {} — self-deadlock",
+                                l.class, call.name, d.qual
+                            );
+                            if r7_seen.insert((g.path(i).to_string(), call.line, message.clone()))
+                            {
+                                violations.push(Violation {
+                                    rule: Rule::LockOrder,
+                                    path: g.path(i).to_string(),
+                                    line: call.line,
+                                    message,
+                                    suppressed: None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Cycle detection over lock classes (iterative DFS, deterministic order).
+    let classes: BTreeSet<&String> =
+        lock_edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for start in &classes {
+        // DFS from `start` looking for a path back to `start`.
+        let mut stack: Vec<(&String, Vec<&String>)> = vec![(start, vec![start])];
+        let mut visited: BTreeSet<&String> = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            for ((a, b), (vpath, vline, via)) in &lock_edges {
+                if a != node {
+                    continue;
+                }
+                if b == *start {
+                    let cycle: BTreeSet<String> =
+                        path.iter().map(|s| (*s).clone()).collect();
+                    if reported.insert(cycle) {
+                        let order: Vec<&str> =
+                            path.iter().map(|s| s.as_str()).chain([start.as_str()]).collect();
+                        violations.push(Violation {
+                            rule: Rule::LockOrder,
+                            path: vpath.clone(),
+                            line: *vline,
+                            message: format!(
+                                "lock-order cycle: {} ({via}) — a concurrent reverse acquisition deadlocks",
+                                order.join(" → ")
+                            ),
+                            suppressed: None,
+                        });
+                    }
+                } else if visited.insert(b) {
+                    let mut p = path.clone();
+                    p.push(b);
+                    stack.push((b, p));
+                }
+            }
+        }
+    }
+
+    let hot_count = hot.iter().filter(|&&h| h).count();
+    let unresolved_names: BTreeSet<&str> =
+        unresolved.iter().map(|u| u.callee.as_str()).collect();
+    let stats = GraphStats {
+        functions: n,
+        edges: edge_count,
+        unresolved: unresolved.len(),
+        unresolved_names: unresolved_names.len(),
+        hot_functions: hot_count,
+    };
+    Analysis { violations, stats, unresolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::symbols::extract;
+
+    fn table(files: &[(&str, &str)]) -> Vec<FileSymbols> {
+        files
+            .iter()
+            .map(|(path, src)| {
+                let mut toks = lexer::lex(src);
+                lexer::mark_test_regions(&mut toks);
+                extract(path, &toks)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn r6_reports_full_chain_two_calls_deep() {
+        let files = table(&[
+            (
+                "crates/serve/src/engine.rs",
+                "impl ServeEngine { pub fn serve(&self, n: usize) { plan_batches(n); } }\n\
+                 fn plan_batches(n: usize) { score_rows(n); }",
+            ),
+            (
+                "crates/serve/src/score.rs",
+                "fn score_rows(n: usize) { let x: Option<u32> = None; x.unwrap(); }",
+            ),
+        ]);
+        let a = analyze(&files);
+        let r6: Vec<&Violation> =
+            a.violations.iter().filter(|v| v.rule == Rule::PanicReachability).collect();
+        assert_eq!(r6.len(), 1, "{:#?}", a.violations);
+        assert_eq!(r6[0].path, "crates/serve/src/score.rs");
+        assert!(
+            r6[0].message.contains("ServeEngine::serve → plan_batches → score_rows"),
+            "{}",
+            r6[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_panic_is_not_flagged() {
+        let files = table(&[(
+            "crates/serve/src/a.rs",
+            "fn cold() { x.unwrap(); }\n\
+             impl ServeEngine { pub fn serve(&self) { warm(); } }\n\
+             fn warm() {}",
+        )]);
+        let a = analyze(&files);
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::PanicReachability),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn kernel_crate_panics_are_not_reported_but_traversed() {
+        let files = table(&[
+            (
+                "crates/serve/src/a.rs",
+                "impl ServeEngine { pub fn serve(&self) { wr_eval::rank(3); } }",
+            ),
+            (
+                "crates/eval/src/b.rs",
+                "pub fn rank(k: usize) { inner(k); }\npub fn inner(k: usize) { x.unwrap(); }",
+            ),
+        ]);
+        let a = analyze(&files);
+        assert!(a.violations.iter().all(|v| v.rule != Rule::PanicReachability));
+        // …but the functions are hot (traversal happened).
+        assert!(a.stats.hot_functions >= 3, "{:?}", a.stats);
+    }
+
+    #[test]
+    fn unresolved_extern_call_lands_in_bucket() {
+        let files = table(&[(
+            "crates/serve/src/a.rs",
+            "fn f() { external_dep::frobnicate(1, 2); }",
+        )]);
+        let a = analyze(&files);
+        assert_eq!(a.stats.unresolved, 1, "{:?}", a.unresolved);
+        assert_eq!(a.unresolved[0].callee, "frobnicate");
+        assert_eq!(a.unresolved[0].arity, 2);
+    }
+
+    #[test]
+    fn trait_method_dispatch_links_all_impls() {
+        let files = table(&[
+            (
+                "crates/serve/src/a.rs",
+                "impl ServeEngine { pub fn serve(&self, m: &dyn Model) { m.represent(3); } }",
+            ),
+            (
+                "crates/models/src/b.rs",
+                "impl Model for SasRec { fn represent(&self, n: usize) { x.unwrap(); } }\n\
+                 impl Model for Gru { fn represent(&self, n: usize) { } }",
+            ),
+        ]);
+        let a = analyze(&files);
+        let r6: Vec<&Violation> =
+            a.violations.iter().filter(|v| v.rule == Rule::PanicReachability).collect();
+        assert_eq!(r6.len(), 1, "{:#?}", a.violations);
+        assert!(r6[0].message.contains("SasRec::represent"), "{}", r6[0].message);
+    }
+
+    #[test]
+    fn shadowed_free_fn_prefers_same_crate() {
+        let files = table(&[
+            (
+                "crates/serve/src/a.rs",
+                "impl ServeEngine { pub fn serve(&self) { helper(1); } }\n\
+                 fn helper(n: usize) {}",
+            ),
+            ("crates/ann/src/b.rs", "pub fn helper(n: usize) { x.unwrap(); }"),
+        ]);
+        let a = analyze(&files);
+        // The ann::helper unwrap must NOT be flagged — serve's own helper shadows it.
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::PanicReachability),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r7_catches_deliberate_lock_cycle() {
+        let files = table(&[(
+            "crates/obs/src/a.rs",
+            "impl A { fn one(&self) { let g = self.alpha.lock().unwrap(); self.two(); }\n\
+                      fn two(&self) { let g = self.beta.lock().unwrap(); self.three(); }\n\
+                      fn three(&self) { let g = self.alpha.lock().unwrap(); } }",
+        )]);
+        let a = analyze(&files);
+        let r7: Vec<&Violation> =
+            a.violations.iter().filter(|v| v.rule == Rule::LockOrder).collect();
+        assert!(
+            r7.iter().any(|v| v.message.contains("cycle") && v.message.contains("obs::alpha")),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r7_flags_lock_held_across_parallel_dispatch() {
+        let files = table(&[(
+            "crates/serve/src/a.rs",
+            "fn f(&self) { let g = self.state.lock().unwrap(); parallel_for(8, 1, |i| { touch(i); }); }",
+        )]);
+        let a = analyze(&files);
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.rule == Rule::LockOrder && v.message.contains("parallel_*")),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r7_no_false_cycle_for_sequential_guards() {
+        let files = table(&[(
+            "crates/obs/src/a.rs",
+            "impl A { fn one(&self) { self.alpha.lock().unwrap().push(1); self.beta.lock().unwrap().push(2); }\n\
+                      fn two(&self) { self.beta.lock().unwrap().push(1); self.alpha.lock().unwrap().push(2); } }",
+        )]);
+        let a = analyze(&files);
+        // Temporary guards die at their statement: no nesting, no cycle.
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::LockOrder),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r8_flags_alloc_in_hot_loop() {
+        let files = table(&[(
+            "crates/serve/src/a.rs",
+            "impl ServeEngine { pub fn serve(&self, n: usize) {\n\
+                 for i in 0..n { let label = format!(\"batch{i}\"); emit(label); }\n\
+             } }",
+        )]);
+        let a = analyze(&files);
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.rule == Rule::HotLoopAlloc && v.message.contains("format!")),
+            "{:#?}",
+            a.violations
+        );
+    }
+}

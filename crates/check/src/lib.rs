@@ -2,29 +2,45 @@
 //!
 //! The paper's headline claim (whitening is a pre-computed, deterministic
 //! transform whose benefit survives training) only reproduces if the Rust
-//! kernels are bit-deterministic and panic-free. This crate machine-checks
-//! the conventions that keep them that way, with zero external
-//! dependencies (DESIGN.md §5): a comment/string/char-literal-aware
-//! tokenizer ([`lexer`]) feeds a five-rule analysis ([`rules`]) whose
-//! findings render as `file:line` diagnostics or JSON ([`report`]).
+//! kernels are bit-deterministic and panic-free — and only *serves* at the
+//! ROADMAP's million-user scale if the hot path is provably panic-free and
+//! deadlock-free. This crate machine-checks both, with zero external
+//! dependencies (DESIGN.md §5):
 //!
-//! Run it locally with `cargo run -p wr-check`; `scripts/check.sh` runs it
-//! as a tier-1 gate. See DESIGN.md "Static analysis gates" for the rule
-//! set (R1–R5) and the justified allow-directive suppression syntax.
+//! * a comment/string/char-literal-aware tokenizer ([`lexer`]) feeds the
+//!   line-level rules R1–R5 ([`rules`]);
+//! * a two-pass semantic analyzer ([`symbols`] → [`graph`]) builds the
+//!   workspace call graph and runs R6 (panic-reachability from the
+//!   hot-path root set, full call chains in diagnostics), R7 (lock-order
+//!   cycles and locks held across pool dispatch), and R8 (allocations in
+//!   hot loops);
+//! * findings render as `file:line` diagnostics or `wr-check/v2` JSON
+//!   ([`report`]), and a committed baseline (`check_baseline.json`)
+//!   ratchets the justified-suppression count monotonically downward.
+//!
+//! Run it locally with `cargo run -p wr-check`; `scripts/check.sh` runs
+//! `wr-check --ratchet` as a tier-1 gate. See DESIGN.md "Static analysis
+//! gates" for the rule set and the allow-directive syntax.
 
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use graph::{GraphStats, UnresolvedCall};
 pub use rules::{check_source, Rule, Scope, Violation};
 
-/// Result of scanning a directory tree.
+/// Result of scanning a directory tree with both passes.
 pub struct Scan {
     pub files_scanned: usize,
     pub violations: Vec<Violation>,
+    pub stats: GraphStats,
+    pub unresolved: Vec<UnresolvedCall>,
 }
 
 impl Scan {
@@ -60,11 +76,16 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Scan every `.rs` file under `root` with the full rule set.
+/// Scan every `.rs` file under `root` with the full rule set: the
+/// line-level rules per file, then the workspace call graph and the
+/// semantic rules over all files together. Suppression directives govern
+/// both kinds of finding by `path:line`.
 pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
     let files = collect_rs_files(root)?;
     let mut violations = Vec::new();
     let mut files_scanned = 0usize;
+    let mut tables: Vec<symbols::FileSymbols> = Vec::new();
+    let mut directives: BTreeMap<String, Vec<rules::Directive>> = BTreeMap::new();
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             // Non-UTF-8 or unreadable file: nothing the lexer can do.
@@ -78,9 +99,38 @@ pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        violations.extend(rules::check_source(&rel, &src));
+        let mut toks = lexer::lex(&src);
+        lexer::mark_test_regions(&mut toks);
+        let (file_violations, file_directives) = rules::check_tokens(&rel, &toks);
+        violations.extend(file_violations);
+        tables.push(symbols::extract(&rel, &toks));
+        if !file_directives.is_empty() {
+            directives.insert(rel, file_directives);
+        }
     }
-    Ok(Scan { files_scanned, violations })
+    let analysis = graph::analyze(&tables);
+    violations.extend(analysis.violations);
+    for v in &mut violations {
+        if v.rule == Rule::Directive || v.suppressed.is_some() {
+            continue;
+        }
+        if let Some(ds) = directives.get(&v.path) {
+            if let Some(d) =
+                ds.iter().find(|d| d.target_line == v.line && d.rules.contains(&v.rule))
+            {
+                v.suppressed = Some(d.reason.clone());
+            }
+        }
+    }
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.id()).cmp(&(b.path.as_str(), b.line, b.rule.id()))
+    });
+    Ok(Scan {
+        files_scanned,
+        violations,
+        stats: analysis.stats,
+        unresolved: analysis.unresolved,
+    })
 }
 
 /// Locate the workspace root by walking up from `start` to the first

@@ -1,6 +1,17 @@
-//! Diagnostic rendering: human `file:line` lines and machine-readable JSON.
+//! Diagnostic rendering (`file:line` lines, `wr-check/v2` JSON) and the
+//! suppression-ratchet baseline.
+//!
+//! The ratchet contract: `check_baseline.json` records the justified
+//! suppression counts (total, per rule, per crate) the workspace is
+//! allowed to carry. `wr-check --ratchet` fails if any unsuppressed
+//! finding exists *or* if any suppression count rises above the baseline —
+//! so suppressions can only shrink over time. `--write-baseline`
+//! regenerates the file but refuses loudly to raise any count.
 
 use crate::rules::Violation;
+use crate::symbols::crate_of;
+use crate::Scan;
+use std::collections::BTreeMap;
 use wr_tensor::Json;
 
 /// Render one violation as a compiler-style diagnostic line.
@@ -20,77 +31,274 @@ pub fn human_line(v: &Violation) -> String {
 
 /// Render the full report for the terminal. Active violations first, then a
 /// one-line summary; suppressed findings are listed only with `verbose`.
-pub fn human_report(files_scanned: usize, violations: &[Violation], verbose: bool) -> String {
+pub fn human_report(scan: &Scan, verbose: bool) -> String {
     let mut out = String::new();
-    let active: Vec<&Violation> = violations.iter().filter(|v| v.suppressed.is_none()).collect();
-    let suppressed = violations.len() - active.len();
+    let active: Vec<&Violation> =
+        scan.violations.iter().filter(|v| v.suppressed.is_none()).collect();
+    let suppressed = scan.violations.len() - active.len();
     for v in &active {
         out.push_str(&human_line(v));
         out.push('\n');
     }
     if verbose {
-        for v in violations.iter().filter(|v| v.suppressed.is_some()) {
+        for v in scan.violations.iter().filter(|v| v.suppressed.is_some()) {
             out.push_str(&human_line(v));
             out.push('\n');
         }
     }
     out.push_str(&format!(
-        "wr-check: {} file(s), {} violation(s), {} suppressed\n",
-        files_scanned,
+        "wr-check: {} file(s), {} violation(s), {} suppressed | graph: {} fn(s), {} edge(s), {} hot, {} unresolved call(s) ({} name(s))\n",
+        scan.files_scanned,
         active.len(),
-        suppressed
+        suppressed,
+        scan.stats.functions,
+        scan.stats.edges,
+        scan.stats.hot_functions,
+        scan.stats.unresolved,
+        scan.stats.unresolved_names,
     ));
     out
 }
 
-/// Build the machine-readable report (`wr-check/v1` schema).
-pub fn json_report(files_scanned: usize, violations: &[Violation]) -> String {
-    let encode = |v: &Violation| {
-        let mut fields = vec![
-            ("rule".to_string(), Json::Str(v.rule.id().to_string())),
-            ("name".to_string(), Json::Str(v.rule.slug().to_string())),
-            ("path".to_string(), Json::Str(v.path.clone())),
-            ("line".to_string(), Json::Num(v.line as f64)),
-            ("message".to_string(), Json::Str(v.message.clone())),
-        ];
-        if let Some(reason) = &v.suppressed {
-            fields.push(("suppressed".to_string(), Json::Str(reason.clone())));
+fn encode_violation(v: &Violation) -> Json {
+    let mut fields = vec![
+        ("rule".to_string(), Json::Str(v.rule.id().to_string())),
+        ("name".to_string(), Json::Str(v.rule.slug().to_string())),
+        ("path".to_string(), Json::Str(v.path.clone())),
+        ("line".to_string(), Json::Num(v.line as f64)),
+        ("message".to_string(), Json::Str(v.message.clone())),
+    ];
+    if let Some(reason) = &v.suppressed {
+        fields.push(("suppressed".to_string(), Json::Str(reason.clone())));
+    }
+    Json::Obj(fields)
+}
+
+fn count_obj(counts: &BTreeMap<String, (usize, usize)>) -> Json {
+    Json::Obj(
+        counts
+            .iter()
+            .map(|(k, (active, suppressed))| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("active".to_string(), Json::Num(*active as f64)),
+                        ("suppressed".to_string(), Json::Num(*suppressed as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn tally(violations: &[Violation]) -> (BTreeMap<String, (usize, usize)>, BTreeMap<String, (usize, usize)>) {
+    let mut per_rule: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut per_crate: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for v in violations {
+        let rule = per_rule.entry(v.rule.id().to_string()).or_default();
+        let krate = per_crate.entry(crate_of(&v.path).to_string()).or_default();
+        if v.suppressed.is_some() {
+            rule.1 += 1;
+            krate.1 += 1;
+        } else {
+            rule.0 += 1;
+            krate.0 += 1;
         }
-        Json::Obj(fields)
-    };
-    let active: Vec<Json> =
-        violations.iter().filter(|v| v.suppressed.is_none()).map(encode).collect();
-    let suppressed: Vec<Json> =
-        violations.iter().filter(|v| v.suppressed.is_some()).map(encode).collect();
+    }
+    (per_rule, per_crate)
+}
+
+/// Build the machine-readable report (`wr-check/v2` schema): violations and
+/// suppressions, per-rule and per-crate counts, call-graph stats, and the
+/// full suppression inventory the ratchet is computed from.
+pub fn json_report(scan: &Scan) -> String {
+    let active: Vec<Json> = scan
+        .violations
+        .iter()
+        .filter(|v| v.suppressed.is_none())
+        .map(encode_violation)
+        .collect();
+    let suppressed: Vec<Json> = scan
+        .violations
+        .iter()
+        .filter(|v| v.suppressed.is_some())
+        .map(encode_violation)
+        .collect();
+    let (per_rule, per_crate) = tally(&scan.violations);
+    let graph = Json::Obj(vec![
+        ("functions".to_string(), Json::Num(scan.stats.functions as f64)),
+        ("edges".to_string(), Json::Num(scan.stats.edges as f64)),
+        ("hot_functions".to_string(), Json::Num(scan.stats.hot_functions as f64)),
+        ("unresolved_calls".to_string(), Json::Num(scan.stats.unresolved as f64)),
+        ("unresolved_names".to_string(), Json::Num(scan.stats.unresolved_names as f64)),
+    ]);
+    let inventory: Vec<Json> = scan
+        .violations
+        .iter()
+        .filter_map(|v| {
+            v.suppressed.as_ref().map(|reason| {
+                Json::Obj(vec![
+                    ("rule".to_string(), Json::Str(v.rule.id().to_string())),
+                    ("path".to_string(), Json::Str(v.path.clone())),
+                    ("line".to_string(), Json::Num(v.line as f64)),
+                    ("reason".to_string(), Json::Str(reason.clone())),
+                ])
+            })
+        })
+        .collect();
     let doc = Json::Obj(vec![
-        ("schema".to_string(), Json::Str("wr-check/v1".to_string())),
-        ("files_scanned".to_string(), Json::Num(files_scanned as f64)),
+        ("schema".to_string(), Json::Str("wr-check/v2".to_string())),
+        ("files_scanned".to_string(), Json::Num(scan.files_scanned as f64)),
         ("violations".to_string(), Json::Arr(active)),
         ("suppressed".to_string(), Json::Arr(suppressed)),
+        ("rules".to_string(), count_obj(&per_rule)),
+        ("crates".to_string(), count_obj(&per_crate)),
+        ("graph".to_string(), graph),
+        ("suppressions".to_string(), Json::Arr(inventory)),
     ]);
     doc.to_string()
+}
+
+/// The committed suppression budget: total, per rule, per crate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub total_suppressed: usize,
+    pub rules: BTreeMap<String, usize>,
+    pub crates: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Compute the current suppression counts from a scan.
+    pub fn from_scan(scan: &Scan) -> Baseline {
+        let (per_rule, per_crate) = tally(&scan.violations);
+        Baseline {
+            total_suppressed: scan.violations.iter().filter(|v| v.suppressed.is_some()).count(),
+            rules: per_rule.into_iter().filter(|(_, c)| c.1 > 0).map(|(k, c)| (k, c.1)).collect(),
+            crates: per_crate.into_iter().filter(|(_, c)| c.1 > 0).map(|(k, c)| (k, c.1)).collect(),
+        }
+    }
+
+    /// Serialize to the committed `check_baseline.json` form.
+    pub fn to_json(&self) -> String {
+        let counts = |m: &BTreeMap<String, usize>| {
+            Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect())
+        };
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str("wr-check-baseline/v1".to_string())),
+            ("total_suppressed".to_string(), Json::Num(self.total_suppressed as f64)),
+            ("rules".to_string(), counts(&self.rules)),
+            ("crates".to_string(), counts(&self.crates)),
+        ])
+        .to_string()
+    }
+
+    /// Parse a committed baseline file.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        if doc.get("schema").and_then(|s| s.as_str()) != Some("wr-check-baseline/v1") {
+            return Err("baseline schema must be wr-check-baseline/v1".to_string());
+        }
+        let total = doc
+            .get("total_suppressed")
+            .and_then(|n| n.as_usize())
+            .ok_or("baseline missing total_suppressed")?;
+        let read_map = |key: &str| -> Result<BTreeMap<String, usize>, String> {
+            let mut out = BTreeMap::new();
+            if let Some(Json::Obj(fields)) = doc.get(key) {
+                for (k, v) in fields {
+                    out.insert(
+                        k.clone(),
+                        v.as_usize().ok_or_else(|| format!("baseline {key}.{k} not a count"))?,
+                    );
+                }
+            }
+            Ok(out)
+        };
+        Ok(Baseline { total_suppressed: total, rules: read_map("rules")?, crates: read_map("crates")? })
+    }
+
+    /// The ways `current` exceeds this baseline (empty = within budget).
+    /// A key missing from the baseline has budget zero.
+    pub fn exceeded_by(&self, current: &Baseline) -> Vec<String> {
+        let mut out = Vec::new();
+        if current.total_suppressed > self.total_suppressed {
+            out.push(format!(
+                "total suppressions rose: {} > baseline {}",
+                current.total_suppressed, self.total_suppressed
+            ));
+        }
+        for (k, &n) in &current.rules {
+            let budget = self.rules.get(k).copied().unwrap_or(0);
+            if n > budget {
+                out.push(format!("rule {k} suppressions rose: {n} > baseline {budget}"));
+            }
+        }
+        for (k, &n) in &current.crates {
+            let budget = self.crates.get(k).copied().unwrap_or(0);
+            if n > budget {
+                out.push(format!("crate {k} suppressions rose: {n} > baseline {budget}"));
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate the ratchet: active findings fail outright; suppression counts
+/// above the committed baseline fail. Returns failure messages (empty =
+/// gate passes).
+pub fn ratchet_failures(scan: &Scan, baseline: &Baseline) -> Vec<String> {
+    let mut out = Vec::new();
+    let active = scan.active();
+    if active > 0 {
+        out.push(format!("{active} unsuppressed violation(s) — the ratchet admits zero"));
+    }
+    out.extend(baseline.exceeded_by(&Baseline::from_scan(scan)));
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rules::check_source;
+    use crate::GraphStats;
+
+    fn scan_of(violations: Vec<Violation>) -> Scan {
+        Scan {
+            files_scanned: 1,
+            violations,
+            stats: GraphStats::default(),
+            unresolved: Vec::new(),
+        }
+    }
 
     #[test]
-    fn json_report_parses_back() {
+    fn json_report_parses_back_with_v2_fields() {
         let vs = check_source(
             "crates/tensor/src/a.rs",
             "fn f() { x.unwrap(); } // wr-check: allow(R1) — test reason here",
         );
-        let text = json_report(1, &vs);
+        let scan = scan_of(vs);
+        let text = json_report(&scan);
         let doc = Json::parse(&text).expect("report must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("wr-check/v1"));
+        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("wr-check/v2"));
         let suppressed = doc.get("suppressed").and_then(|a| a.as_arr()).expect("suppressed array");
         assert_eq!(suppressed.len(), 1);
+        assert_eq!(doc.get("violations").and_then(|a| a.as_arr()).map(|a| a.len()), Some(0));
+        // v2 additions: per-rule counts, graph stats, suppression inventory.
+        let rules = doc.get("rules").expect("rules object");
         assert_eq!(
-            doc.get("violations").and_then(|a| a.as_arr()).map(|a| a.len()),
-            Some(0)
+            rules.get("R1").and_then(|r| r.get("suppressed")).and_then(|n| n.as_usize()),
+            Some(1)
         );
+        let crates = doc.get("crates").expect("crates object");
+        assert_eq!(
+            crates.get("tensor").and_then(|r| r.get("suppressed")).and_then(|n| n.as_usize()),
+            Some(1)
+        );
+        assert!(doc.get("graph").and_then(|g| g.get("functions")).is_some());
+        let inv = doc.get("suppressions").and_then(|a| a.as_arr()).expect("inventory");
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].get("rule").and_then(|s| s.as_str()), Some("R1"));
     }
 
     #[test]
@@ -99,5 +307,41 @@ mod tests {
         assert_eq!(vs.len(), 1);
         let line = human_line(&vs[0]);
         assert!(line.starts_with("crates/tensor/src/a.rs:1: [R1 no-panic]"), "{line}");
+    }
+
+    #[test]
+    fn baseline_roundtrips_and_ratchets() {
+        let vs = check_source(
+            "crates/tensor/src/a.rs",
+            "fn f() { x.unwrap(); } // wr-check: allow(R1) — test reason here",
+        );
+        let scan = scan_of(vs);
+        let current = Baseline::from_scan(&scan);
+        assert_eq!(current.total_suppressed, 1);
+        assert_eq!(current.rules.get("R1"), Some(&1));
+        let parsed = Baseline::parse(&current.to_json()).expect("roundtrip");
+        assert_eq!(parsed, current);
+
+        // Within budget: passes.
+        assert!(ratchet_failures(&scan, &current).is_empty());
+        // Tighter budget: fails on total, rule, and crate axes.
+        let tight = Baseline::default();
+        let failures = ratchet_failures(&scan, &tight);
+        assert!(failures.iter().any(|f| f.contains("total suppressions rose")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("rule R1")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("crate tensor")), "{failures:?}");
+    }
+
+    #[test]
+    fn ratchet_rejects_active_findings_even_within_budget() {
+        let vs = check_source("crates/tensor/src/a.rs", "fn f() { x.unwrap(); }");
+        let scan = scan_of(vs);
+        let loose = Baseline {
+            total_suppressed: 99,
+            rules: BTreeMap::new(),
+            crates: BTreeMap::new(),
+        };
+        let failures = ratchet_failures(&scan, &loose);
+        assert!(failures.iter().any(|f| f.contains("unsuppressed")), "{failures:?}");
     }
 }

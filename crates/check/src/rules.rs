@@ -25,6 +25,17 @@
 //! * **R5 `float-eq`** — direct `==` / `!=` against a float literal in
 //!   non-test code; use a tolerance helper or justify the exact compare.
 //!
+//! Three semantic rules run on the workspace call graph built by
+//! [`crate::symbols`] / [`crate::graph`] (pass 2):
+//!
+//! * **R6 `panic-reachability`** — panic sites (unwrap/expect/panic!-family,
+//!   non-literal indexing) in functions transitively reachable from the
+//!   hot-path root set, full call chain in the diagnostic.
+//! * **R7 `lock-order`** — cycles in the lock-acquisition nesting graph,
+//!   locks held across a `parallel_*` dispatch, same-class re-acquisition.
+//! * **R8 `hot-loop-alloc`** — allocation calls inside loops of
+//!   hot-path-reachable functions.
+//!
 //! Suppression is explicit and justified, never silent:
 //!
 //! ```text
@@ -39,17 +50,33 @@
 use crate::lexer::{self, Kind, Token};
 
 /// Rule identifiers. `Directive` marks malformed suppression directives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NoPanic,
     SafetyComment,
     PoolOnlyParallelism,
     Determinism,
     FloatEq,
+    PanicReachability,
+    LockOrder,
+    HotLoopAlloc,
     Directive,
 }
 
 impl Rule {
+    /// Every rule, in id order (used by `--explain` and the report).
+    pub const ALL: &'static [Rule] = &[
+        Rule::NoPanic,
+        Rule::SafetyComment,
+        Rule::PoolOnlyParallelism,
+        Rule::Determinism,
+        Rule::FloatEq,
+        Rule::PanicReachability,
+        Rule::LockOrder,
+        Rule::HotLoopAlloc,
+        Rule::Directive,
+    ];
+
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoPanic => "R1",
@@ -57,6 +84,9 @@ impl Rule {
             Rule::PoolOnlyParallelism => "R3",
             Rule::Determinism => "R4",
             Rule::FloatEq => "R5",
+            Rule::PanicReachability => "R6",
+            Rule::LockOrder => "R7",
+            Rule::HotLoopAlloc => "R8",
             Rule::Directive => "D0",
         }
     }
@@ -68,6 +98,9 @@ impl Rule {
             Rule::PoolOnlyParallelism => "pool-only-parallelism",
             Rule::Determinism => "determinism",
             Rule::FloatEq => "float-eq",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::LockOrder => "lock-order",
+            Rule::HotLoopAlloc => "hot-loop-alloc",
             Rule::Directive => "directive",
         }
     }
@@ -80,7 +113,122 @@ impl Rule {
             "r3" | "pool-only-parallelism" => Some(Rule::PoolOnlyParallelism),
             "r4" | "determinism" => Some(Rule::Determinism),
             "r5" | "float-eq" => Some(Rule::FloatEq),
+            "r6" | "panic-reachability" => Some(Rule::PanicReachability),
+            "r7" | "lock-order" => Some(Rule::LockOrder),
+            "r8" | "hot-loop-alloc" => Some(Rule::HotLoopAlloc),
             _ => None,
+        }
+    }
+
+    /// The `--explain` text: rationale, scope, and directive syntax.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "R1 no-panic — no .unwrap() / .expect(…) / panic! / todo! / unimplemented!\n\
+                 in non-test code of the kernel crates.\n\n\
+                 Rationale: the paper's whitening transform is a deterministic kernel;\n\
+                 a panic in tensor/linalg/whitening/autograd/nn/eval/data/core kills\n\
+                 training and serving alike. Kernel code returns Result (try_ siblings\n\
+                 exist for the documented panicking wrappers) or justifies the panic.\n\n\
+                 Scope: crates/{tensor,linalg,whitening,autograd,nn,eval,data,core},\n\
+                 production code only (tests, benches, examples exempt).\n\n\
+                 Suppress: // wr-check: allow(R1) — <why the panic is unreachable>"
+            }
+            Rule::SafetyComment => {
+                "R2 safety-comment — every unsafe block/fn/impl/trait needs an\n\
+                 immediately preceding `// SAFETY:` comment.\n\n\
+                 Rationale: each unsafe site carries a proof obligation; the comment\n\
+                 is where the proof lives, adjacent so it cannot rot silently.\n\
+                 Function-pointer types (`unsafe fn(…)`) are exempt — nothing to\n\
+                 prove at a type mention.\n\n\
+                 Scope: the whole workspace, tests included.\n\n\
+                 Suppress: // wr-check: allow(R2) — <reason> (rarely appropriate)"
+            }
+            Rule::PoolOnlyParallelism => {
+                "R3 pool-only-parallelism — thread::spawn and `static mut` are\n\
+                 forbidden outside crates/runtime.\n\n\
+                 Rationale: bit-identical results at any WR_THREADS require every\n\
+                 parallel primitive to go through the one audited pool; ad-hoc\n\
+                 threads and racy statics break that contract invisibly.\n\n\
+                 Scope: every crate except crates/runtime.\n\n\
+                 Suppress: // wr-check: allow(R3) — <reason>"
+            }
+            Rule::Determinism => {
+                "R4 determinism — Instant::now / SystemTime::now and HashMap/HashSet\n\
+                 are flagged in result-producing crates.\n\n\
+                 Rationale: wall-clock reads and hash-iteration order are the two\n\
+                 classic nondeterminism leaks. Timing routes through wr_obs::Clock\n\
+                 (production impl lives in crates/obs); ordered BTree collections\n\
+                 replace hashed ones unless iteration order provably never reaches\n\
+                 results.\n\n\
+                 Scope: clock half — everywhere except crates/obs, crates/bench,\n\
+                 wr-check itself; hash half — everywhere except crates/bench and\n\
+                 wr-check.\n\n\
+                 Suppress: // wr-check: allow(R4) — <why order/time never reaches results>"
+            }
+            Rule::FloatEq => {
+                "R5 float-eq — direct == / != against a float literal in non-test\n\
+                 code.\n\n\
+                 Rationale: exact float comparison is usually a rounding bug; the\n\
+                 few intentional exact compares (sentinels, bit-pattern checks)\n\
+                 must say so.\n\n\
+                 Scope: the whole workspace except wr-check itself; production code\n\
+                 only.\n\n\
+                 Suppress: // wr-check: allow(R5) — <why exact comparison is correct>"
+            }
+            Rule::PanicReachability => {
+                "R6 panic-reachability — unwrap/expect/panic!-family and non-literal\n\
+                 indexing in any function transitively reachable from the hot-path\n\
+                 root set, with the full call chain in the diagnostic.\n\n\
+                 Rationale: the serving SLO says no request may kill the process;\n\
+                 a panic three calls below ServeEngine::serve is invisible to the\n\
+                 line-level R1 but just as fatal. The workspace call graph\n\
+                 (name+arity resolution, trait dispatch linked to all impls,\n\
+                 unresolved calls kept in an explicit bucket) proves reachability.\n\n\
+                 Hot-path roots: ServeEngine::serve, ServeEngine::try_serve,\n\
+                 IvfIndex::search, batch_top_k, and parallel_* closure bodies in\n\
+                 crates/{serve,ann,runtime,obs}.\n\n\
+                 Scope: hot-reachable functions outside the kernel crates (R1 owns\n\
+                 kernel panic discipline), excluding crates/bench and wr-check.\n\
+                 Exemptions: asserts (sanctioned precondition contract), literal\n\
+                 indices, indices naming an enclosing for-range loop variable or a\n\
+                 parallel-closure parameter.\n\n\
+                 Suppress: // wr-check: allow(R6) — <why the panic is unreachable>\n\
+                 (zero suppressions are allowed in crates/serve and crates/ann)"
+            }
+            Rule::LockOrder => {
+                "R7 lock-order — cycles in the workspace lock-acquisition nesting\n\
+                 graph, locks held across a parallel_* dispatch, and same-class\n\
+                 re-acquisition through a call while held.\n\n\
+                 Rationale: two locks taken in opposite orders on two threads is a\n\
+                 deadlock that no test reliably reproduces; a guard held across a\n\
+                 pool dispatch deadlocks the moment a worker needs the same lock.\n\
+                 Lock classes are per-field (e.g. obs::shards), nesting edges come\n\
+                 from guards whose extent covers another acquisition — directly or\n\
+                 through calls (transitive lock sets via the call graph).\n\n\
+                 Scope: the whole workspace, production code only.\n\n\
+                 Suppress: // wr-check: allow(R7) — <why the order is safe>"
+            }
+            Rule::HotLoopAlloc => {
+                "R8 hot-loop-alloc — allocation calls (Vec/Box/String constructors,\n\
+                 vec!/format!, .to_vec()/.to_string()/.to_owned()) inside loops of\n\
+                 hot-path-reachable functions.\n\n\
+                 Rationale: serving throughput is memory-bound; a per-iteration\n\
+                 allocation in a hot loop is a silent 2–10× tax the profiler only\n\
+                 shows after deploy. Hoist the buffer or justify why the loop is\n\
+                 cold in practice.\n\n\
+                 Scope: same reachability and crate set as R6.\n\n\
+                 Suppress: // wr-check: allow(R8) — <why the allocation must stay>"
+            }
+            Rule::Directive => {
+                "D0 directive — a malformed `wr-check:` suppression directive.\n\n\
+                 Rationale: suppression is explicit and justified, never silent; a\n\
+                 directive that names no known rule or carries no reason would\n\
+                 otherwise rot into an accidental blanket allow.\n\n\
+                 Syntax: // wr-check: allow(R1,R5) — <justification, ≥ 5 chars>\n\
+                 placed on the offending line or the line directly above.\n\
+                 D0 findings cannot be suppressed."
+            }
         }
     }
 }
@@ -115,8 +263,10 @@ pub struct Scope {
     pub test_path: bool,
 }
 
-/// Crates whose non-test code must be panic-free (R1).
-const KERNEL_CRATES: &[&str] =
+/// Crates whose non-test code must be panic-free (R1). Also the crates the
+/// semantic rules (R6/R8) do *not* re-report panics in — R1 owns their
+/// panic discipline (documented panicking wrappers with `try_` siblings).
+pub(crate) const KERNEL_CRATES: &[&str] =
     &["tensor", "linalg", "whitening", "autograd", "nn", "eval", "data", "core"];
 
 /// Returns the crate name for `crates/<name>/…` paths.
@@ -149,22 +299,53 @@ impl Scope {
 }
 
 /// A parsed allow directive.
-#[derive(Debug)]
-struct Directive {
-    rules: Vec<Rule>,
-    reason: String,
-    target_line: u32,
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub rules: Vec<Rule>,
+    pub reason: String,
+    pub target_line: u32,
 }
 
-/// Run every applicable rule on one file. `rel_path` must use `/` separators
-/// and be relative to the workspace root (it selects the rule scope).
-pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
+/// Mark every violation covered by a matching directive as suppressed.
+/// `D0` (malformed-directive) findings are never suppressible.
+pub fn apply_suppressions(violations: &mut [Violation], directives: &[Directive]) {
+    for v in violations {
+        if v.rule == Rule::Directive || v.suppressed.is_some() {
+            continue;
+        }
+        if let Some(d) = directives
+            .iter()
+            .find(|d| d.target_line == v.line && d.rules.contains(&v.rule))
+        {
+            v.suppressed = Some(d.reason.clone());
+        }
+    }
+}
+
+/// Run the line-level rules (R1–R5, D0) over a lexed file, returning the
+/// raw findings (suppressions not yet applied) and the parsed directives.
+/// The directives also govern the semantic findings pass 2 attributes to
+/// this file.
+pub fn check_tokens(rel_path: &str, toks: &[Token]) -> (Vec<Violation>, Vec<Directive>) {
     let scope = Scope::for_path(rel_path);
+    let mut out: Vec<Violation> = Vec::new();
+    let directives = collect_directives(rel_path, toks, &mut out);
+    line_rules(rel_path, toks, scope, &mut out);
+    (out, directives)
+}
+
+/// Run every applicable line-level rule on one file and apply suppressions.
+/// `rel_path` must use `/` separators and be relative to the workspace root
+/// (it selects the rule scope).
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
     let mut toks = lexer::lex(src);
     lexer::mark_test_regions(&mut toks);
+    let (mut out, directives) = check_tokens(rel_path, &toks);
+    apply_suppressions(&mut out, &directives);
+    out
+}
 
-    let mut out: Vec<Violation> = Vec::new();
-    let directives = collect_directives(rel_path, &toks, &mut out);
+fn line_rules(rel_path: &str, toks: &[Token], scope: Scope, out: &mut Vec<Violation>) {
 
     let idx: Vec<usize> = (0..toks.len()).filter(|&t| !toks[t].is_comment()).collect();
     let prod = |k: usize| -> bool { !scope.test_path && !toks[idx[k]].in_test };
@@ -294,19 +475,6 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
-    // Apply suppressions.
-    for v in &mut out {
-        if v.rule == Rule::Directive {
-            continue;
-        }
-        if let Some(d) = directives
-            .iter()
-            .find(|d| d.target_line == v.line && d.rules.contains(&v.rule))
-        {
-            v.suppressed = Some(d.reason.clone());
-        }
-    }
-    out
 }
 
 /// True when the `unsafe` token at absolute index `ti` is covered by a
@@ -417,7 +585,7 @@ fn parse_directive(comment: &str) -> Result<(Vec<Rule>, String), String> {
             Some(r) => rules.push(r),
             None => {
                 return Err(format!(
-                    "malformed directive: unknown rule {:?} (use R1–R5 or their slugs)",
+                    "malformed directive: unknown rule {:?} (use R1–R8 or their slugs)",
                     name.trim()
                 ))
             }
@@ -533,6 +701,45 @@ mod tests {
     fn fn_pointer_type_is_not_an_unsafe_item() {
         let src = "struct J { call: unsafe fn(*const ()) }";
         assert!(active("crates/runtime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn every_rule_has_explain_text_and_roundtrips_names() {
+        for &rule in Rule::ALL {
+            let text = rule.explain();
+            assert!(!text.trim().is_empty(), "{} has no explain text", rule.id());
+            assert!(
+                text.contains(rule.id()),
+                "{} explain text must name the rule id",
+                rule.id()
+            );
+            // Every suppressible rule parses back from both id and slug.
+            if rule != Rule::Directive {
+                assert_eq!(Rule::from_name(rule.id()), Some(rule));
+                assert_eq!(Rule::from_name(rule.slug()), Some(rule));
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_rules_are_suppressible_by_directive() {
+        let src = "// wr-check: allow(R6) — probe list ids validated at load\nfn f() {}";
+        let toks = {
+            let mut t = crate::lexer::lex(src);
+            crate::lexer::mark_test_regions(&mut t);
+            t
+        };
+        let (_, directives) = check_tokens("crates/ann/src/a.rs", &toks);
+        assert_eq!(directives.len(), 1);
+        let mut vs = vec![Violation {
+            rule: Rule::PanicReachability,
+            path: "crates/ann/src/a.rs".to_string(),
+            line: 2,
+            message: "test".to_string(),
+            suppressed: None,
+        }];
+        apply_suppressions(&mut vs, &directives);
+        assert!(vs[0].suppressed.is_some());
     }
 
     #[test]

@@ -350,7 +350,7 @@ fn binary_exits_nonzero_only_when_a_violation_is_injected() {
     // JSON mode carries the same verdict.
     let (ok, stdout) = run_binary(&dir, &["--json"]);
     assert!(!ok);
-    assert!(stdout.contains("\"wr-check/v1\""), "{stdout}");
+    assert!(stdout.contains("\"wr-check/v2\""), "{stdout}");
     assert!(stdout.contains("\"R1\""), "{stdout}");
 
     // Suppress it with a justified directive: exit 0 again.
@@ -363,4 +363,101 @@ fn binary_exits_nonzero_only_when_a_violation_is_injected() {
     assert!(ok, "suppressed violation must pass:\n{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_reports_r6_chain_from_serve_root() {
+    // Acceptance fixture: a panic two calls deep from ServeEngine::serve
+    // must surface with the full call chain in the diagnostic.
+    let dir = std::env::temp_dir().join(format!("wr-check-r6-{}", std::process::id()));
+    let src_dir = dir.join("crates/serve/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub struct ServeEngine;\n\
+         impl ServeEngine {\n\
+             pub fn serve(&self) { plan_batches(); }\n\
+         }\n\
+         fn plan_batches() { score_rows(); }\n\
+         fn score_rows() { let v: Option<u32> = None; v.unwrap(); }\n",
+    )
+    .expect("write");
+    let (ok, stdout) = run_binary(&dir, &[]);
+    assert!(!ok, "reachable panic must fail the scan:\n{stdout}");
+    assert!(stdout.contains("[R6 panic-reachability]"), "{stdout}");
+    assert!(
+        stdout.contains("ServeEngine::serve → plan_batches → score_rows"),
+        "diagnostic must carry the full chain:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ratchet_gates_on_baseline_and_writer_refuses_to_loosen() {
+    let dir = std::env::temp_dir().join(format!("wr-check-ratchet-{}", std::process::id()));
+    let src_dir = dir.join("crates/tensor/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture tree");
+    let suppressed_fn = "pub fn f(v: Option<u32>) -> u32 {\n    \
+         // wr-check: allow(R1) — fixture: justified legacy call.\n    v.unwrap()\n}\n";
+    std::fs::write(src_dir.join("lib.rs"), suppressed_fn).expect("write");
+
+    // No baseline yet: --ratchet fails and points at --write-baseline.
+    let (ok, _) = run_binary(&dir, &["--ratchet"]);
+    assert!(!ok, "ratchet without a baseline must fail");
+
+    // Write the baseline from the clean-but-suppressed tree, then gate.
+    let (ok, stdout) = run_binary(&dir, &["--write-baseline"]);
+    assert!(ok, "write-baseline must succeed on a clean tree:\n{stdout}");
+    let baseline = std::fs::read_to_string(dir.join("check_baseline.json")).expect("baseline");
+    assert!(baseline.contains("wr-check-baseline/v1"), "{baseline}");
+    let (ok, stdout) = run_binary(&dir, &["--ratchet"]);
+    assert!(ok, "ratchet must pass at the recorded budget:\n{stdout}");
+
+    // A second suppression exceeds the budget: ratchet fails, and the
+    // writer refuses to loosen the committed counts.
+    std::fs::write(
+        src_dir.join("more.rs"),
+        "pub fn g(v: Option<u32>) -> u32 {\n    \
+         // wr-check: allow(R1) — fixture: a second justified call.\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    let (ok, _) = run_binary(&dir, &["--ratchet"]);
+    assert!(!ok, "suppression growth must fail the ratchet");
+    let (ok, _) = run_binary(&dir, &["--write-baseline"]);
+    assert!(!ok, "write-baseline must refuse to raise a count");
+
+    // Removing all suppressions shrinks the budget: writer accepts.
+    std::fs::remove_file(src_dir.join("more.rs")).expect("rm");
+    std::fs::write(src_dir.join("lib.rs"), "pub fn f() -> u32 { 1 }\n").expect("write");
+    let (ok, _) = run_binary(&dir, &["--write-baseline"]);
+    assert!(ok, "shrinking the budget must be allowed");
+    let (ok, _) = run_binary(&dir, &["--ratchet"]);
+    assert!(ok, "ratchet must pass at the shrunk budget");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_prints_rationale_for_ids_and_slugs() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_wr-check"))
+        .args(["--explain", "R6"])
+        .output()
+        .expect("spawn wr-check");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("panic-reachability"), "{text}");
+    assert!(text.contains("ServeEngine::serve"), "{text}");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_wr-check"))
+        .args(["--explain", "lock-order"])
+        .output()
+        .expect("spawn wr-check");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("R7"));
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_wr-check"))
+        .args(["--explain", "R99"])
+        .output()
+        .expect("spawn wr-check");
+    assert!(!out.status.success(), "unknown rule must exit non-zero");
 }

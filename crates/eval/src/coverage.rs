@@ -2,9 +2,7 @@
 //! top-K recommendations. Standard companions to Recall/NDCG when judging
 //! whether a model only recommends blockbusters.
 
-// wr-check: allow(R4) — the set is only ever counted (len), never
-// iterated, so hash order cannot reach any reported number.
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use wr_tensor::Tensor;
 
@@ -32,7 +30,7 @@ pub fn catalog_coverage(top_lists: &[Vec<usize>], n_items: usize) -> f32 {
     if n_items == 0 {
         return 0.0;
     }
-    let seen: HashSet<usize> = top_lists.iter().flatten().copied().collect();
+    let seen: BTreeSet<usize> = top_lists.iter().flatten().copied().collect();
     seen.len() as f32 / n_items as f32
 }
 

@@ -21,19 +21,25 @@ pub struct MetricSet {
 }
 
 impl MetricSet {
+    /// Recall at cutoff `k`. A cutoff the accumulator was not constructed
+    /// with reads as NaN — visible in any report, fatal to no one.
     pub fn recall_at(&self, k: usize) -> f32 {
-        // wr-check: allow(R1) — API contract: callers query the cutoff set
-        // they constructed the accumulator with; a typo'd k is a test bug,
-        // not a runtime input.
-        let i = self.ks.iter().position(|&x| x == k).expect("unknown cutoff");
-        self.recall[i]
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .and_then(|i| self.recall.get(i))
+            .copied()
+            .unwrap_or(f32::NAN)
     }
 
+    /// NDCG at cutoff `k`; same unknown-cutoff policy as [`Self::recall_at`].
     pub fn ndcg_at(&self, k: usize) -> f32 {
-        // wr-check: allow(R1) — same contract as recall_at: the cutoff set
-        // is fixed at construction.
-        let i = self.ks.iter().position(|&x| x == k).expect("unknown cutoff");
-        self.ndcg[i]
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .and_then(|i| self.ndcg.get(i))
+            .copied()
+            .unwrap_or(f32::NAN)
     }
 }
 

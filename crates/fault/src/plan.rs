@@ -184,7 +184,11 @@ impl FaultPlan {
     }
 
     fn record(&self, kind: FaultKind, site: &str, index: u64) {
-        self.by_kind[kind.slot()].fetch_add(1, Ordering::Relaxed);
+        // `slot() < by_kind.len()` by construction; checked to keep the
+        // injector itself panic-free on the serving path.
+        if let Some(c) = self.by_kind.get(kind.slot()) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
         if let Ok(mut log) = self.log.lock() {
             log.push(FaultRecord {
                 kind,
@@ -290,8 +294,10 @@ impl FaultInjector for FaultPlan {
         let mut poisoned = 0usize;
         for i in 0..n {
             let pos = splitmix(shape ^ (i as u64)) as usize % data.len();
-            data[pos] = f32::NAN;
-            poisoned += 1;
+            if let Some(cell) = data.get_mut(pos) {
+                *cell = f32::NAN;
+                poisoned += 1;
+            }
         }
         self.record(FaultKind::NanPoison, site, index);
         poisoned

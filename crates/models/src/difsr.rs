@@ -160,7 +160,13 @@ impl DifSr {
         h = sess.dropout(h, self.config.dropout);
 
         // Attribute stream: category embedding per position.
-        let cat_idx: Vec<usize> = batch.items.iter().map(|&i| self.item_category[i]).collect();
+        // Unknown item ids (outside the category table) degrade to
+        // category 0 rather than panicking a serving batch.
+        let cat_idx: Vec<usize> = batch
+            .items
+            .iter()
+            .map(|&i| self.item_category.get(i).copied().unwrap_or(0))
+            .collect();
         let attr = self.attr_emb.forward(sess, &cat_idx);
 
         let mask = causal_padding_mask(batch.batch, batch.seq, &batch.lengths);

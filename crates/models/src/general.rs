@@ -167,8 +167,9 @@ impl GrcnLite {
         let k_max = self.neighbors.iter().map(Vec::len).max().unwrap_or(0);
         let mut agg: Option<Var> = None;
         let d = self.tower.dim();
+        let mut idx: Vec<usize> = Vec::with_capacity(n);
         for slot in 0..k_max {
-            let mut idx = Vec::with_capacity(n);
+            idx.clear();
             let mut w = Tensor::zeros(&[n, 1]);
             for (i, nbrs) in self.neighbors.iter().enumerate() {
                 match nbrs.get(slot) {

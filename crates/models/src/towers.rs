@@ -183,26 +183,31 @@ impl ItemTower for EnsembleTower {
         // gradients from both views accumulate into the same parameters.
         let h1 = self.head.forward(sess, x1);
         let h2 = self.head.forward(sess, x2);
+        // The constructor pairs each mode with its layer; if that invariant
+        // is ever broken, the ensemble degrades to the Sum merge instead of
+        // panicking a serving batch.
         match self.mode {
             EnsembleMode::Sum => g.add(h1, h2),
-            EnsembleMode::Concat => {
-                let cat = g.concat_cols(&[h1, h2]);
-                self.concat_merge
-                    .as_ref()
-                    .expect("concat merge layer")
-                    .forward(sess, cat)
-            }
-            EnsembleMode::Attn => {
-                let q = self.attn_query.as_ref().expect("attention query");
-                let s1 = q.forward(sess, h1); // [n, 1]
-                let s2 = q.forward(sess, h2);
-                let scores = g.concat_cols(&[s1, s2]); // [n, 2]
-                let alpha = g.softmax_rows(scores);
-                let ones = g.constant(Tensor::ones(&[1, self.dim]));
-                let a1 = g.matmul(g.slice_cols(alpha, 0, 1), ones);
-                let a2 = g.matmul(g.slice_cols(alpha, 1, 2), ones);
-                g.add(g.mul(h1, a1), g.mul(h2, a2))
-            }
+            EnsembleMode::Concat => match self.concat_merge.as_ref() {
+                Some(merge) => {
+                    let cat = g.concat_cols(&[h1, h2]);
+                    merge.forward(sess, cat)
+                }
+                None => g.add(h1, h2),
+            },
+            EnsembleMode::Attn => match self.attn_query.as_ref() {
+                Some(q) => {
+                    let s1 = q.forward(sess, h1); // [n, 1]
+                    let s2 = q.forward(sess, h2);
+                    let scores = g.concat_cols(&[s1, s2]); // [n, 2]
+                    let alpha = g.softmax_rows(scores);
+                    let ones = g.constant(Tensor::ones(&[1, self.dim]));
+                    let a1 = g.matmul(g.slice_cols(alpha, 0, 1), ones);
+                    let a2 = g.matmul(g.slice_cols(alpha, 1, 2), ones);
+                    g.add(g.mul(h1, a1), g.mul(h2, a2))
+                }
+                None => g.add(h1, h2),
+            },
         }
     }
 

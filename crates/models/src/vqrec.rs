@@ -123,7 +123,9 @@ impl ItemTower for VqTower {
                 None => part,
             });
         }
-        acc.expect("m ≥ 1")
+        // `m ≥ 1` by construction; an impossible m = 0 degrades to a zero
+        // item table instead of panicking.
+        acc.unwrap_or_else(|| g.constant(Tensor::zeros(&[self.n_items, self.dim])))
     }
 
     fn params(&self) -> Vec<Param> {

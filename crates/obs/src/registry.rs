@@ -142,7 +142,11 @@ impl Histogram {
                 break;
             }
         }
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // `idx ≤ bounds.len()` and `buckets.len() == bounds.len() + 1` by
+        // construction; the checked form keeps the hot path panic-free.
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.cas_f64(&self.sum_bits, |cur| cur + v);
         self.cas_f64(&self.min_bits, |cur| if v < cur { v } else { cur });
@@ -324,10 +328,10 @@ impl Registry {
     }
 
     fn entry(&self, name: &str, make: impl FnOnce() -> Entry) -> Entry {
-        let mut shard = self
-            .shards[shard_of(name)]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // `shard_of` reduces modulo the shard count; the checked lookup
+        // (falling back to shard 0) keeps this panic-free regardless.
+        let slot = self.shards.get(shard_of(name)).unwrap_or(&self.shards[0]);
+        let mut shard = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         shard
             .entry(name.to_string())
             .or_insert_with(make)
@@ -336,12 +340,17 @@ impl Registry {
 
     /// Get or create the counter `name`.
     ///
-    /// # Panics
-    /// If `name` is already registered as a different metric kind.
+    /// If `name` is already registered as a *different* metric kind, the
+    /// kind collision is tallied in `obs.kind_collisions` and a detached
+    /// instance is returned: its increments are not exported, but telemetry
+    /// misuse must never take down the serving path that emitted it.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         match self.entry(name, || Entry::Counter(Arc::new(Counter::new()))) {
             Entry::Counter(c) => c,
-            _ => panic!("metric {name:?} is already registered with a different kind"),
+            _ => {
+                self.note_kind_collision();
+                Arc::new(Counter::new())
+            }
         }
     }
 
@@ -349,27 +358,49 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         match self.entry(name, || Entry::Gauge(Arc::new(Gauge::new()))) {
             Entry::Gauge(g) => g,
-            _ => panic!("metric {name:?} is already registered with a different kind"),
+            _ => {
+                self.note_kind_collision();
+                Arc::new(Gauge::new())
+            }
         }
     }
 
     /// Get or create the histogram `name`. `bounds` is used only on first
-    /// creation; later callers receive the existing instance.
+    /// creation; later callers receive the existing instance. Kind
+    /// collisions degrade to a detached instance (see [`Self::counter`]).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
         match self.entry(name, || Entry::Histogram(Arc::new(Histogram::new(bounds)))) {
             Entry::Histogram(h) => h,
-            _ => panic!("metric {name:?} is already registered with a different kind"),
+            _ => {
+                self.note_kind_collision();
+                Arc::new(Histogram::new(bounds))
+            }
         }
     }
 
     /// Adopt an externally owned histogram under `name` (e.g. the runtime
     /// pool's job timers live in the pool and are adopted into whichever
     /// registry snapshots them). First registration wins; re-adopting the
-    /// same instance is a no-op.
+    /// same instance is a no-op. Kind collisions leave the registry
+    /// untouched and hand back the caller's own instance.
     pub fn adopt_histogram(&self, name: &str, h: &Arc<Histogram>) -> Arc<Histogram> {
         match self.entry(name, || Entry::Histogram(h.clone())) {
-            Entry::Histogram(h) => h,
-            _ => panic!("metric {name:?} is already registered with a different kind"),
+            Entry::Histogram(existing) => existing,
+            _ => {
+                self.note_kind_collision();
+                h.clone()
+            }
+        }
+    }
+
+    /// Count a metric registered under one kind and requested as another.
+    /// The counter makes the misuse visible in every snapshot without
+    /// making registration fallible on the hot path.
+    fn note_kind_collision(&self) {
+        if let Entry::Counter(c) =
+            self.entry("obs.kind_collisions", || Entry::Counter(Arc::new(Counter::new())))
+        {
+            c.inc();
         }
     }
 
@@ -486,11 +517,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different kind")]
-    fn kind_conflict_panics() {
+    fn kind_conflict_degrades_to_detached_instance() {
         let reg = Registry::new();
-        reg.counter("x");
-        let _ = reg.gauge("x");
+        reg.counter("x").inc();
+        // Requesting "x" as a gauge must not panic (telemetry misuse can
+        // never take down a serving thread); the caller gets a detached
+        // instance whose writes do not reach the exported snapshot…
+        let g = reg.gauge("x");
+        g.set(7.0);
+        let snap = reg.snapshot();
+        assert!(snap.gauges.iter().all(|(name, _)| name != "x"));
+        assert!(snap.counters.iter().any(|(name, v)| name == "x" && *v == 1));
+        // …and the collision itself is observable.
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(name, v)| name == "obs.kind_collisions" && *v == 1));
     }
 
     #[test]

@@ -146,7 +146,9 @@ impl Latch {
     }
 
     fn count_down(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        // Poison-tolerant: a panicked sibling job must not wedge the
+        // dispatcher waiting on this latch; the panic flag carries the news.
+        let mut rem = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
         *rem -= 1;
         if *rem == 0 {
             self.done.notify_all();
@@ -256,6 +258,8 @@ fn ensure_workers(wanted: usize) {
             continue;
         }
         let spawned = std::thread::Builder::new()
+            // wr-check: allow(R8) — names one thread per pool lifetime; the
+            // spawn itself dwarfs the format allocation.
             .name(format!("wr-runtime-{cur}"))
             .spawn(worker_loop);
         if spawned.is_err() {
@@ -304,7 +308,7 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
     p.obs.par_dispatches.fetch_add(1, Ordering::Relaxed);
     let enqueued_ns = p.obs.clock.now_ns();
     {
-        let mut q = p.queue.lock().unwrap();
+        let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
         let mut start = 0;
         while start < n {
             let end = (start + chunk).min(n);
@@ -323,20 +327,24 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
     // Help drain the queue. We may execute jobs from other concurrent
     // batches — that only ever accelerates them.
     loop {
-        let job = p.queue.lock().unwrap().pop_front();
+        let job = p.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
         match job {
             Some(j) => run_job(j, false),
             None => break,
         }
     }
-    // Wait for workers to finish the jobs they grabbed.
+    // Wait for workers to finish the jobs they grabbed. Poison-tolerant
+    // throughout: a panicked job sets `latch.panicked`, and the re-raise
+    // below is the single place that propagates it.
     {
-        let mut rem = latch.remaining.lock().unwrap();
+        let mut rem = latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
         while *rem != 0 {
-            rem = latch.done.wait(rem).unwrap();
+            rem = latch.done.wait(rem).unwrap_or_else(|e| e.into_inner());
         }
     }
     if latch.panicked.load(Ordering::Acquire) {
+        // wr-check: allow(R6) — deliberate re-raise: a worker panic must
+        // surface on the dispatching thread, not be swallowed.
         panic!("wr-runtime: a parallel task panicked");
     }
 }
@@ -393,9 +401,9 @@ pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, grain: usize, f
     dispatch(n, chunk, |r| {
         let start = r.start;
         let vals: Vec<T> = r.map(&f).collect();
-        parts.lock().unwrap().push((start, vals));
+        parts.lock().unwrap_or_else(|e| e.into_inner()).push((start, vals));
     });
-    let mut parts = parts.into_inner().unwrap();
+    let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
     parts.sort_by_key(|(start, _)| *start);
     let mut out = Vec::with_capacity(n);
     for (_, mut vals) in parts.drain(..) {

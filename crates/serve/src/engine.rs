@@ -340,7 +340,11 @@ impl ServeEngine {
     pub fn serve(&self, requests: &[Request]) -> Vec<Response> {
         let mut responses = Vec::with_capacity(requests.len());
         for group in self.batcher.plan(requests.len()) {
-            let slice = &requests[group.clone()];
+            // The batcher's plan covers 0..len by contract; the checked
+            // slice keeps a buggy plan from panicking mid-batch.
+            let Some(slice) = requests.get(group.clone()) else {
+                continue;
+            };
             let span = self.telemetry.as_ref().map(|tel| {
                 tel.registry.counter("serve.batches").inc();
                 tel.registry.counter("serve.requests").add(slice.len() as u64);
@@ -350,7 +354,7 @@ impl ServeEngine {
                 tel.registry
                     .gauge("serve.queue_depth")
                     .set((requests.len() - group.end) as f64);
-                tel.tracer.span(format!("batch[{}]", slice.len()), "serve")
+                tel.tracer.span("batch", "serve")
             });
             responses.extend(self.serve_group_with_recovery(slice));
             drop(span);
@@ -449,10 +453,16 @@ impl ServeEngine {
         contexts: &[&[usize]],
         nprobe: usize,
     ) -> Vec<Response> {
-        let index = self
-            .index
-            .as_ref()
-            .expect("Scorer::Ivf requires with_ann (enforced by the builder)");
+        let Some(index) = self.index.as_ref() else {
+            // Scorer::Ivf without with_ann — the builder enforces the
+            // pairing, but a broken caller gets dense answers, not a dead
+            // batch.
+            let mut scores = self.score_group(contexts);
+            for (r, req) in slice.iter().enumerate() {
+                self.injector.poison("serve.score", req.id, scores.row_mut(r));
+            }
+            return self.extract_top_k(slice, scores);
+        };
         let users = self.model.user_representations(contexts);
         // Borrow only `Sync` pieces into the pool closure (the engine
         // itself carries the `Box<dyn SeqRecModel>`, which is not).
@@ -493,7 +503,9 @@ impl ServeEngine {
             for r in 0..slice.len() {
                 let row = scores.row_mut(r);
                 for &c in &self.quarantined_items {
-                    row[c] = f32::NEG_INFINITY;
+                    if let Some(cell) = row.get_mut(c) {
+                        *cell = f32::NEG_INFINITY;
+                    }
                 }
             }
         }
@@ -524,7 +536,7 @@ impl ServeEngine {
             .zip(lists)
             .enumerate()
             .map(|(r, (req, items))| {
-                let items = if poisoned[r] {
+                let items = if poisoned.get(r).copied().unwrap_or(false) {
                     // batch_top_k's total_cmp would rank NaN/+Inf first;
                     // re-rank this row from scratch, finite scores only.
                     self.quarantined_row_top_k(scores.row(r), &req.history)
@@ -543,22 +555,27 @@ impl ServeEngine {
         let mut excluded = vec![false; row.len()];
         if self.cfg.filter_seen {
             for &h in history {
-                if h < excluded.len() {
-                    excluded[h] = true;
+                if let Some(e) = excluded.get_mut(h) {
+                    *e = true;
                 }
             }
         }
-        let mut order: Vec<usize> = (0..row.len())
-            .filter(|&i| row[i].is_finite() && !excluded[i])
+        let mut order: Vec<usize> = row
+            .iter()
+            .zip(&excluded)
+            .enumerate()
+            .filter(|(_, (v, ex))| v.is_finite() && !**ex)
+            .map(|(i, _)| i)
             .collect();
-        order.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+        // `order` holds in-bounds indices by construction; the checked
+        // reads (with a -inf default that never wins) keep this total.
+        let score_at =
+            |i: usize| row.get(i).copied().unwrap_or(f32::NEG_INFINITY);
+        order.sort_by(|&a, &b| score_at(b).total_cmp(&score_at(a)).then(a.cmp(&b)));
         order
             .into_iter()
             .take(self.cfg.k)
-            .map(|i| ScoredItem {
-                item: i,
-                score: row[i],
-            })
+            .filter_map(|i| row.get(i).map(|&score| ScoredItem { item: i, score }))
             .collect()
     }
 

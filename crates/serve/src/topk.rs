@@ -71,15 +71,18 @@ pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<Scor
         let mut mask = vec![false; n_items];
         for (off, slot) in slot_chunk.iter_mut().enumerate() {
             let row = base + off;
-            for &s in seen[row] {
-                if s < n_items {
-                    mask[s] = true;
+            // `row < rows == seen.len()` because the chunks partition
+            // `out`; the checked lookup keeps the pool closure panic-free.
+            let row_seen: &[usize] = seen.get(row).copied().unwrap_or(&[]);
+            for &s in row_seen {
+                if let Some(m) = mask.get_mut(s) {
+                    *m = true;
                 }
             }
             *slot = row_top_k_segmented(scores.row(row), k, &mask);
-            for &s in seen[row] {
-                if s < n_items {
-                    mask[s] = false;
+            for &s in row_seen {
+                if let Some(m) = mask.get_mut(s) {
+                    *m = false;
                 }
             }
         }

@@ -11,8 +11,13 @@ cd "$(dirname "$0")/.."
 echo "== check: cargo build --release (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build --release --workspace
 
-echo "== check: wr-check static analysis =="
-./target/release/wr-check
+# Semantic rules (R6–R8) gate against the committed suppression budget in
+# check_baseline.json: any unsuppressed finding fails, and the justified
+# suppression count can only go down. After *removing* suppressions,
+# shrink the budget with `./target/release/wr-check --write-baseline`
+# (it refuses to raise any count).
+echo "== check: wr-check static analysis (--ratchet) =="
+./target/release/wr-check --ratchet
 
 echo "== check: cargo test (default threads) =="
 cargo test --workspace -q
