@@ -32,11 +32,17 @@ use crate::symbols::{FileSymbols, FnDef, PARALLEL_FNS};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Crates whose `parallel_*` closure bodies are hot-path roots.
-const CLOSURE_ROOT_CRATES: &[&str] = &["serve", "ann", "runtime", "obs"];
+const CLOSURE_ROOT_CRATES: &[&str] = &["serve", "ann", "runtime", "obs", "gateway"];
 
 /// Qualified names of the declared hot-path root set.
-const HOT_ROOTS: &[&str] =
-    &["ServeEngine::serve", "ServeEngine::try_serve", "IvfIndex::search", "batch_top_k"];
+const HOT_ROOTS: &[&str] = &[
+    "ServeEngine::serve",
+    "ServeEngine::try_serve",
+    "Gateway::serve",
+    "Gateway::try_serve",
+    "IvfIndex::search",
+    "batch_top_k",
+];
 
 /// A call the resolver could not bind to any workspace definition.
 #[derive(Debug, Clone)]

@@ -186,8 +186,9 @@ impl Rule {
                  (name+arity resolution, trait dispatch linked to all impls,\n\
                  unresolved calls kept in an explicit bucket) proves reachability.\n\n\
                  Hot-path roots: ServeEngine::serve, ServeEngine::try_serve,\n\
-                 IvfIndex::search, batch_top_k, and parallel_* closure bodies in\n\
-                 crates/{serve,ann,runtime,obs}.\n\n\
+                 Gateway::serve, Gateway::try_serve, IvfIndex::search,\n\
+                 batch_top_k, and parallel_* closure bodies in\n\
+                 crates/{serve,ann,runtime,obs,gateway}.\n\n\
                  Scope: hot-reachable functions outside the kernel crates (R1 owns\n\
                  kernel panic discipline), excluding crates/bench and wr-check.\n\
                  Exemptions: asserts (sanctioned precondition contract), literal\n\

@@ -1,0 +1,394 @@
+//! `gateway-bench` — replay a Zipf-skewed query trace through the sharded
+//! serving gateway.
+//!
+//! ```text
+//! gateway-bench [--model WhitenRec+] [--dataset Arts] [--scale 0.2]
+//!               [--epochs 3] [--checkpoint model.wrck]
+//!               [--shards 2] [--mode partitioned|replicated]
+//!               [--queries 2048] [--users 1000000] [--zipf-alpha 1.1]
+//!               [--max-len 20] [--log trace.jsonl] [--save-log trace.jsonl]
+//!               [--batch 64] [--k 10] [--no-filter-seen] [--seed 17]
+//!               [--out report.json] [--check-single N]
+//!               [--poison-shard IDX] [--trace-out trace.json]
+//!               [--metrics-out metrics.json]
+//!               [--ann-nlist N] [--ann-nprobe N] [--ann-seed N]
+//! ```
+//!
+//! The model fixture follows `serve-bench`: restored from `--checkpoint`
+//! when that file exists, trained here otherwise (and saved back when a
+//! path was named), so the two binaries can share one checkpoint and be
+//! compared checksum-to-checksum by `scripts/check.sh`.
+//!
+//! The trace is Zipf user-skewed: `--users` distinct users (default one
+//! million) with request frequency ∝ rank^(-alpha), each user replaying a
+//! deterministic session history — the head of the distribution hits the
+//! gateway over and over, the tail is visited once. `--zipf-alpha 0` is a
+//! typed error (the generator rejects degenerate exponents). A recorded
+//! `--log` takes precedence, as in `serve-bench`.
+//!
+//! `--check-single N` re-serves the first `N` queries through a plain
+//! single-`ServeEngine` over a parameter-copied twin of the same model
+//! and fails unless the sharded responses match bit for bit — the
+//! in-binary differential gate. It is skipped under chaos (degraded
+//! answers intentionally differ) and under reduced-probe ANN (sublinear
+//! retrieval is allowed to differ; at full probe it must not).
+//!
+//! `--ann-nlist N` switches every shard to IVF retrieval over its own
+//! window (one index per shard, same `(nlist, seed)`); `--ann-nprobe`
+//! defaults to `N`, the full-probe setting that keeps the gateway
+//! bit-identical to the exact scorer.
+//!
+//! Setting `WR_FAULT_SEED` to a nonzero value arms deterministic chaos on
+//! **one** shard (`--poison-shard`, default 0): cache rows poisoned at
+//! load, score rows poisoned, micro-batches panicked. The replay must
+//! finish anyway — the victim shard degrades the responses it loses while
+//! the surviving shards keep answering bit-identically, and the degraded
+//! count lands in the report.
+//!
+//! `--trace-out` / `--metrics-out` attach write-only telemetry: per-batch
+//! and per-shard spans, `gateway.*` + `serve.*` counters, the
+//! `gateway.latency_ms` histogram, pool utilization, and whitening health.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use whitenrec::data::{DatasetKind, DatasetSpec};
+use whitenrec::fault::{FaultKind, FaultPlan, SharedInjector, WR_FAULT_SEED_ENV};
+use whitenrec::nn::save_params;
+use whitenrec::obs::Telemetry;
+use whitenrec::ExperimentContext;
+use wr_gateway::{replay_gateway, Gateway, GatewayConfig};
+use wr_serve::{QueryLog, ServeConfig, ServeEngine};
+use wr_train::SeqRecModel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: gateway-bench [--model NAME] [--dataset Arts|Toys|Tools|Food]");
+        eprintln!("  [--scale F] [--epochs N] [--checkpoint PATH]");
+        eprintln!("  [--shards N] [--mode partitioned|replicated]");
+        eprintln!("  [--queries N] [--users N] [--zipf-alpha F] [--max-len N]");
+        eprintln!("  [--log PATH] [--save-log PATH] [--batch N] [--k N]");
+        eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-single N]");
+        eprintln!("  [--poison-shard IDX] [--trace-out PATH] [--metrics-out PATH]");
+        eprintln!("  [--ann-nlist N] [--ann-nprobe N] [--ann-seed N]");
+        eprintln!("  env: WR_FAULT_SEED=N  arm deterministic chaos on one shard (0/unset = off)");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gateway-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(s) => s.parse().map_err(|_| format!("bad {name} {s}")),
+        None => Ok(default),
+    }
+}
+
+/// Copy `src`'s trainable parameters into a freshly built twin. The twin
+/// shares no storage with `src` but is bit-identical: same architecture
+/// (built from the same dataset context), same parameter order, values
+/// copied tensor by tensor.
+fn twin_model(
+    ctx: &ExperimentContext,
+    name: &str,
+    src: &dyn SeqRecModel,
+) -> Result<Box<dyn SeqRecModel>, String> {
+    let dst = ctx.build_model(name);
+    let (sp, dp) = (src.params(), dst.params());
+    if sp.len() != dp.len() {
+        return Err(format!(
+            "twin model parameter count mismatch: {} vs {}",
+            sp.len(),
+            dp.len()
+        ));
+    }
+    for (d, s) in dp.iter().zip(&sp) {
+        d.set(s.get());
+    }
+    Ok(dst)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let model_name = flag(args, "--model").unwrap_or_else(|| "WhitenRec+".into());
+    let kind = match flag(args, "--dataset").as_deref() {
+        Some("Arts") | None => DatasetKind::Arts,
+        Some("Toys") => DatasetKind::Toys,
+        Some("Tools") => DatasetKind::Tools,
+        Some("Food") => DatasetKind::Food,
+        Some(other) => return Err(format!("unknown dataset {other} (Arts|Toys|Tools|Food)")),
+    };
+    let scale: f32 = parse_num(args, "--scale", 0.2)?;
+    let epochs: usize = parse_num(args, "--epochs", 3)?;
+    let n_queries: usize = parse_num(args, "--queries", 2048)?;
+    let n_users: usize = parse_num(args, "--users", 1_000_000)?;
+    let zipf_alpha: f64 = parse_num(args, "--zipf-alpha", 1.1)?;
+    let seed: u64 = parse_num(args, "--seed", 17)?;
+    let batch: usize = parse_num(args, "--batch", 64)?;
+    let k: usize = parse_num(args, "--k", 10)?;
+    let n_shards: usize = parse_num(args, "--shards", 2)?;
+    let replicated = match flag(args, "--mode").as_deref() {
+        Some("partitioned") | None => false,
+        Some("replicated") => true,
+        Some(other) => return Err(format!("unknown mode {other} (partitioned|replicated)")),
+    };
+
+    let spec = DatasetSpec::preset(kind).scaled(scale).scaled_items(2.0);
+    let mut ctx = ExperimentContext::from_spec(spec);
+    ctx.train_config.max_epochs = epochs;
+    let trace_out = flag(args, "--trace-out");
+    let metrics_out = flag(args, "--metrics-out");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+        let tel = Telemetry::new();
+        tel.registry.register_fault_counters();
+        ctx.telemetry = Some(tel.clone());
+        ctx.record_whitening_health();
+        Some(tel)
+    } else {
+        None
+    };
+    let fault_plan: Option<Arc<FaultPlan>> = FaultPlan::from_env().map(Arc::new);
+    let poison_shard: usize = parse_num(args, "--poison-shard", 0)?;
+    if let Some(plan) = &fault_plan {
+        eprintln!(
+            "chaos: fault injection armed on shard {poison_shard} ({WR_FAULT_SEED_ENV}={}, rates {:?})",
+            plan.seed(),
+            plan.rates()
+        );
+        if poison_shard >= n_shards {
+            return Err(format!(
+                "--poison-shard {poison_shard} out of range for {n_shards} shards"
+            ));
+        }
+    }
+    let max_len: usize = parse_num(args, "--max-len", ctx.model_config.max_seq)?;
+
+    let serve_cfg = ServeConfig {
+        k,
+        max_batch: batch,
+        max_seq: ctx.model_config.max_seq,
+        filter_seen: !has_flag(args, "--no-filter-seen"),
+    };
+    let gateway_cfg = GatewayConfig {
+        serve: serve_cfg,
+        ..GatewayConfig::default()
+    };
+
+    // Model fixture, shared with serve-bench: restore when the checkpoint
+    // exists, train (and save) otherwise.
+    let checkpoint = flag(args, "--checkpoint");
+    let restorable = checkpoint
+        .as_deref()
+        .is_some_and(|p| std::path::Path::new(p).is_file());
+    let model: Box<dyn SeqRecModel> = if restorable {
+        let path = checkpoint.clone().unwrap_or_default();
+        eprintln!("restoring {model_name} from {path}…");
+        let m = ctx.build_model(&model_name);
+        let loaded = whitenrec::nn::load_params(&path).map_err(|e| e.to_string())?;
+        whitenrec::nn::restore_params(&m.params(), &loaded).map_err(|e| e.to_string())?;
+        m
+    } else {
+        eprintln!(
+            "training {model_name} on {} (scale {scale}, {} epochs)…",
+            ctx.dataset.spec.kind.name(),
+            ctx.train_config.max_epochs
+        );
+        let trained = ctx.run_warm(&model_name);
+        eprintln!("trained: test {}", trained.test_metrics);
+        if let Some(path) = &checkpoint {
+            save_params(path, &trained.model.params()).map_err(|e| e.to_string())?;
+            eprintln!("checkpoint fixture written to {path}");
+        }
+        trained.model
+    };
+
+    // The differential twin must be cloned before the gateway consumes the
+    // model.
+    let check_n: usize = parse_num(args, "--check-single", 0)?;
+    let reference_model = if check_n > 0 {
+        Some(twin_model(&ctx, &model_name, model.as_ref())?)
+    } else {
+        None
+    };
+
+    let gateway = if replicated {
+        Gateway::replicated(model, n_shards, gateway_cfg)
+    } else {
+        Gateway::partitioned(model, n_shards, gateway_cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "gateway: {} shards ({}), windows {:?}",
+        gateway.plan().n_shards(),
+        if replicated { "replicated" } else { "partitioned" },
+        gateway.plan().ranges()
+    );
+    let gateway = match &telemetry {
+        Some(tel) => gateway.with_telemetry(tel.clone()),
+        None => gateway,
+    };
+    let gateway = match &fault_plan {
+        Some(plan) => gateway.with_shard_faults(poison_shard, plan.clone() as SharedInjector),
+        None => gateway,
+    };
+    let ann_nlist: usize = parse_num(args, "--ann-nlist", 0)?;
+    let mut ann_full_probe = true;
+    let gateway = if ann_nlist > 0 {
+        let nprobe: usize = parse_num(args, "--ann-nprobe", ann_nlist)?;
+        let ann_seed: u64 = parse_num(args, "--ann-seed", 7)?;
+        ann_full_probe = nprobe >= ann_nlist;
+        eprintln!(
+            "ann: per-shard IVF, {ann_nlist} lists each, nprobe {} (seed {ann_seed})",
+            nprobe.clamp(1, ann_nlist)
+        );
+        gateway
+            .with_ann(ann_nlist, nprobe, ann_seed)
+            .map_err(|e| e.to_string())?
+    } else {
+        gateway
+    };
+    let quarantined: usize = gateway
+        .shards()
+        .iter()
+        .map(|s| s.quarantined_items().len())
+        .sum();
+    if quarantined > 0 {
+        eprintln!("chaos: {quarantined} poisoned cache rows quarantined at load");
+    }
+
+    // Trace: recorded log when present, else the seeded Zipf generator —
+    // a million-user head-heavy distribution by default.
+    let log_path = flag(args, "--log");
+    let log = match &log_path {
+        Some(p) if std::path::Path::new(p).is_file() => {
+            let loaded = QueryLog::load(p).map_err(|e| e.to_string())?;
+            eprintln!("replaying {} recorded queries from {p}", loaded.len());
+            loaded
+        }
+        _ => {
+            let synth = QueryLog::synthetic_zipf(
+                n_queries,
+                n_users,
+                gateway.n_items(),
+                max_len,
+                zipf_alpha,
+                seed,
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "generated {} Zipf queries over {n_users} users (alpha {zipf_alpha}, seed {seed})",
+                synth.len()
+            );
+            synth
+        }
+    };
+    if let Some(p) = flag(args, "--save-log").or(log_path) {
+        if !std::path::Path::new(&p).is_file() {
+            log.save(&p).map_err(|e| e.to_string())?;
+            eprintln!("query log written to {p}");
+        }
+    }
+
+    let own_tel;
+    let replay_tel = match &telemetry {
+        Some(tel) => tel,
+        None => {
+            own_tel = Telemetry::new();
+            &own_tel
+        }
+    };
+    let (responses, report) = replay_gateway(&gateway, &log, replay_tel);
+
+    if check_n > 0 && fault_plan.is_some() {
+        eprintln!("chaos: skipping --check-single (fault injection is armed)");
+    } else if check_n > 0 && !ann_full_probe {
+        eprintln!("ann: skipping --check-single (reduced probe is allowed to differ)");
+    } else if let Some(reference) = reference_model {
+        let n = check_n.min(log.len());
+        let engine = ServeEngine::new(reference, serve_cfg);
+        let single = engine.serve(&log.queries[..n]);
+        for (i, (g, s)) in responses.iter().zip(&single).enumerate() {
+            let same = g.id == s.id
+                && g.items.len() == s.items.len()
+                && g
+                    .items
+                    .iter()
+                    .zip(&s.items)
+                    .all(|(a, b)| a.item == b.item && a.score.to_bits() == b.score.to_bits());
+            if !same {
+                return Err(format!(
+                    "differential check failed: sharded and single-engine top-k disagree at query {i}"
+                ));
+            }
+        }
+        eprintln!("differential check: sharded == single-engine on {n} queries");
+    }
+
+    eprintln!(
+        "{} queries in {} batches over {} shards | {:.1} qps | p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms | {} degraded | top1 checksum {:016x}",
+        report.n_queries,
+        report.n_batches,
+        report.n_shards,
+        report.qps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.n_degraded,
+        report.top1_checksum
+    );
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = flag(args, "--out") {
+        std::fs::write(&path, json + "\n").map_err(|e| e.to_string())?;
+        eprintln!("report -> {path}");
+    }
+    if let Some(plan) = &fault_plan {
+        eprintln!(
+            "chaos: {} faults injected (io {}, truncation {}, bit_flip {}, nan {}, panic {})",
+            plan.injected_total(),
+            plan.injected(FaultKind::IoError),
+            plan.injected(FaultKind::Truncation),
+            plan.injected(FaultKind::BitFlip),
+            plan.injected(FaultKind::NanPoison),
+            plan.injected(FaultKind::Panic),
+        );
+        if let Some(tel) = &telemetry {
+            tel.registry
+                .counter("fault.injected")
+                .add(plan.injected_total());
+        }
+    }
+    if let Some(tel) = &telemetry {
+        whitenrec::runtime::record_metrics(&tel.registry);
+        whitenrec::export_telemetry(
+            tel,
+            trace_out.as_ref().map(Path::new),
+            metrics_out.as_ref().map(Path::new),
+        )?;
+        if let Some(p) = &trace_out {
+            eprintln!("trace -> {p}");
+        }
+        if let Some(p) = &metrics_out {
+            eprintln!("metrics -> {p}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,634 @@
+//! The request router: one encoder model, N catalog shards, exact merge.
+
+use std::sync::Arc;
+
+use crate::{ShardMode, ShardPlan};
+use wr_fault::{RetryPolicy, SharedInjector, Sleeper};
+use wr_obs::Telemetry;
+use wr_serve::{
+    merge_top_k, BatcherConfig, CatalogShard, EmbeddingCache, MicroBatcher, Request,
+    ResilienceConfig, Response, ScoredItem, ServeConfig, ServeError,
+};
+use wr_tensor::Tensor;
+use wr_train::SeqRecModel;
+
+/// Gateway knobs: the per-shard serving configuration plus the two
+/// load-shedding bounds that distinguish a gateway from a lone engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Per-shard serving knobs (`k`, micro-batch bound, `max_seq`,
+    /// seen-filtering). The gateway's merge honors the same `k`.
+    pub serve: ServeConfig,
+    /// Global admission bound: [`Gateway::try_serve`] rejects calls
+    /// carrying more requests than this ([`GatewayError::Overloaded`]).
+    pub max_queue_depth: usize,
+    /// Per-shard backpressure bound: a single fan-out call may hand a
+    /// shard at most this many rows; past it the shard rejects and the
+    /// affected responses degrade (missing that window's candidates)
+    /// instead of failing. Defaults to the micro-batch bound, i.e. never
+    /// rejecting — tighten it to shed load per shard.
+    pub shard_max_rows: usize,
+    /// Bounded retry-with-backoff for shard micro-batches that panic.
+    pub retry: RetryPolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        let serve = ServeConfig::default();
+        GatewayConfig {
+            serve,
+            max_queue_depth: 1024,
+            shard_max_rows: serve.max_batch,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Typed gateway failures.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// The call exceeded [`GatewayConfig::max_queue_depth`]. Nothing was
+    /// scored; the caller should shed load.
+    Overloaded { depth: usize, limit: usize },
+    /// A plan with zero shards.
+    NoShards,
+    /// More shards than catalog rows — some shard would own nothing.
+    EmptyShard { n_items: usize, n_shards: usize },
+    /// Per-shard IVF index construction failed.
+    Ann(wr_ann::AnnError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Overloaded { depth, limit } => {
+                write!(f, "gateway overloaded: {depth} requests exceed queue depth {limit}")
+            }
+            GatewayError::NoShards => write!(f, "gateway needs at least one shard"),
+            GatewayError::EmptyShard { n_items, n_shards } => {
+                write!(f, "{n_shards} shards over {n_items} items leaves a shard empty")
+            }
+            GatewayError::Ann(e) => write!(f, "gateway ANN build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<wr_ann::AnnError> for GatewayError {
+    fn from(e: wr_ann::AnnError) -> Self {
+        GatewayError::Ann(e)
+    }
+}
+
+/// The answer to one [`Request`] through the gateway: up to `k` items
+/// (global ids, best first) plus a degradation flag.
+///
+/// `degraded` means a shard *provably* contributed nothing for this
+/// request while its window could still have offered candidates — the
+/// shard rejected the fan-out call (backpressure) or its recovery path
+/// isolated the request to an empty answer. The flag is conservative:
+/// a poisoned-but-answering shard (NaN quarantine fallback) is not
+/// detectable at merge time and stays unflagged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayResponse {
+    pub id: u64,
+    pub items: Vec<ScoredItem>,
+    pub degraded: bool,
+}
+
+/// A sharded serving gateway: the catalog cut into [`ShardPlan`] windows,
+/// each behind a [`CatalogShard`], with one shared (non-`Sync`) encoder
+/// model on the caller thread.
+///
+/// Per micro-batch the gateway encodes histories once, fans the encoded
+/// `users` tensor out to every shard on the `wr-runtime` pool (the shards
+/// are `Sync`; the pool tasks never touch the model), and merges the
+/// per-shard top-k lists with [`merge_top_k`] — exact, because the
+/// windows are disjoint and every shard ranks under the same total order.
+pub struct Gateway {
+    model: Box<dyn SeqRecModel>,
+    shards: Vec<CatalogShard>,
+    plan: ShardPlan,
+    batcher: MicroBatcher,
+    cfg: GatewayConfig,
+    telemetry: Option<Telemetry>,
+    /// Per-shard span labels, precomputed so the fan-out hot path never
+    /// formats strings.
+    shard_labels: Vec<String>,
+}
+
+impl Gateway {
+    /// Catalog-partition gateway: `n_shards` contiguous windows over the
+    /// model's item representations (balanced, uneven-capable split).
+    pub fn partitioned(
+        model: Box<dyn SeqRecModel>,
+        n_shards: usize,
+        cfg: GatewayConfig,
+    ) -> Result<Gateway, GatewayError> {
+        let items = model.item_representations();
+        let plan = ShardPlan::partitioned(items.rows(), n_shards)?;
+        let shards = plan
+            .ranges()
+            .iter()
+            .map(|range| CatalogShard::from_window(&items, range.clone(), &cfg.serve))
+            .collect();
+        Ok(Gateway::assemble(model, shards, plan, cfg))
+    }
+
+    /// Replicated gateway: every shard serves the whole catalog through
+    /// handle clones of one shared cache (no copies), micro-batches
+    /// routed round-robin.
+    pub fn replicated(
+        model: Box<dyn SeqRecModel>,
+        n_shards: usize,
+        cfg: GatewayConfig,
+    ) -> Result<Gateway, GatewayError> {
+        let cache = EmbeddingCache::new(model.item_representations());
+        let plan = ShardPlan::replicated(cache.n_items(), n_shards)?;
+        let shards = (0..n_shards)
+            .map(|_| CatalogShard::from_cache(cache.clone(), &cfg.serve))
+            .collect();
+        Ok(Gateway::assemble(model, shards, plan, cfg))
+    }
+
+    fn assemble(
+        model: Box<dyn SeqRecModel>,
+        shards: Vec<CatalogShard>,
+        plan: ShardPlan,
+        cfg: GatewayConfig,
+    ) -> Gateway {
+        let resilience = ResilienceConfig {
+            max_queue_depth: cfg.shard_max_rows,
+            retry: cfg.retry,
+        };
+        let shards: Vec<CatalogShard> = shards
+            .into_iter()
+            .map(|s| s.with_resilience(resilience))
+            .collect();
+        let batcher = MicroBatcher::new(BatcherConfig {
+            max_batch: cfg.serve.max_batch,
+            max_seq: cfg.serve.max_seq,
+        });
+        let shard_labels = (0..shards.len()).map(|s| format!("shard{s}")).collect();
+        Gateway {
+            model,
+            shards,
+            plan,
+            batcher,
+            cfg,
+            telemetry: None,
+            shard_labels,
+        }
+    }
+
+    /// Attach write-only telemetry (builder-style). The gateway records,
+    /// per micro-batch: a `batch` span (`gateway` category) plus one span
+    /// per shard dispatch, `gateway.requests` / `gateway.batches` /
+    /// `gateway.fanout_calls` counters, the `gateway.queue_depth` gauge,
+    /// and the degraded-mode counters (`gateway.shard_rejections`,
+    /// `gateway.degraded_responses`, `gateway.rejected_overload`). The
+    /// shards get a clone for their own `serve.*` recovery counters. All
+    /// of it is write-only: the differential suite asserts instrumented
+    /// == uninstrumented bit-for-bit.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        // Eager registration at 0, same rationale as ServeEngine: a
+        // healthy export must still name every degraded-mode counter so
+        // dashboards can alert on them going *from* zero.
+        telemetry.registry.counter("gateway.requests");
+        telemetry.registry.counter("gateway.batches");
+        telemetry.registry.counter("gateway.fanout_calls");
+        telemetry.registry.counter("gateway.shard_rejections");
+        telemetry.registry.counter("gateway.degraded_responses");
+        telemetry.registry.counter("gateway.rejected_overload");
+        telemetry.registry.counter("serve.rejected_overload");
+        telemetry.registry.counter("serve.quarantined_rows");
+        telemetry.registry.counter("serve.retries");
+        telemetry.registry.counter("serve.ann.lists_probed");
+        telemetry.registry.counter("serve.ann.rows_scanned");
+        self.shards = self
+            .shards
+            .drain(..)
+            .map(|s| s.with_telemetry(telemetry.clone()))
+            .collect();
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Replace every shard's backoff sleeper (builder-style). Tests
+    /// inject [`wr_fault::NoSleep`] so retry storms never block.
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
+        self.shards = self
+            .shards
+            .drain(..)
+            .map(|s| s.with_sleeper(sleeper.clone()))
+            .collect();
+        self
+    }
+
+    /// Arm fault injection on one shard (builder-style): its catalog
+    /// window is re-snapshotted through `injector`'s `cache.load` site
+    /// (global row ids — the same plan damages the same rows no matter
+    /// the shard layout) and its hot path consults the injector's
+    /// `serve.row` / `serve.score` sites. The other shards stay clean,
+    /// which is exactly the chaos suite's "one shard poisoned" shape.
+    pub fn with_shard_faults(mut self, shard: usize, injector: SharedInjector) -> Self {
+        let items = self.model.item_representations();
+        match self.shards.get_mut(shard) {
+            Some(s) => s.rearm(&items, injector),
+            None => panic!(
+                "with_shard_faults: shard {shard} out of range ({} shards)",
+                self.shards.len()
+            ),
+        }
+        self
+    }
+
+    /// Switch every shard to IVF retrieval (builder-style): one index per
+    /// shard, built over that shard's window with the same `(nlist,
+    /// seed)`. At `nprobe = nlist` each per-window probe is bit-identical
+    /// to the window's dense scan, so the merged answer stays
+    /// bit-identical to the single-engine one — the differential suite's
+    /// IVF axis.
+    pub fn with_ann(mut self, nlist: usize, nprobe: usize, seed: u64) -> Result<Self, GatewayError> {
+        for shard in &mut self.shards {
+            let index = shard.cache().build_ivf(nlist, seed)?;
+            shard.set_ann(Arc::new(index), nprobe);
+        }
+        Ok(self)
+    }
+
+    pub fn config(&self) -> &GatewayConfig {
+        &self.cfg
+    }
+
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    pub fn shards(&self) -> &[CatalogShard] {
+        &self.shards
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.plan.n_items()
+    }
+
+    pub fn model_name(&self) -> String {
+        self.model.name()
+    }
+
+    /// Answer a batch of queries. Requests are micro-batched in arrival
+    /// order; per micro-batch the histories are encoded once and fanned
+    /// out to the shards; responses come back in request order.
+    pub fn serve(&self, requests: &[Request]) -> Vec<GatewayResponse> {
+        let mut responses = Vec::with_capacity(requests.len());
+        for (batch_index, group) in self.batcher.plan(requests.len()).into_iter().enumerate() {
+            // The plan covers 0..len by contract; the checked slice keeps
+            // a buggy plan from panicking mid-batch.
+            let Some(slice) = requests.get(group.clone()) else {
+                continue;
+            };
+            let span = self.telemetry.as_ref().map(|tel| {
+                tel.registry.counter("gateway.batches").inc();
+                tel.registry.counter("gateway.requests").add(slice.len() as u64);
+                tel.registry
+                    .gauge("gateway.queue_depth")
+                    .set((requests.len() - group.end) as f64);
+                tel.tracer.span("batch", "gateway")
+            });
+            let contexts: Vec<&[usize]> = slice
+                .iter()
+                .map(|r| MicroBatcher::sanitize(&r.history))
+                .collect();
+            let users = self.model.user_representations(&contexts);
+            let parts = self.fan_out(slice, &users, batch_index);
+            responses.extend(self.merge_group(slice, parts));
+            drop(span);
+        }
+        responses
+    }
+
+    /// [`Gateway::serve`] behind global admission control: calls carrying
+    /// more than [`GatewayConfig::max_queue_depth`] requests are rejected
+    /// outright (typed, counted) instead of queuing unbounded work.
+    pub fn try_serve(&self, requests: &[Request]) -> Result<Vec<GatewayResponse>, GatewayError> {
+        let limit = self.cfg.max_queue_depth;
+        if requests.len() > limit {
+            if let Some(tel) = &self.telemetry {
+                tel.registry.counter("gateway.rejected_overload").inc();
+            }
+            return Err(GatewayError::Overloaded {
+                depth: requests.len(),
+                limit,
+            });
+        }
+        Ok(self.serve(requests))
+    }
+
+    /// Dispatch one encoded micro-batch. Partitioned mode fans out to all
+    /// shards on the pool (one task per shard — the closure borrows only
+    /// `Sync` state; the model stays on this thread). Replicated mode
+    /// routes the whole batch to one shard, round-robin by batch index.
+    /// Returns `(shard index, per-request responses or None)` — `None`
+    /// when the shard shed load ([`ServeError::Overloaded`]).
+    fn fan_out(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+        batch_index: usize,
+    ) -> Vec<(usize, Option<Vec<Response>>)> {
+        let to_part = |r: Result<Vec<Response>, ServeError>| r.ok();
+        if self.plan.mode() == ShardMode::Replicated {
+            let chosen = batch_index % self.shards.len().max(1);
+            if let Some(tel) = &self.telemetry {
+                tel.registry.counter("gateway.fanout_calls").inc();
+            }
+            return match self.shards.get(chosen) {
+                Some(shard) => {
+                    let _span = self.shard_span(chosen);
+                    vec![(chosen, to_part(shard.try_serve_encoded(slice, users)))]
+                }
+                None => Vec::new(),
+            };
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.registry
+                .counter("gateway.fanout_calls")
+                .add(self.shards.len() as u64);
+        }
+        // Borrow only the `Sync` pieces into the pool closure: the shards,
+        // the labels, the telemetry handle. `self` itself must stay out —
+        // the gateway holds the non-`Sync` encoder model.
+        let shards = &self.shards;
+        let labels = &self.shard_labels;
+        let tel = self.telemetry.as_ref();
+        let results: Vec<Option<Vec<Response>>> =
+            wr_runtime::parallel_map(shards.len(), 1, |s| {
+                let _span = tel.map(|t| {
+                    t.tracer
+                        .span(labels.get(s).cloned().unwrap_or_default(), "gateway.shard")
+                });
+                shards
+                    .get(s)
+                    .and_then(|shard| to_part(shard.try_serve_encoded(slice, users)))
+            });
+        results.into_iter().enumerate().map(|(s, p)| (s, p)).collect()
+    }
+
+    /// One span per shard dispatch (precomputed label, `gateway.shard`
+    /// category) — only when telemetry is attached.
+    fn shard_span(&self, s: usize) -> Option<wr_obs::Span<'_>> {
+        let tel = self.telemetry.as_ref()?;
+        let label = self.shard_labels.get(s).cloned().unwrap_or_default();
+        Some(tel.tracer.span(label, "gateway.shard"))
+    }
+
+    /// Merge per-shard parts back into per-request answers with
+    /// [`merge_top_k`]. Windows are disjoint (partitioned) or the part
+    /// count is one (replicated), so the merge is exact — no upstream
+    /// dedup needed. Missing parts (shard rejection, isolation fallback)
+    /// degrade the affected responses.
+    fn merge_group(
+        &self,
+        slice: &[Request],
+        mut parts: Vec<(usize, Option<Vec<Response>>)>,
+    ) -> Vec<GatewayResponse> {
+        let k = self.cfg.serve.k;
+        let rejected = parts.iter().filter(|(_, p)| p.is_none()).count();
+        if rejected > 0 {
+            if let Some(tel) = &self.telemetry {
+                tel.registry
+                    .counter("gateway.shard_rejections")
+                    .add(rejected as u64);
+            }
+        }
+        let mut partials: Vec<Vec<ScoredItem>> = Vec::with_capacity(parts.len());
+        let mut out = Vec::with_capacity(slice.len());
+        let mut degraded_total = 0u64;
+        for (r, req) in slice.iter().enumerate() {
+            partials.clear();
+            let mut degraded = false;
+            for (s, part) in parts.iter_mut() {
+                match part {
+                    Some(responses) => match responses.get_mut(r) {
+                        Some(resp) => {
+                            if resp.items.is_empty() && self.window_can_answer(*s, &req.history) {
+                                degraded = true;
+                            }
+                            partials.push(std::mem::take(&mut resp.items));
+                        }
+                        // A shard answered with the wrong cardinality —
+                        // treat the missing slot like a rejection.
+                        None => degraded = true,
+                    },
+                    None => {
+                        if self.window_can_answer(*s, &req.history) {
+                            degraded = true;
+                        }
+                    }
+                }
+            }
+            let items = merge_top_k(k, &partials);
+            if degraded {
+                degraded_total += 1;
+            }
+            out.push(GatewayResponse {
+                id: req.id,
+                items,
+                degraded,
+            });
+        }
+        if degraded_total > 0 {
+            if let Some(tel) = &self.telemetry {
+                tel.registry
+                    .counter("gateway.degraded_responses")
+                    .add(degraded_total);
+            }
+        }
+        out
+    }
+
+    /// Could shard `s`'s window have offered at least one candidate for
+    /// this history? Conservative: duplicate history entries over-count
+    /// the seen rows, so a `false` may be optimistic but a `true` is
+    /// certain — degraded responses are never flagged spuriously healthy
+    /// the other way around.
+    fn window_can_answer(&self, s: usize, history: &[usize]) -> bool {
+        if self.cfg.serve.k == 0 {
+            return false;
+        }
+        let Some(range) = self.plan.ranges().get(s) else {
+            return false;
+        };
+        if !self.cfg.serve.filter_seen {
+            return !range.is_empty();
+        }
+        let hits = history.iter().filter(|h| range.contains(h)).count();
+        range.len() > hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_models::{IdTower, LossKind, ModelConfig, SasRec};
+    use wr_tensor::Rng64;
+
+    const N_ITEMS: usize = 45;
+
+    fn model() -> Box<dyn SeqRecModel> {
+        let mut rng = Rng64::seed_from(77);
+        let config = ModelConfig {
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+            max_seq: 8,
+            dropout: 0.0,
+            ..ModelConfig::default()
+        };
+        Box::new(SasRec::new(
+            "gw-unit",
+            Box::new(IdTower::new(N_ITEMS, config.dim, &mut rng)),
+            LossKind::Softmax,
+            config,
+            &mut rng,
+        ))
+    }
+
+    fn cfg() -> GatewayConfig {
+        GatewayConfig {
+            serve: ServeConfig {
+                k: 5,
+                max_batch: 4,
+                max_seq: 8,
+                filter_seen: true,
+            },
+            ..GatewayConfig::default()
+        }
+    }
+
+    fn reqs(n: usize) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                id: i as u64,
+                history: vec![(i % 7) + 1, (i % 5) + 2],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitioned_gateway_answers_in_order_with_global_ids() {
+        let gw = Gateway::partitioned(model(), 4, cfg()).unwrap();
+        let requests = reqs(11);
+        let responses = gw.serve(&requests);
+        assert_eq!(responses.len(), 11);
+        for (req, resp) in requests.iter().zip(&responses) {
+            assert_eq!(req.id, resp.id);
+            assert_eq!(resp.items.len(), 5);
+            assert!(!resp.degraded);
+            for s in &resp.items {
+                assert!(s.item < N_ITEMS);
+                assert!(!req.history.contains(&s.item), "seen item recommended");
+            }
+            for w in resp.items.windows(2) {
+                assert!(
+                    w[0].score > w[1].score
+                        || (w[0].score == w[1].score && w[0].item < w[1].item)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_mode_shares_one_cache() {
+        let gw = Gateway::replicated(model(), 3, cfg()).unwrap();
+        let shards = gw.shards();
+        assert!(shards[0].cache().shares_storage_with(shards[1].cache()));
+        assert!(shards[0].cache().shares_storage_with(shards[2].cache()));
+        // And it answers like a partitioned gateway over the same model.
+        let requests = reqs(9);
+        let repl = gw.serve(&requests);
+        let part = Gateway::partitioned(model(), 3, cfg()).unwrap().serve(&requests);
+        assert_eq!(repl, part);
+    }
+
+    #[test]
+    fn global_admission_control_rejects_typed() {
+        let mut c = cfg();
+        c.max_queue_depth = 4;
+        let gw = Gateway::partitioned(model(), 2, c).unwrap();
+        match gw.try_serve(&reqs(5)) {
+            Err(GatewayError::Overloaded { depth, limit }) => {
+                assert_eq!((depth, limit), (5, 4));
+            }
+            other => panic!("expected overload, got {:?}", other.map(|r| r.len())),
+        }
+        assert_eq!(gw.try_serve(&reqs(4)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn shard_backpressure_degrades_instead_of_failing() {
+        let mut c = cfg();
+        // Shards accept at most 2 rows per call, but micro-batches carry
+        // up to 4 — every full batch is shed by every shard.
+        c.shard_max_rows = 2;
+        let tel = Telemetry::new();
+        let gw = Gateway::partitioned(model(), 2, c)
+            .unwrap()
+            .with_telemetry(tel.clone());
+        let responses = gw.serve(&reqs(4));
+        assert_eq!(responses.len(), 4);
+        for resp in &responses {
+            assert!(resp.degraded, "shed batch must degrade");
+            assert!(resp.items.is_empty());
+        }
+        let snap = tel.registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("gateway.shard_rejections"), 2);
+        assert_eq!(counter("gateway.degraded_responses"), 4);
+        assert_eq!(counter("serve.rejected_overload"), 2);
+        // A batch small enough for the shard bound goes through intact.
+        let ok = gw.serve(&reqs(2));
+        assert!(ok.iter().all(|r| !r.degraded && r.items.len() == 5));
+    }
+
+    #[test]
+    fn telemetry_is_write_only_and_sees_traffic() {
+        let requests = reqs(10);
+        let plain = Gateway::partitioned(model(), 3, cfg()).unwrap().serve(&requests);
+        let tel = Telemetry::new();
+        let observed = Gateway::partitioned(model(), 3, cfg())
+            .unwrap()
+            .with_telemetry(tel.clone());
+        let got = observed.serve(&requests);
+        assert_eq!(
+            plain, got,
+            "telemetry must not change gateway results"
+        );
+        let snap = tel.registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("gateway.requests"), 10);
+        assert_eq!(counter("gateway.batches"), 3); // ceil(10 / 4)
+        assert_eq!(counter("gateway.fanout_calls"), 9); // 3 batches × 3 shards
+        assert_eq!(counter("gateway.degraded_responses"), 0);
+        // Spans: one per batch + one per shard dispatch.
+        assert_eq!(tel.tracer.events().len(), 3 + 9);
+    }
+}

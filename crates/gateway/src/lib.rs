@@ -1,0 +1,44 @@
+//! # wr-gateway — sharded serving for the WhitenRec reproduction
+//!
+//! The paper's central serving artifact — a *frozen* whitened item table —
+//! makes horizontal scale-out embarrassingly exact: scoring is one gemm
+//! `users·Vᵀ`, so the catalog can be cut into contiguous row windows, each
+//! window scored independently, and the per-window top-k lists merged
+//! under the workspace's one total order (`total_cmp` descending,
+//! ascending item index) into *bit-for-bit* the single-engine answer.
+//! This crate is that scale-out layer:
+//!
+//! * [`ShardPlan`] — the deterministic catalog partition (contiguous,
+//!   uneven-capable windows; replicated mode as the degenerate case);
+//! * [`Gateway`] — one request router holding one encoder model plus N
+//!   [`wr_serve::CatalogShard`] scoring cores. Histories are encoded
+//!   *once* on the caller thread (the model is not `Sync` — parameters
+//!   live behind `Rc` for the autograd tape), then every micro-batch is
+//!   fanned out across the shards on the `wr-runtime` pool and merged
+//!   with [`wr_serve::merge_top_k`];
+//! * admission control + backpressure — [`Gateway::try_serve`] bounds the
+//!   request queue globally ([`GatewayError::Overloaded`]), and each
+//!   shard bounds its own per-call rows ([`wr_serve::ServeError`]); a
+//!   rejecting or dying shard *degrades* the affected responses (flagged,
+//!   counted) instead of failing the request;
+//! * [`replay_gateway`] — query-log replay with p50/p95/p99 + QPS and the
+//!   shared `top1_checksum` digest, exported in the `wr_bench::harness`
+//!   JSON shape (`gateway-bench` in `wr-core` is the CLI).
+//!
+//! # Determinism contract
+//!
+//! A healthy partitioned gateway is bit-identical to a single
+//! [`wr_serve::ServeEngine`] over the same model: same items, same score
+//! bits, same tie order, for every shard count, thread count, and scorer
+//! (exact, or IVF at full probe). `tests/differential.rs` pins this on a
+//! 2048-query replay; `tests/chaos.rs` pins the degraded-mode contract
+//! (one shard poisoned → surviving shards' contributions bit-identical to
+//! the fault-free run, per-seed-deterministic checksums).
+
+mod gateway;
+mod plan;
+mod replay;
+
+pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayResponse};
+pub use plan::{ShardMode, ShardPlan};
+pub use replay::{replay_gateway, GatewayReport};

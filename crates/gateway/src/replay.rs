@@ -1,0 +1,282 @@
+//! Query-log replay through a [`Gateway`] with latency percentiles,
+//! throughput, and the shared `top1_checksum` digest.
+//!
+//! Mirrors `wr_serve`'s replay: timing flows through the telemetry's
+//! [`wr_obs::Clock`], percentiles are [`wr_obs::nearest_rank`] over the
+//! raw batch-attributed samples, and the JSON export keeps the
+//! `wr_bench::harness` shape (suite `gateway-bench`) with the exact field
+//! names `scripts/check.sh` greps — so a sharded replay can be compared
+//! to a single-engine `serve-bench` replay by comparing two hex strings.
+
+use wr_obs::{nearest_rank, Histogram, Telemetry};
+use wr_serve::{top1_digest, QueryLog, Request};
+
+use crate::{Gateway, GatewayResponse};
+
+/// Latency/throughput summary of one gateway replay. Field semantics
+/// match [`wr_serve::ReplayReport`] (batch-attributed latency,
+/// measurements vary run to run, responses and `top1_checksum` are
+/// deterministic), extended with the gateway-specific shape (`n_shards`)
+/// and health (`n_degraded`) columns.
+#[derive(Debug, Clone)]
+pub struct GatewayReport {
+    /// Queries replayed.
+    pub n_queries: usize,
+    /// Micro-batches dispatched.
+    pub n_batches: usize,
+    /// Shards fanned out to.
+    pub n_shards: usize,
+    /// Responses flagged degraded (a shard rejected or isolated them).
+    pub n_degraded: usize,
+    /// End-to-end wall time of the replay loop, seconds.
+    pub total_s: f64,
+    /// Queries per second over the whole replay.
+    pub qps: f64,
+    /// Mean per-query latency, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest per-query latency, milliseconds.
+    pub min_ms: f64,
+    /// Latency percentiles (nearest-rank), milliseconds.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// [`top1_digest`] over `(id, top-1 item)` of every response — the
+    /// same formula as the single-engine replay, so healthy sharded ==
+    /// single-engine is a string equality.
+    pub top1_checksum: u64,
+}
+
+fn checksum(responses: &[GatewayResponse]) -> u64 {
+    top1_digest(responses.iter().map(|r| (r.id, r.items.first().map(|s| s.item))))
+}
+
+/// Replay `log` through `gateway` one micro-batch at a time, timing each
+/// batch on `telemetry.clock` and observing per-batch wall time into the
+/// `gateway.latency_ms` histogram; the whole replay is wrapped in a
+/// `replay` span (`gateway` category). The log is split into groups of
+/// the gateway's `serve.max_batch` so each timed `serve` call dispatches
+/// exactly one packed micro-batch across the shards.
+pub fn replay_gateway(
+    gateway: &Gateway,
+    log: &QueryLog,
+    telemetry: &Telemetry,
+) -> (Vec<GatewayResponse>, GatewayReport) {
+    let clock = &telemetry.clock;
+    let latency_hist = telemetry
+        .registry
+        .histogram("gateway.latency_ms", &Histogram::default_ms_bounds());
+    let max_batch = gateway.config().serve.max_batch.max(1);
+    let mut responses: Vec<GatewayResponse> = Vec::with_capacity(log.len());
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(log.len());
+    let mut n_batches = 0usize;
+
+    let replay_start_ns = clock.now_ns();
+    let mut start = 0;
+    while start < log.len() {
+        let end = (start + max_batch).min(log.len());
+        let group: &[Request] = &log.queries[start..end];
+        let t_ns = clock.now_ns();
+        let answered = gateway.serve(group);
+        let ms = clock.now_ns().saturating_sub(t_ns) as f64 / 1e6;
+        latency_hist.observe(ms);
+        // Every query in the batch waited for the whole batch.
+        latencies_ms.extend(std::iter::repeat(ms).take(group.len()));
+        responses.extend(answered);
+        n_batches += 1;
+        start = end;
+    }
+    let end_ns = clock.now_ns();
+    telemetry
+        .tracer
+        .record("replay", "gateway", replay_start_ns, end_ns);
+    let total_s = end_ns.saturating_sub(replay_start_ns) as f64 / 1e9;
+
+    let mut sorted = latencies_ms;
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean_ms = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let report = GatewayReport {
+        n_queries: log.len(),
+        n_batches,
+        n_shards: gateway.plan().n_shards(),
+        n_degraded: responses.iter().filter(|r| r.degraded).count(),
+        total_s,
+        qps: if total_s > 0.0 {
+            log.len() as f64 / total_s
+        } else {
+            0.0
+        },
+        mean_ms,
+        min_ms: sorted.first().copied().unwrap_or(0.0),
+        p50_ms: nearest_rank(&sorted, 50.0),
+        p95_ms: nearest_rank(&sorted, 95.0),
+        p99_ms: nearest_rank(&sorted, 99.0),
+        top1_checksum: checksum(&responses),
+    };
+    (responses, report)
+}
+
+impl GatewayReport {
+    /// Compact JSON in the `wr_bench::harness` export shape:
+    /// `{"suite":"gateway-bench","benches":[{...}]}` with one bench entry
+    /// carrying the same percentile/throughput field names as the
+    /// single-engine `serve-bench` export plus `shards` / `degraded`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"suite\":\"gateway-bench\",\"benches\":[{\"name\":\"replay\",\"iters\":");
+        wr_tensor::json::write_f64(&mut out, self.n_queries as f64);
+        for (key, val) in [
+            ("batches", self.n_batches as f64),
+            ("shards", self.n_shards as f64),
+            ("degraded", self.n_degraded as f64),
+            ("total_s", self.total_s),
+            ("qps", self.qps),
+            ("mean_ms", self.mean_ms),
+            ("min_ms", self.min_ms),
+            ("p50_ms", self.p50_ms),
+            ("p95_ms", self.p95_ms),
+            ("p99_ms", self.p99_ms),
+        ] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            wr_tensor::json::write_f64(&mut out, val);
+        }
+        out.push_str(",\"top1_checksum\":\"");
+        out.push_str(&format!("{:016x}", self.top1_checksum));
+        out.push_str("\"}]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gateway, GatewayConfig};
+    use std::sync::Arc;
+    use wr_models::{IdTower, LossKind, ModelConfig, SasRec};
+    use wr_obs::MockClock;
+    use wr_serve::ServeConfig;
+    use wr_tensor::Rng64;
+    use wr_train::SeqRecModel;
+
+    fn model() -> Box<dyn SeqRecModel> {
+        let mut rng = Rng64::seed_from(23);
+        let config = ModelConfig {
+            dim: 8,
+            heads: 2,
+            blocks: 1,
+            max_seq: 6,
+            dropout: 0.0,
+            ..ModelConfig::default()
+        };
+        Box::new(SasRec::new(
+            "gw-replay-unit",
+            Box::new(IdTower::new(25, config.dim, &mut rng)),
+            LossKind::Softmax,
+            config,
+            &mut rng,
+        ))
+    }
+
+    fn tiny_gateway(n_shards: usize) -> Gateway {
+        Gateway::partitioned(
+            model(),
+            n_shards,
+            GatewayConfig {
+                serve: ServeConfig {
+                    k: 3,
+                    max_batch: 8,
+                    max_seq: 6,
+                    filter_seen: true,
+                },
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replay_answers_everything_and_reports() {
+        let gw = tiny_gateway(3);
+        let log = QueryLog::synthetic(37, 25, 5, 2);
+        let (responses, report) = replay_gateway(&gw, &log, &Telemetry::new());
+        assert_eq!(responses.len(), 37);
+        assert_eq!(report.n_queries, 37);
+        assert_eq!(report.n_batches, 5); // ceil(37 / 8)
+        assert_eq!(report.n_shards, 3);
+        assert_eq!(report.n_degraded, 0);
+        assert!(report.total_s > 0.0);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+        // Replay responses match a direct serve of the same queries.
+        let direct = gw.serve(&log.queries);
+        assert_eq!(responses, direct);
+    }
+
+    #[test]
+    fn mock_clock_makes_the_report_deterministic() {
+        let gw = tiny_gateway(2);
+        let log = QueryLog::synthetic(20, 25, 5, 3);
+        let clock = Arc::new(MockClock::with_tick(1_000_000));
+        let tel = Telemetry::with_clock(clock);
+        let (_, report) = replay_gateway(&gw, &log, &tel);
+        assert_eq!(report.n_batches, 3); // ceil(20 / 8)
+        assert_eq!(report.p50_ms, 1.0);
+        assert_eq!(report.p99_ms, 1.0);
+        assert_eq!(report.mean_ms, 1.0);
+        let snap = tel.registry.snapshot();
+        let lat = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "gateway.latency_ms")
+            .map(|(_, h)| h.clone())
+            .unwrap();
+        assert_eq!(lat.count, 3);
+        assert!(tel.tracer.events().iter().any(|e| e.name == "replay"));
+    }
+
+    #[test]
+    fn sharded_checksum_matches_single_engine_checksum() {
+        // THE gate in miniature: the gateway replay digest equals the
+        // single-engine replay digest over the same trace, because both
+        // use the shared top1_digest formula and the merge is exact.
+        let log = QueryLog::synthetic(29, 25, 5, 11);
+        let (_, gw_report) = replay_gateway(&tiny_gateway(4), &log, &Telemetry::new());
+        let engine = wr_serve::ServeEngine::new(
+            model(),
+            ServeConfig {
+                k: 3,
+                max_batch: 8,
+                max_seq: 6,
+                filter_seen: true,
+            },
+        );
+        let (_, engine_report) = wr_serve::replay(&engine, &log);
+        assert_eq!(gw_report.top1_checksum, engine_report.top1_checksum);
+    }
+
+    #[test]
+    fn report_json_parses_in_harness_shape() {
+        let gw = tiny_gateway(2);
+        let log = QueryLog::synthetic(9, 25, 4, 6);
+        let (_, report) = replay_gateway(&gw, &log, &Telemetry::new());
+        let parsed = wr_tensor::Json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("suite").unwrap().as_str().unwrap(),
+            "gateway-bench"
+        );
+        let benches = parsed.get("benches").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 1);
+        let b = &benches[0];
+        assert_eq!(b.get("iters").unwrap().as_usize().unwrap(), 9);
+        assert_eq!(b.get("shards").unwrap().as_usize().unwrap(), 2);
+        for key in ["qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "degraded"] {
+            assert!(b.get(key).unwrap().as_f64().is_some(), "{key}");
+        }
+        assert!(b.get("top1_checksum").unwrap().as_str().is_some());
+    }
+}

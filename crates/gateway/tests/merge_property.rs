@@ -1,0 +1,161 @@
+//! Property-style seeded sweep for `merge_top_k` under gateway usage.
+//!
+//! The gateway feeds the merge exactly one shape of input: per-shard
+//! partials extracted from *disjoint* catalog windows, each partial the
+//! window's top-k under the workspace's one total order (`total_cmp`
+//! descending, ascending item index on ties), with NaN-quarantined rows
+//! excluded from the candidates before extraction and with shards that
+//! rejected or held nothing contributing empty partials. This sweep
+//! generates hundreds of seeded scenarios in that shape — heavily
+//! quantized scores so duplicate score values collide *across* shards,
+//! `k` larger than per-shard candidate counts, windows emptied by
+//! quarantine — and checks the merge against a full-sort reference over
+//! the union of offered candidates, item ids and score bits both.
+
+use wr_gateway::ShardPlan;
+use wr_serve::{merge_top_k, ScoredItem};
+use wr_tensor::Rng64;
+
+/// The reference: sort every offered candidate under the shared policy,
+/// truncate to `k`. Deliberately shares no code with the bounded-heap
+/// merge.
+fn full_sort_reference(pool: &[ScoredItem], k: usize) -> Vec<ScoredItem> {
+    let mut sorted = pool.to_vec();
+    sorted.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+    sorted.truncate(k);
+    sorted
+}
+
+fn assert_merge_matches(merged: &[ScoredItem], want: &[ScoredItem], what: &str) {
+    assert_eq!(merged.len(), want.len(), "{what}: length");
+    for (i, (m, w)) in merged.iter().zip(want).enumerate() {
+        assert_eq!(m.item, w.item, "{what}: item at rank {i}");
+        assert_eq!(
+            m.score.to_bits(),
+            w.score.to_bits(),
+            "{what}: score bits at rank {i}"
+        );
+    }
+}
+
+#[test]
+fn seeded_sweep_matches_full_sort_reference() {
+    let mut rng = Rng64::seed_from(0xC0FFEE);
+    for trial in 0..300 {
+        let n_items = 5 + rng.below(120);
+        let n_shards = 1 + rng.below(8.min(n_items));
+        let plan = ShardPlan::partitioned(n_items, n_shards).unwrap();
+        // k regularly exceeds per-shard candidate counts, and sometimes
+        // the whole catalog.
+        let k = 1 + rng.below(n_items + 5);
+
+        // Quantized scores: ~8 distinct values over up to 124 items, so
+        // the same score appears in many windows and the ascending-index
+        // tie policy does real work across shard boundaries. NaN rows
+        // model score-poisoned items the shards quarantine away.
+        let scores: Vec<f32> = (0..n_items)
+            .map(|_| (rng.below(8) as f32 - 4.0) * 0.25)
+            .collect();
+        let quarantined: Vec<bool> = (0..n_items).map(|_| rng.below(10) == 0).collect();
+        // A shard that rejected the fan-out call contributes nothing.
+        let dropped: Vec<bool> = (0..n_shards).map(|_| rng.below(12) == 0).collect();
+
+        let mut partials: Vec<Vec<ScoredItem>> = Vec::with_capacity(n_shards);
+        let mut pool: Vec<ScoredItem> = Vec::new();
+        for (s, range) in plan.ranges().iter().enumerate() {
+            if dropped[s] {
+                partials.push(Vec::new());
+                continue;
+            }
+            let candidates: Vec<ScoredItem> = range
+                .clone()
+                .filter(|&i| !quarantined[i])
+                .map(|i| ScoredItem {
+                    item: i,
+                    // Quarantine decided, the *offered* score must be the
+                    // finite one; a NaN candidate would be a shard bug.
+                    score: scores[i],
+                })
+                .collect();
+            // What a CatalogShard sends upward: its window's top-k.
+            let mut partial = full_sort_reference(&candidates, k);
+            // Shuffle-resistance is not required (partials arrive sorted
+            // from the shards), but merge_top_k documents order-free
+            // input; occasionally reverse to exercise that.
+            if rng.below(4) == 0 {
+                partial.reverse();
+            }
+            pool.extend(&candidates);
+            partials.push(partial);
+        }
+
+        let merged = merge_top_k(k, &partials);
+        let want = full_sort_reference(&pool, k);
+        assert_merge_matches(
+            &merged,
+            &want,
+            &format!("trial {trial}: n_items={n_items} n_shards={n_shards} k={k}"),
+        );
+    }
+}
+
+/// Every shard holds the same score value: the merged list must be the
+/// first `k` item ids in ascending order — pure tie-policy, across
+/// windows.
+#[test]
+fn all_ties_resolve_by_ascending_item_index_across_shards() {
+    let plan = ShardPlan::partitioned(30, 4).unwrap();
+    let partials: Vec<Vec<ScoredItem>> = plan
+        .ranges()
+        .iter()
+        .map(|r| {
+            r.clone()
+                .map(|i| ScoredItem { item: i, score: 1.5 })
+                .collect()
+        })
+        .collect();
+    let merged = merge_top_k(7, &partials);
+    let items: Vec<usize> = merged.iter().map(|s| s.item).collect();
+    assert_eq!(items, vec![0, 1, 2, 3, 4, 5, 6]);
+    assert!(merged.iter().all(|s| s.score == 1.5));
+}
+
+/// k greater than everything on offer: the merge returns every candidate,
+/// still globally sorted; empty shards contribute nothing and break
+/// nothing.
+#[test]
+fn k_beyond_all_candidates_returns_the_sorted_union() {
+    let partials = vec![
+        vec![
+            ScoredItem { item: 2, score: 0.5 },
+            ScoredItem { item: 0, score: 0.25 },
+        ],
+        Vec::new(), // rejected / fully-quarantined shard
+        vec![ScoredItem { item: 7, score: 0.5 }],
+    ];
+    let merged = merge_top_k(50, &partials);
+    let want = vec![
+        ScoredItem { item: 2, score: 0.5 },
+        ScoredItem { item: 7, score: 0.5 },
+        ScoredItem { item: 0, score: 0.25 },
+    ];
+    assert_merge_matches(&merged, &want, "k beyond candidates");
+    assert!(merge_top_k(50, &[Vec::new(), Vec::new()]).is_empty());
+    assert!(merge_top_k(0, &partials).is_empty());
+}
+
+/// -0.0 and 0.0 are distinct under `total_cmp` (+0.0 ranks above -0.0);
+/// the merge must keep that order and preserve the exact bit patterns —
+/// the property the gateway's bit-identity gate leans on.
+#[test]
+fn signed_zero_ordering_and_bits_survive_the_merge() {
+    let partials = vec![
+        vec![ScoredItem { item: 3, score: -0.0 }],
+        vec![ScoredItem { item: 9, score: 0.0 }],
+    ];
+    let merged = merge_top_k(2, &partials);
+    assert_eq!(merged[0].item, 9);
+    assert_eq!(merged[0].score.to_bits(), 0.0f32.to_bits());
+    assert_eq!(merged[1].item, 3);
+    assert_eq!(merged[1].score.to_bits(), (-0.0f32).to_bits());
+}

@@ -1,14 +1,21 @@
 //! The serving engine: checkpoint → shared cache → batched top-k answers,
 //! hardened for degraded-mode operation (admission control, per-batch
 //! panic containment, NaN/Inf quarantine, bounded retry).
+//!
+//! The engine is a thin composition: the (non-`Sync`) model encodes
+//! histories on the caller thread, and a full-catalog [`CatalogShard`]
+//! — the `Sync` scoring core shared with the sharded gateway — does
+//! everything after the encode (scoring, quarantine, top-k extraction,
+//! fault hooks). The per-batch retry/isolation loop stays up here so a
+//! genuine panic in the model forward is contained too.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Arc;
 
-use crate::{batch_top_k, top_k_filtered, BatcherConfig, EmbeddingCache, MicroBatcher, ScoredItem};
-use wr_ann::{IvfIndex, SearchStats};
-use wr_fault::{no_faults, RetryPolicy, SharedInjector, Sleeper, ThreadSleeper};
+use crate::{BatcherConfig, CatalogShard, MicroBatcher, ScoredItem};
+use wr_ann::IvfIndex;
+use wr_fault::{RetryPolicy, SharedInjector, Sleeper};
 use wr_nn::{load_params, restore_params, CheckpointError};
 use wr_obs::Telemetry;
 use wr_tensor::Tensor;
@@ -60,7 +67,9 @@ impl Default for ServeConfig {
 pub struct ResilienceConfig {
     /// Admission-control bound: [`ServeEngine::try_serve`] rejects a call
     /// carrying more than this many requests with
-    /// [`ServeError::Overloaded`] instead of queuing unbounded work.
+    /// [`ServeError::Overloaded`] instead of queuing unbounded work. For
+    /// a [`CatalogShard`] fanned out by the gateway, the same field
+    /// bounds the rows accepted per shard call (per-shard backpressure).
     pub max_queue_depth: usize,
     /// Bounded retry-with-backoff for micro-batches that panic.
     pub retry: RetryPolicy,
@@ -119,26 +128,11 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Rows of `items` containing any non-finite value — these are
-/// quarantined out of every candidate set.
-fn non_finite_rows(items: &Tensor) -> Vec<usize> {
-    (0..items.rows())
-        .filter(|&r| items.row(r).iter().any(|v| !v.is_finite()))
-        .collect()
-}
-
-/// A score that must disqualify its row from the fast path: NaN poisons
-/// every comparison, +Inf pins the top slot. The engine's own quarantine
-/// mask (`NEG_INFINITY`) is *not* poison — it deliberately sorts last.
-fn is_poisoned(v: f32) -> bool {
-    v.is_nan() || (v.is_infinite() && v > 0.0)
-}
-
 /// Online inference over a trained sequential recommender.
 ///
 /// Construction snapshots the model's item representations into an
-/// [`EmbeddingCache`] (for WhitenRec: whitened table → trained projection
-/// head, baked into one frozen `V`), so per-query work is only
+/// [`crate::EmbeddingCache`] (for WhitenRec: whitened table → trained
+/// projection head, baked into one frozen `V`), so per-query work is only
 ///
 /// ```text
 /// encode histories → users: [b, d]   (transformer forward, batched)
@@ -156,53 +150,34 @@ fn is_poisoned(v: f32) -> bool {
 /// semantics at the call site.
 pub struct ServeEngine {
     model: Box<dyn SeqRecModel>,
-    cache: EmbeddingCache,
+    /// The full catalog as a single window at offset 0. Scoring,
+    /// quarantine, extraction, and the fault hooks all live here.
+    shard: CatalogShard,
     batcher: MicroBatcher,
     cfg: ServeConfig,
-    resilience: ResilienceConfig,
-    /// Fault-injection hook on the hot path ([`wr_fault::NoFaults`] in
-    /// production). Consulted for induced panics and score poisoning; the
-    /// recovery machinery below must absorb whatever it injects.
-    injector: SharedInjector,
-    /// How batch-retry backoff waits ([`ThreadSleeper`] in production,
-    /// [`wr_fault::NoSleep`] in tests so nothing ever blocks).
-    sleeper: Arc<dyn Sleeper>,
-    /// Item rows found non-finite at cache load; masked to `-inf` in every
-    /// score row so they can never be recommended.
-    quarantined_items: Vec<usize>,
     /// Optional write-only telemetry: per-micro-batch spans, request/batch
     /// counters, a queue-depth gauge. Never consulted when producing
     /// responses — the differential suite asserts instrumented ==
-    /// uninstrumented bit-for-bit.
+    /// uninstrumented bit-for-bit. (The shard holds a clone for its own
+    /// retry/quarantine/ANN counters.)
     telemetry: Option<Telemetry>,
-    /// Candidate-retrieval strategy; [`Scorer::Ivf`] requires `index`.
-    scorer: Scorer,
-    /// The IVF index behind [`Scorer::Ivf`], shared across engine clones.
-    index: Option<Arc<IvfIndex>>,
 }
 
 impl ServeEngine {
     /// Serve an in-memory model.
     pub fn new(model: Box<dyn SeqRecModel>, cfg: ServeConfig) -> Self {
         let items = model.item_representations();
-        let quarantined_items = non_finite_rows(&items);
-        let cache = EmbeddingCache::new(items);
+        let shard = CatalogShard::from_cache(crate::EmbeddingCache::new(items), &cfg);
         let batcher = MicroBatcher::new(BatcherConfig {
             max_batch: cfg.max_batch,
             max_seq: cfg.max_seq,
         });
         ServeEngine {
             model,
-            cache,
+            shard,
             batcher,
             cfg,
-            resilience: ResilienceConfig::default(),
-            injector: no_faults(),
-            sleeper: Arc::new(ThreadSleeper),
-            quarantined_items,
             telemetry: None,
-            scorer: Scorer::Exact,
-            index: None,
         }
     }
 
@@ -210,26 +185,20 @@ impl ServeEngine {
     /// `index` with the given `nprobe` instead of the dense gemm. The
     /// index must have been built over (or loaded against) this engine's
     /// item table — shape disagreement is a construction bug, checked
-    /// here rather than discovered per query.
+    /// at attach time rather than discovered per query.
     pub fn with_ann(mut self, index: Arc<IvfIndex>, nprobe: usize) -> Self {
-        assert_eq!(
-            (index.n_items(), index.dim()),
-            (self.cache.n_items(), self.cache.dim()),
-            "IVF index shape disagrees with the embedding cache"
-        );
-        self.scorer = Scorer::Ivf { nprobe };
-        self.index = Some(index);
+        self.shard.set_ann(index, nprobe);
         self
     }
 
     /// The active retrieval strategy.
     pub fn scorer(&self) -> Scorer {
-        self.scorer
+        self.shard.scorer()
     }
 
     /// The attached IVF index, when [`Scorer::Ivf`] is active.
     pub fn ann_index(&self) -> Option<&Arc<IvfIndex>> {
-        self.index.as_ref()
+        self.shard.ann_index()
     }
 
     /// Attach a fault injector (builder-style). The item cache is
@@ -238,32 +207,27 @@ impl ServeEngine {
     /// `serve.row` / `serve.score` faults are injected per request on the
     /// hot path and absorbed by retry, isolation, and quarantine.
     pub fn with_faults(mut self, injector: SharedInjector) -> Self {
-        let mut items = self.model.item_representations();
-        for r in 0..items.rows() {
-            injector.poison("cache.load", r as u64, items.row_mut(r));
-        }
-        self.quarantined_items = non_finite_rows(&items);
-        self.cache = EmbeddingCache::new(items);
-        self.injector = injector;
+        let items = self.model.item_representations();
+        self.shard.rearm(&items, injector);
         self
     }
 
     /// Override degraded-mode knobs (builder-style).
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
-        self.resilience = resilience;
+        self.shard = self.shard.with_resilience(resilience);
         self
     }
 
     /// Replace the backoff sleeper (builder-style). Tests inject
     /// [`wr_fault::NoSleep`] so retry storms never block the suite.
     pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
-        self.sleeper = sleeper;
+        self.shard = self.shard.with_sleeper(sleeper);
         self
     }
 
     /// Item rows quarantined at cache load (non-finite embeddings).
     pub fn quarantined_items(&self) -> &[usize] {
-        &self.quarantined_items
+        self.shard.quarantined_items()
     }
 
     /// Attach telemetry (builder-style). Serving records, per micro-batch:
@@ -284,6 +248,7 @@ impl ServeEngine {
         // can tell "ANN off" (0) from "ANN missing" (absent).
         telemetry.registry.counter("serve.ann.lists_probed");
         telemetry.registry.counter("serve.ann.rows_scanned");
+        self.shard = self.shard.with_telemetry(telemetry.clone());
         self.telemetry = Some(telemetry);
         self
     }
@@ -309,8 +274,13 @@ impl ServeEngine {
         &self.cfg
     }
 
-    pub fn cache(&self) -> &EmbeddingCache {
-        &self.cache
+    pub fn cache(&self) -> &crate::EmbeddingCache {
+        self.shard.cache()
+    }
+
+    /// The full-catalog scoring core (window offset 0) this engine wraps.
+    pub fn shard(&self) -> &CatalogShard {
+        &self.shard
     }
 
     pub fn model_name(&self) -> String {
@@ -318,13 +288,13 @@ impl ServeEngine {
     }
 
     pub fn n_items(&self) -> usize {
-        self.cache.n_items()
+        self.shard.n_items()
     }
 
     /// Encode one group of histories and score them against the cache.
     fn score_group(&self, contexts: &[&[usize]]) -> Tensor {
         let users = self.model.user_representations(contexts);
-        users.matmul(self.cache.items_t())
+        users.matmul(self.shard.cache().items_t())
     }
 
     /// Answer a batch of queries. Requests are micro-batched in arrival
@@ -367,7 +337,7 @@ impl ServeEngine {
     /// rejected outright (typed, counted) instead of queuing unbounded
     /// work behind the micro-batcher.
     pub fn try_serve(&self, requests: &[Request]) -> Result<Vec<Response>, ServeError> {
-        let limit = self.resilience.max_queue_depth;
+        let limit = self.shard.resilience().max_queue_depth;
         if requests.len() > limit {
             if let Some(tel) = &self.telemetry {
                 tel.registry.counter("serve.rejected_overload").inc();
@@ -381,9 +351,11 @@ impl ServeEngine {
     }
 
     /// Run one micro-batch with containment: panic → bounded retry with
-    /// backoff → per-request isolation.
+    /// backoff → per-request isolation. Lives on the engine (not the
+    /// shard) so the model forward is inside the containment boundary;
+    /// per attempt the histories are re-encoded and the shard re-scores.
     fn serve_group_with_recovery(&self, slice: &[Request]) -> Vec<Response> {
-        let policy = self.resilience.retry;
+        let policy = self.shard.resilience().retry;
         for attempt in 0..policy.max_attempts {
             match catch_unwind(AssertUnwindSafe(|| self.process_group(slice, attempt))) {
                 Ok(responses) => return responses,
@@ -392,7 +364,7 @@ impl ServeEngine {
                         tel.registry.counter("serve.retries").inc();
                     }
                     if attempt + 1 < policy.max_attempts {
-                        self.sleeper.sleep_ns(policy.delay_ns(attempt));
+                        self.shard.sleeper().sleep_ns(policy.delay_ns(attempt));
                     }
                 }
             }
@@ -421,162 +393,16 @@ impl ServeEngine {
             .collect()
     }
 
-    /// Score one micro-batch. May panic (induced faults or genuine bugs);
-    /// the caller contains it. `attempt` feeds the injector so transient
-    /// faults clear on retry.
+    /// Encode one micro-batch and hand it to the scoring core. May panic
+    /// (induced faults or genuine bugs); the caller contains it.
+    /// `attempt` feeds the injector so transient faults clear on retry.
     fn process_group(&self, slice: &[Request], attempt: u32) -> Vec<Response> {
-        for req in slice {
-            self.injector.maybe_panic("serve.row", req.id, attempt);
-        }
         let contexts: Vec<&[usize]> = slice
             .iter()
             .map(|r| MicroBatcher::sanitize(&r.history))
             .collect();
-        if let Scorer::Ivf { nprobe } = self.scorer {
-            return self.process_group_ann(slice, &contexts, nprobe);
-        }
-        let mut scores = self.score_group(&contexts);
-        for (r, req) in slice.iter().enumerate() {
-            self.injector.poison("serve.score", req.id, scores.row_mut(r));
-        }
-        self.extract_top_k(slice, scores)
-    }
-
-    /// Score one micro-batch through the IVF index: encode histories with
-    /// the same model forward as the dense path, then probe per query in
-    /// parallel (one pool task per request row, stitched in order — the
-    /// usual thread-count-independent shape). Seen-item filtering and the
-    /// item quarantine are applied as candidate exclusions.
-    fn process_group_ann(
-        &self,
-        slice: &[Request],
-        contexts: &[&[usize]],
-        nprobe: usize,
-    ) -> Vec<Response> {
-        let Some(index) = self.index.as_ref() else {
-            // Scorer::Ivf without with_ann — the builder enforces the
-            // pairing, but a broken caller gets dense answers, not a dead
-            // batch.
-            let mut scores = self.score_group(contexts);
-            for (r, req) in slice.iter().enumerate() {
-                self.injector.poison("serve.score", req.id, scores.row_mut(r));
-            }
-            return self.extract_top_k(slice, scores);
-        };
-        let users = self.model.user_representations(contexts);
-        // Borrow only `Sync` pieces into the pool closure (the engine
-        // itself carries the `Box<dyn SeqRecModel>`, which is not).
-        let (k, filter_seen) = (self.cfg.k, self.cfg.filter_seen);
-        let quarantined = &self.quarantined_items;
-        let index_ref: &IvfIndex = index;
-        let users_ref = &users;
-        let results: Vec<(Vec<ScoredItem>, SearchStats)> =
-            wr_runtime::parallel_map(slice.len(), 1, |r| {
-                let mut excluded: Vec<usize> = if filter_seen {
-                    slice[r].history.clone()
-                } else {
-                    Vec::new()
-                };
-                excluded.extend_from_slice(quarantined);
-                index_ref.search(users_ref.row(r), k, nprobe, &excluded)
-            });
-        if let Some(tel) = &self.telemetry {
-            let (lists, rows) = results.iter().fold((0u64, 0u64), |(l, s), (_, st)| {
-                (l + st.lists_probed as u64, s + st.rows_scanned as u64)
-            });
-            tel.registry.counter("serve.ann.lists_probed").add(lists);
-            tel.registry.counter("serve.ann.rows_scanned").add(rows);
-        }
-        slice
-            .iter()
-            .zip(results)
-            .map(|(req, (items, _))| Response { id: req.id, items })
-            .collect()
-    }
-
-    /// Top-k extraction with quarantine: masked items sort last, poisoned
-    /// rows take the slow non-finite-aware path.
-    fn extract_top_k(&self, slice: &[Request], mut scores: Tensor) -> Vec<Response> {
-        // Quarantined items (non-finite cache rows) are masked to -inf
-        // *first*: one bad item column must not poison whole rows.
-        if !self.quarantined_items.is_empty() {
-            for r in 0..slice.len() {
-                let row = scores.row_mut(r);
-                for &c in &self.quarantined_items {
-                    if let Some(cell) = row.get_mut(c) {
-                        *cell = f32::NEG_INFINITY;
-                    }
-                }
-            }
-        }
-        let poisoned: Vec<bool> = (0..slice.len())
-            .map(|r| scores.row(r).iter().copied().any(is_poisoned))
-            .collect();
-        let seen: Vec<&[usize]> = slice
-            .iter()
-            .map(|r| {
-                if self.cfg.filter_seen {
-                    r.history.as_slice()
-                } else {
-                    &[]
-                }
-            })
-            .collect();
-        let lists = batch_top_k(&scores, self.cfg.k, &seen);
-        let n_poisoned = poisoned.iter().filter(|&&p| p).count();
-        if n_poisoned > 0 {
-            if let Some(tel) = &self.telemetry {
-                tel.registry
-                    .counter("serve.quarantined_rows")
-                    .add(n_poisoned as u64);
-            }
-        }
-        slice
-            .iter()
-            .zip(lists)
-            .enumerate()
-            .map(|(r, (req, items))| {
-                let items = if poisoned.get(r).copied().unwrap_or(false) {
-                    // batch_top_k's total_cmp would rank NaN/+Inf first;
-                    // re-rank this row from scratch, finite scores only.
-                    self.quarantined_row_top_k(scores.row(r), &req.history)
-                } else {
-                    items
-                };
-                Response { id: req.id, items }
-            })
-            .collect()
-    }
-
-    /// Degraded per-row scorer: full sort over finite scores only, same
-    /// (`total_cmp` descending, ascending index) tie policy as the fast
-    /// path. NaN and +Inf entries are dropped from the candidate set.
-    fn quarantined_row_top_k(&self, row: &[f32], history: &[usize]) -> Vec<ScoredItem> {
-        let mut excluded = vec![false; row.len()];
-        if self.cfg.filter_seen {
-            for &h in history {
-                if let Some(e) = excluded.get_mut(h) {
-                    *e = true;
-                }
-            }
-        }
-        let mut order: Vec<usize> = row
-            .iter()
-            .zip(&excluded)
-            .enumerate()
-            .filter(|(_, (v, ex))| v.is_finite() && !**ex)
-            .map(|(i, _)| i)
-            .collect();
-        // `order` holds in-bounds indices by construction; the checked
-        // reads (with a -inf default that never wins) keep this total.
-        let score_at =
-            |i: usize| row.get(i).copied().unwrap_or(f32::NEG_INFINITY);
-        order.sort_by(|&a, &b| score_at(b).total_cmp(&score_at(a)).then(a.cmp(&b)));
-        order
-            .into_iter()
-            .take(self.cfg.k)
-            .filter_map(|i| row.get(i).map(|&score| ScoredItem { item: i, score }))
-            .collect()
+        let users = self.model.user_representations(&contexts);
+        self.shard.process_encoded(slice, &users, attempt)
     }
 
     /// Reference scorer for the differential tests: one user at a time, no
@@ -619,22 +445,9 @@ impl ServeEngine {
     /// [`Scorer`], so an IVF engine answers interactively through the
     /// same index as its batch path.
     pub fn recommend(&self, history: &[usize]) -> Vec<ScoredItem> {
-        if let Scorer::Ivf { nprobe } = self.scorer {
-            let req = Request {
-                id: 0,
-                history: history.to_vec(),
-            };
-            let ctx = MicroBatcher::sanitize(&req.history);
-            return self
-                .process_group_ann(std::slice::from_ref(&req), &[ctx], nprobe)
-                .pop()
-                .map(|r| r.items)
-                .unwrap_or_default();
-        }
         let ctx = MicroBatcher::sanitize(history);
-        let scores = self.score_group(&[ctx]);
-        let seen: &[usize] = if self.cfg.filter_seen { history } else { &[] };
-        top_k_filtered(scores.row(0), self.cfg.k, seen)
+        let users = self.model.user_representations(&[ctx]);
+        self.shard.recommend_encoded(history, &users)
     }
 }
 
@@ -741,5 +554,12 @@ mod tests {
         let engine = tiny_engine(true);
         let handle = engine.cache().clone();
         assert!(handle.shares_storage_with(engine.cache()));
+    }
+
+    #[test]
+    fn engine_shard_covers_the_whole_catalog_at_offset_zero() {
+        let engine = tiny_engine(true);
+        assert_eq!(engine.shard().item_offset(), 0);
+        assert_eq!(engine.shard().item_range(), 0..engine.n_items());
     }
 }

@@ -49,13 +49,23 @@ pub struct ReplayReport {
     pub top1_checksum: u64,
 }
 
-fn checksum(responses: &[Response]) -> u64 {
+/// Order-sensitive FNV-style digest of `(request id, top-1 item)` pairs
+/// (`None` = empty/degraded response, digested as `u64::MAX`). This is
+/// THE `top1_checksum` formula: the serve replay, the gateway replay, and
+/// `scripts/check.sh`'s cross-binary comparisons all share it, so a
+/// sharded replay can be asserted equal to a single-engine replay by
+/// comparing two hex strings.
+pub fn top1_digest(pairs: impl Iterator<Item = (u64, Option<usize>)>) -> u64 {
     let mut acc = 0xcbf29ce484222325u64; // FNV offset basis
-    for r in responses {
-        let top = r.items.first().map_or(u64::MAX, |s| s.item as u64);
-        acc = acc.wrapping_mul(0x100000001b3).wrapping_add(r.id ^ top);
+    for (id, top) in pairs {
+        let top = top.map_or(u64::MAX, |item| item as u64);
+        acc = acc.wrapping_mul(0x100000001b3).wrapping_add(id ^ top);
     }
     acc
+}
+
+fn checksum(responses: &[Response]) -> u64 {
+    top1_digest(responses.iter().map(|r| (r.id, r.items.first().map(|s| s.item))))
 }
 
 /// Replay `log` through `engine` one micro-batch at a time, timing each

@@ -17,8 +17,14 @@
 //!   micro-batch of histories, scores `users · Vᵀ`, and extracts top-k
 //!   with seen-item filtering via the bounded-heap scorer shared with
 //!   `wr_eval` ([`wr_eval::top_k_filtered`]), parallelized over the batch;
-//! * [`QueryLog`] + [`replay`] record/replay query traffic and report
-//!   p50/p95/p99 latency and QPS as a JSON document shaped like the
+//! * [`CatalogShard`] is the `Sync` half of the engine on its own: one
+//!   (window of the) frozen catalog plus quarantine/retry/ANN machinery,
+//!   scoring *pre-encoded* user representations — the unit `wr-gateway`
+//!   fans out across the pool while the non-`Sync` model stays on the
+//!   caller thread;
+//! * [`QueryLog`] + [`replay`] record/replay query traffic (uniform or
+//!   Zipf user-skewed synthetic generation) and report p50/p95/p99
+//!   latency and QPS as a JSON document shaped like the
 //!   `wr_bench::harness` export (`serve-bench` in `wr-core` is the CLI).
 //!
 //! # Determinism contract
@@ -51,14 +57,16 @@ mod cache;
 mod engine;
 mod latency;
 mod querylog;
+mod shard;
 pub mod topk;
 
 pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
 pub use cache::EmbeddingCache;
 pub use engine::{Request, ResilienceConfig, Response, Scorer, ServeConfig, ServeEngine, ServeError};
-pub use latency::{replay, replay_observed, ReplayReport};
-pub use querylog::{QueryLog, QueryLogError};
-pub use topk::{batch_top_k, merge_top_k};
+pub use latency::{replay, replay_observed, top1_digest, ReplayReport};
+pub use querylog::{QueryLog, QueryLogError, ZipfError};
+pub use shard::CatalogShard;
+pub use topk::{batch_top_k, batch_top_k_shifted, merge_top_k};
 
 pub use wr_ann::{AnnError, IvfIndex, SearchStats};
 pub use wr_eval::{top_k_filtered, ScoredItem};

@@ -49,6 +49,31 @@ impl From<io::Error> for QueryLogError {
     }
 }
 
+/// Why a Zipf-skewed synthetic trace could not be generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZipfError {
+    /// The exponent must be finite and strictly positive: `α ≤ 0` is a
+    /// uniform (or inverted) distribution pretending to be a power law,
+    /// and NaN/∞ silently degenerate the CDF — both rejected outright
+    /// instead of producing a quietly meaningless trace.
+    BadAlpha(f64),
+    /// At least one user is required to sample from.
+    NoUsers,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::BadAlpha(a) => {
+                write!(f, "zipf exponent must be finite and > 0, got {a}")
+            }
+            ZipfError::NoUsers => write!(f, "zipf trace needs at least one user"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
 impl QueryLog {
     /// Generate a reproducible synthetic trace: `n` queries over a catalog
     /// of `n_items`, history lengths uniform in `[0, max_len]` (length 0
@@ -69,6 +94,70 @@ impl QueryLog {
             })
             .collect();
         QueryLog { queries }
+    }
+
+    /// Generate a reproducible *user-skewed* synthetic trace: `n` queries
+    /// whose issuing users are drawn Zipf(`alpha`)-distributed over a
+    /// universe of `n_users` (rank 1 most popular — the head users of a
+    /// production gateway's traffic), catalog/history conventions as in
+    /// [`QueryLog::synthetic`].
+    ///
+    /// Each query's `id` is its sampled user id (`0..n_users`), and a
+    /// user's history is a pure function of `(seed, user)` — the same
+    /// user always replays the same session, so repeated queries from hot
+    /// users look like real repeat traffic rather than fresh sessions.
+    /// The whole trace is a pure function of its arguments: same inputs →
+    /// same trace, bit for bit.
+    ///
+    /// `alpha` must be finite and strictly positive ([`ZipfError`]);
+    /// `alpha → 0⁺` approaches uniform, `alpha ≈ 1` is classic web-trace
+    /// skew. The CDF table costs `O(n_users)` memory — a 1M-user universe
+    /// is ~8 MB, built once per generation.
+    pub fn synthetic_zipf(
+        n: usize,
+        n_users: usize,
+        n_items: usize,
+        max_len: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> Result<QueryLog, ZipfError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(ZipfError::BadAlpha(alpha));
+        }
+        if n_users == 0 {
+            return Err(ZipfError::NoUsers);
+        }
+        assert!(n_items >= 2, "need at least one real item besides pad");
+        // Cumulative Zipf weights: cum[u] = Σ_{r ≤ u} (r+1)^-alpha,
+        // normalized at sample time so the table stays a plain prefix sum.
+        let mut cum = Vec::with_capacity(n_users);
+        let mut total = 0.0f64;
+        for rank in 0..n_users {
+            total += ((rank + 1) as f64).powf(-alpha);
+            cum.push(total);
+        }
+        let mut rng = Rng64::seed_from(seed);
+        let queries = (0..n)
+            .map(|_| {
+                let target = rng.uniform() as f64 * total;
+                // First rank whose cumulative mass exceeds the target;
+                // clamp covers target == total (uniform() < 1 makes this
+                // unreachable, but the clamp keeps the lookup total).
+                let user = cum.partition_point(|&c| c <= target).min(n_users - 1);
+                // Per-user deterministic session: seed mixed with the
+                // user id through the golden-ratio multiplier so nearby
+                // users get uncorrelated streams.
+                let mut user_rng =
+                    Rng64::seed_from(seed ^ (user as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let len = user_rng.below(max_len + 1);
+                let history = (0..len).map(|_| 1 + user_rng.below(n_items - 1)).collect();
+                Request {
+                    id: user as u64,
+                    history,
+                }
+            })
+            .collect();
+        Ok(QueryLog { queries })
     }
 
     pub fn len(&self) -> usize {
@@ -193,6 +282,66 @@ mod tests {
         }
         let c = QueryLog::synthetic(100, 50, 12, 10);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        let a = QueryLog::synthetic_zipf(500, 1000, 50, 8, 1.1, 7).unwrap();
+        let b = QueryLog::synthetic_zipf(500, 1000, 50, 8, 1.1, 7).unwrap();
+        assert_eq!(a, b, "same seed → same trace");
+        let c = QueryLog::synthetic_zipf(500, 1000, 50, 8, 1.1, 8).unwrap();
+        assert_ne!(a, c, "different seeds should differ");
+        for q in &a.queries {
+            assert!((q.id as usize) < 1000);
+            assert!(q.history.len() <= 8);
+            for &item in &q.history {
+                assert!((1..50).contains(&item));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_head_users_and_replays_sessions() {
+        let log = QueryLog::synthetic_zipf(4000, 500, 40, 6, 1.2, 11).unwrap();
+        let mut counts = vec![0usize; 500];
+        for q in &log.queries {
+            counts[q.id as usize] += 1;
+        }
+        // Head users dominate the tail under α = 1.2.
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[490..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "head users got {head}, tail got {tail}"
+        );
+        // A user's history is a pure function of (seed, user): every
+        // repeat query from the same user carries the same session.
+        let mut first: std::collections::HashMap<u64, &Vec<usize>> = Default::default();
+        for q in &log.queries {
+            match first.get(&q.id) {
+                Some(h) => assert_eq!(*h, &q.history, "user {} session drifted", q.id),
+                None => {
+                    first.insert(q.id, &q.history);
+                }
+            }
+        }
+        assert!(first.len() > 50, "universe barely sampled");
+    }
+
+    #[test]
+    fn zipf_rejects_degenerate_exponents() {
+        for alpha in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match QueryLog::synthetic_zipf(10, 100, 20, 5, alpha, 1) {
+                Err(ZipfError::BadAlpha(a)) => {
+                    assert!(a.is_nan() == alpha.is_nan() && (a.is_nan() || a == alpha))
+                }
+                other => panic!("alpha {alpha} must be rejected, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            QueryLog::synthetic_zipf(10, 0, 20, 5, 1.0, 1),
+            Err(ZipfError::NoUsers)
+        ));
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! The `Sync` scoring core behind [`crate::ServeEngine`] and the sharded
+//! gateway: one contiguous window of the frozen item catalog, plus
+//! everything needed to turn pre-encoded user representations into
+//! hardened top-k answers.
+//!
+//! # Why this split exists
+//!
+//! The model half of serving (`Box<dyn SeqRecModel>`) is *not* `Sync` —
+//! parameters live behind `Rc<RefCell<…>>` for the autograd tape — so an
+//! engine can never be fanned out across `wr-runtime` pool threads. The
+//! catalog half is the opposite: a frozen `Arc`'d matrix and a handful of
+//! `Send + Sync` hooks (injector, sleeper, telemetry). [`CatalogShard`]
+//! is that second half on its own: encode once on the caller thread, then
+//! hand the `users` tensor to any number of shards concurrently.
+//!
+//! # Catalog windows
+//!
+//! A shard owns rows `[item_offset, item_offset + n_items)` of the global
+//! catalog. Scoring a window is bit-identical to the corresponding
+//! columns of the full-catalog gemm (`wr_tensor::matmul` accumulates each
+//! output element over the inner dimension only, independent of how many
+//! columns are computed), so per-shard top-k lists merge *exactly* into
+//! the single-engine answer via [`crate::merge_top_k`] — the property the
+//! gateway's differential suite pins. All public inputs and outputs use
+//! global item ids: seen-item filters are remapped into the window on the
+//! way in, recommendations are remapped back on the way out.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::topk::batch_top_k_shifted;
+use crate::{Request, ResilienceConfig, Response, Scorer, ServeConfig, ServeError};
+use wr_ann::{IvfIndex, SearchStats};
+use wr_eval::{top_k_filtered, ScoredItem};
+use wr_fault::{no_faults, SharedInjector, Sleeper, ThreadSleeper};
+use wr_obs::Telemetry;
+use wr_tensor::Tensor;
+
+/// Rows of `items` containing any non-finite value — these are
+/// quarantined out of every candidate set.
+pub(crate) fn non_finite_rows(items: &Tensor) -> Vec<usize> {
+    (0..items.rows())
+        .filter(|&r| items.row(r).iter().any(|v| !v.is_finite()))
+        .collect()
+}
+
+/// A score that must disqualify its row from the fast path: NaN poisons
+/// every comparison, +Inf pins the top slot. The shard's own quarantine
+/// mask (`NEG_INFINITY`) is *not* poison — it deliberately sorts last.
+pub(crate) fn is_poisoned(v: f32) -> bool {
+    v.is_nan() || (v.is_infinite() && v > 0.0)
+}
+
+/// Copy rows `range` of `full: [n, d]` into an owned `[range.len(), d]`
+/// tensor. The copy preserves bit patterns (including any non-finite
+/// values a damaged cache carries into quarantine detection).
+fn slice_rows(full: &Tensor, range: &Range<usize>) -> Tensor {
+    assert!(full.rank() == 2, "slice_rows expects [n_items, d]");
+    assert!(
+        range.start <= range.end && range.end <= full.rows(),
+        "catalog window {range:?} out of bounds for {} rows",
+        full.rows()
+    );
+    let d = full.cols();
+    let data = full.data()[range.start * d..range.end * d].to_vec();
+    Tensor::from_vec(data, &[range.end - range.start, d])
+}
+
+/// One catalog window plus the degraded-mode machinery to serve it:
+/// quarantine of non-finite rows, fault-injection hooks, bounded retry
+/// with per-request isolation, optional IVF retrieval, write-only
+/// telemetry. Everything inside is `Send + Sync`, so shards are fanned
+/// out across the `wr-runtime` pool by the gateway while the (non-Sync)
+/// model stays on the caller thread.
+///
+/// All methods take *pre-encoded* user representations (`users: [b, d]`,
+/// one row per request, produced by `SeqRecModel::user_representations`
+/// on the caller thread) and answer in **global** item ids.
+pub struct CatalogShard {
+    cache: crate::EmbeddingCache,
+    /// Global id of this window's first row.
+    item_offset: usize,
+    /// Local (window-relative) indices of non-finite cache rows; masked
+    /// to `-inf` in every score row so they can never be recommended.
+    quarantined: Vec<usize>,
+    k: usize,
+    filter_seen: bool,
+    resilience: ResilienceConfig,
+    /// Fault-injection hook on the hot path ([`wr_fault::NoFaults`] in
+    /// production). Consulted for induced panics and score poisoning; the
+    /// recovery machinery below must absorb whatever it injects.
+    injector: SharedInjector,
+    /// How batch-retry backoff waits ([`ThreadSleeper`] in production,
+    /// [`wr_fault::NoSleep`] in tests so nothing ever blocks).
+    sleeper: Arc<dyn Sleeper>,
+    /// Optional write-only telemetry (quarantine/retry/ANN counters).
+    telemetry: Option<Telemetry>,
+    /// Candidate-retrieval strategy; [`Scorer::Ivf`] requires an index.
+    scorer: Scorer,
+    index: Option<Arc<IvfIndex>>,
+}
+
+impl CatalogShard {
+    /// Wrap an existing full-catalog cache (window offset 0). Replicated
+    /// deployments clone one cache into every shard — handle clones, the
+    /// underlying matrix is shared.
+    pub fn from_cache(cache: crate::EmbeddingCache, cfg: &ServeConfig) -> Self {
+        let quarantined = non_finite_rows(cache.items());
+        CatalogShard {
+            cache,
+            item_offset: 0,
+            quarantined,
+            k: cfg.k,
+            filter_seen: cfg.filter_seen,
+            resilience: ResilienceConfig::default(),
+            injector: no_faults(),
+            sleeper: Arc::new(ThreadSleeper),
+            telemetry: None,
+            scorer: Scorer::Exact,
+            index: None,
+        }
+    }
+
+    /// Snapshot rows `range` of the global catalog into a shard window.
+    pub fn from_window(full_items: &Tensor, range: Range<usize>, cfg: &ServeConfig) -> Self {
+        let window = slice_rows(full_items, &range);
+        let mut shard = CatalogShard::from_cache(crate::EmbeddingCache::new(window), cfg);
+        shard.item_offset = range.start;
+        shard
+    }
+
+    /// Re-snapshot this shard's window from `full_items` through
+    /// `injector`'s `cache.load` site — indexed by **global** row id, so
+    /// a given fault plan damages the same catalog rows no matter how
+    /// the catalog is sharded — then recompute the quarantine set and arm
+    /// the injector for the hot-path sites (`serve.row`, `serve.score`).
+    /// Other knobs (resilience, sleeper, telemetry, scorer) are kept.
+    pub fn rearm(&mut self, full_items: &Tensor, injector: SharedInjector) {
+        let range = self.item_offset..self.item_offset + self.cache.n_items();
+        let mut window = slice_rows(full_items, &range);
+        for r in 0..window.rows() {
+            injector.poison("cache.load", (range.start + r) as u64, window.row_mut(r));
+        }
+        self.quarantined = non_finite_rows(&window);
+        self.cache = crate::EmbeddingCache::new(window);
+        self.injector = injector;
+    }
+
+    /// Override degraded-mode knobs (builder-style). `max_queue_depth`
+    /// is this shard's per-call row bound for
+    /// [`CatalogShard::try_serve_encoded`] — the gateway's per-shard
+    /// backpressure valve.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Replace the backoff sleeper (builder-style). Tests inject
+    /// [`wr_fault::NoSleep`] so retry storms never block the suite.
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Attach write-only telemetry (builder-style): `serve.retries`,
+    /// `serve.quarantined_rows`, and `serve.ann.*` counters. Counter
+    /// registration is the owner's job ([`crate::ServeEngine`] and the
+    /// gateway both register eagerly at attach time).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Switch this shard to IVF retrieval. The index must have been built
+    /// over this shard's *window* (local row ids) — shape disagreement is
+    /// a construction bug, checked here rather than discovered per query.
+    pub fn set_ann(&mut self, index: Arc<IvfIndex>, nprobe: usize) {
+        assert_eq!(
+            (index.n_items(), index.dim()),
+            (self.cache.n_items(), self.cache.dim()),
+            "IVF index shape disagrees with the shard window"
+        );
+        self.scorer = Scorer::Ivf { nprobe };
+        self.index = Some(index);
+    }
+
+    pub fn cache(&self) -> &crate::EmbeddingCache {
+        &self.cache
+    }
+
+    /// Global id of this window's first row.
+    pub fn item_offset(&self) -> usize {
+        self.item_offset
+    }
+
+    /// Rows in this window.
+    pub fn n_items(&self) -> usize {
+        self.cache.n_items()
+    }
+
+    /// This window as a global-id range.
+    pub fn item_range(&self) -> Range<usize> {
+        self.item_offset..self.item_offset + self.cache.n_items()
+    }
+
+    /// Local (window-relative) indices quarantined at cache load.
+    pub fn quarantined_items(&self) -> &[usize] {
+        &self.quarantined
+    }
+
+    pub fn scorer(&self) -> Scorer {
+        self.scorer
+    }
+
+    pub fn ann_index(&self) -> Option<&Arc<IvfIndex>> {
+        self.index.as_ref()
+    }
+
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience
+    }
+
+    pub(crate) fn sleeper(&self) -> &Arc<dyn Sleeper> {
+        &self.sleeper
+    }
+
+    /// Score one micro-batch of pre-encoded users. May panic (induced
+    /// faults or genuine bugs); the caller contains it. `attempt` feeds
+    /// the injector so transient faults clear on retry.
+    pub fn process_encoded(&self, slice: &[Request], users: &Tensor, attempt: u32) -> Vec<Response> {
+        for req in slice {
+            self.injector.maybe_panic("serve.row", req.id, attempt);
+        }
+        if let Scorer::Ivf { nprobe } = self.scorer {
+            return self.process_encoded_ann(slice, users, nprobe);
+        }
+        let mut scores = users.matmul(self.cache.items_t());
+        for (r, req) in slice.iter().enumerate() {
+            self.injector.poison("serve.score", req.id, scores.row_mut(r));
+        }
+        self.extract_top_k(slice, scores)
+    }
+
+    /// [`CatalogShard::process_encoded`] with containment: panic →
+    /// bounded retry with backoff → per-request isolation (each request
+    /// re-scored alone from its own `users` row, so a poisoned request
+    /// fails with an empty item list while its batch peers get their
+    /// normal, bit-identical answers).
+    pub fn serve_encoded(&self, slice: &[Request], users: &Tensor) -> Vec<Response> {
+        let policy = self.resilience.retry;
+        for attempt in 0..policy.max_attempts {
+            match catch_unwind(AssertUnwindSafe(|| self.process_encoded(slice, users, attempt))) {
+                Ok(responses) => return responses,
+                Err(_payload) => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.registry.counter("serve.retries").inc();
+                    }
+                    if attempt + 1 < policy.max_attempts {
+                        self.sleeper.sleep_ns(policy.delay_ns(attempt));
+                    }
+                }
+            }
+        }
+        // The batch keeps dying: isolate requests. Single-row scoring is
+        // bit-identical to batched scoring (row independence — the
+        // differential suite's contract), so survivors' answers match
+        // what the healthy batch would have produced.
+        slice
+            .iter()
+            .enumerate()
+            .map(|(r, req)| {
+                let row = Tensor::from_vec(users.row(r).to_vec(), &[1, users.cols()]);
+                let one = std::slice::from_ref(req);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    self.process_encoded(one, &row, policy.max_attempts)
+                })) {
+                    Ok(mut responses) => responses.pop().unwrap_or(Response {
+                        id: req.id,
+                        items: Vec::new(),
+                    }),
+                    Err(_) => Response {
+                        id: req.id,
+                        items: Vec::new(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// [`CatalogShard::serve_encoded`] behind per-shard backpressure:
+    /// calls carrying more than `resilience.max_queue_depth` rows are
+    /// rejected (typed, counted) so one slow shard sheds load instead of
+    /// queuing unbounded work. The gateway degrades the affected
+    /// responses rather than failing the whole request.
+    pub fn try_serve_encoded(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+    ) -> Result<Vec<Response>, ServeError> {
+        let limit = self.resilience.max_queue_depth;
+        if slice.len() > limit {
+            if let Some(tel) = &self.telemetry {
+                tel.registry.counter("serve.rejected_overload").inc();
+            }
+            return Err(ServeError::Overloaded {
+                depth: slice.len(),
+                limit,
+            });
+        }
+        Ok(self.serve_encoded(slice, users))
+    }
+
+    /// Single pre-encoded query without fault hooks (the interactive
+    /// path): honors the active scorer, filters seen items, answers in
+    /// global ids.
+    pub fn recommend_encoded(&self, history: &[usize], users: &Tensor) -> Vec<ScoredItem> {
+        if let Scorer::Ivf { nprobe } = self.scorer {
+            let req = Request {
+                id: 0,
+                history: history.to_vec(),
+            };
+            return self
+                .process_encoded_ann(std::slice::from_ref(&req), users, nprobe)
+                .pop()
+                .map(|r| r.items)
+                .unwrap_or_default();
+        }
+        let scores = users.matmul(self.cache.items_t());
+        let seen: &[usize] = if self.filter_seen { history } else { &[] };
+        if self.item_offset == 0 {
+            return top_k_filtered(scores.row(0), self.k, seen);
+        }
+        let local_seen: Vec<usize> = seen
+            .iter()
+            .filter_map(|&h| h.checked_sub(self.item_offset))
+            .collect();
+        let mut items = top_k_filtered(scores.row(0), self.k, &local_seen);
+        for s in &mut items {
+            s.item += self.item_offset;
+        }
+        items
+    }
+
+    /// Score one micro-batch through the IVF index: probe per query in
+    /// parallel (one pool task per request row, stitched in order — the
+    /// usual thread-count-independent shape). Seen-item filtering and the
+    /// item quarantine are applied as candidate exclusions, remapped into
+    /// the window.
+    fn process_encoded_ann(&self, slice: &[Request], users: &Tensor, nprobe: usize) -> Vec<Response> {
+        let Some(index) = self.index.as_ref() else {
+            // Scorer::Ivf without an index — set_ann enforces the
+            // pairing, but a broken caller gets dense answers, not a
+            // dead batch.
+            let mut scores = users.matmul(self.cache.items_t());
+            for (r, req) in slice.iter().enumerate() {
+                self.injector.poison("serve.score", req.id, scores.row_mut(r));
+            }
+            return self.extract_top_k(slice, scores);
+        };
+        let (k, filter_seen, offset) = (self.k, self.filter_seen, self.item_offset);
+        let n_local = self.cache.n_items();
+        let quarantined = &self.quarantined;
+        let index_ref: &IvfIndex = index;
+        let users_ref = users;
+        let results: Vec<(Vec<ScoredItem>, SearchStats)> =
+            wr_runtime::parallel_map(slice.len(), 1, |r| {
+                let mut excluded: Vec<usize> = Vec::new();
+                if filter_seen {
+                    excluded.extend(slice[r].history.iter().filter_map(|&h| {
+                        let local = h.checked_sub(offset)?;
+                        (local < n_local).then_some(local)
+                    }));
+                }
+                excluded.extend_from_slice(quarantined);
+                index_ref.search(users_ref.row(r), k, nprobe, &excluded)
+            });
+        if let Some(tel) = &self.telemetry {
+            let (lists, rows) = results.iter().fold((0u64, 0u64), |(l, s), (_, st)| {
+                (l + st.lists_probed as u64, s + st.rows_scanned as u64)
+            });
+            tel.registry.counter("serve.ann.lists_probed").add(lists);
+            tel.registry.counter("serve.ann.rows_scanned").add(rows);
+        }
+        slice
+            .iter()
+            .zip(results)
+            .map(|(req, (mut items, _))| {
+                for s in &mut items {
+                    s.item += offset;
+                }
+                Response { id: req.id, items }
+            })
+            .collect()
+    }
+
+    /// Top-k extraction with quarantine: masked items sort last, poisoned
+    /// rows take the slow non-finite-aware path. Outputs global ids.
+    fn extract_top_k(&self, slice: &[Request], mut scores: Tensor) -> Vec<Response> {
+        // Quarantined items (non-finite cache rows) are masked to -inf
+        // *first*: one bad item column must not poison whole rows.
+        if !self.quarantined.is_empty() {
+            for r in 0..slice.len() {
+                let row = scores.row_mut(r);
+                for &c in &self.quarantined {
+                    if let Some(cell) = row.get_mut(c) {
+                        *cell = f32::NEG_INFINITY;
+                    }
+                }
+            }
+        }
+        let poisoned: Vec<bool> = (0..slice.len())
+            .map(|r| scores.row(r).iter().copied().any(is_poisoned))
+            .collect();
+        let seen: Vec<&[usize]> = slice
+            .iter()
+            .map(|r| {
+                if self.filter_seen {
+                    r.history.as_slice()
+                } else {
+                    &[]
+                }
+            })
+            .collect();
+        let lists = batch_top_k_shifted(&scores, self.k, &seen, self.item_offset);
+        let n_poisoned = poisoned.iter().filter(|&&p| p).count();
+        if n_poisoned > 0 {
+            if let Some(tel) = &self.telemetry {
+                tel.registry
+                    .counter("serve.quarantined_rows")
+                    .add(n_poisoned as u64);
+            }
+        }
+        slice
+            .iter()
+            .zip(lists)
+            .enumerate()
+            .map(|(r, (req, items))| {
+                let items = if poisoned.get(r).copied().unwrap_or(false) {
+                    // batch_top_k's total_cmp would rank NaN/+Inf first;
+                    // re-rank this row from scratch, finite scores only.
+                    self.quarantined_row_top_k(scores.row(r), &req.history)
+                } else {
+                    items
+                };
+                Response { id: req.id, items }
+            })
+            .collect()
+    }
+
+    /// Degraded per-row scorer: full sort over finite scores only, same
+    /// (`total_cmp` descending, ascending index) tie policy as the fast
+    /// path. NaN and +Inf entries are dropped from the candidate set.
+    /// `row` is window-local; the returned items are global.
+    fn quarantined_row_top_k(&self, row: &[f32], history: &[usize]) -> Vec<ScoredItem> {
+        let mut excluded = vec![false; row.len()];
+        if self.filter_seen {
+            for &h in history {
+                if let Some(local) = h.checked_sub(self.item_offset) {
+                    if let Some(e) = excluded.get_mut(local) {
+                        *e = true;
+                    }
+                }
+            }
+        }
+        let mut order: Vec<usize> = row
+            .iter()
+            .zip(&excluded)
+            .enumerate()
+            .filter(|(_, (v, ex))| v.is_finite() && !**ex)
+            .map(|(i, _)| i)
+            .collect();
+        // `order` holds in-bounds indices by construction; the checked
+        // reads (with a -inf default that never wins) keep this total.
+        let score_at = |i: usize| row.get(i).copied().unwrap_or(f32::NEG_INFINITY);
+        order.sort_by(|&a, &b| score_at(b).total_cmp(&score_at(a)).then(a.cmp(&b)));
+        order
+            .into_iter()
+            .take(self.k)
+            .filter_map(|i| {
+                row.get(i).map(|&score| ScoredItem {
+                    item: self.item_offset + i,
+                    score,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wr_fault::RetryPolicy;
+    use wr_tensor::Rng64;
+
+    fn shard_fixture(n_items: usize, range: Range<usize>, k: usize) -> (Tensor, CatalogShard) {
+        let mut rng = Rng64::seed_from(41);
+        let items = Tensor::randn(&[n_items, 8], &mut rng);
+        let cfg = ServeConfig {
+            k,
+            max_batch: 8,
+            max_seq: 6,
+            filter_seen: true,
+        };
+        let shard = CatalogShard::from_window(&items, range, &cfg);
+        (items, shard)
+    }
+
+    #[test]
+    fn window_scoring_matches_full_catalog_columns() {
+        let (items, shard) = shard_fixture(37, 11..29, 5);
+        let mut rng = Rng64::seed_from(7);
+        let users = Tensor::randn(&[3, 8], &mut rng);
+        let full = users.matmul(&items.transpose());
+        let windowed = users.matmul(shard.cache().items_t());
+        for r in 0..3 {
+            for c in 0..18 {
+                assert_eq!(
+                    windowed.row(r)[c].to_bits(),
+                    full.row(r)[11 + c].to_bits(),
+                    "window gemm must be bit-identical to the full gemm's columns"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_results_are_global_ids_with_global_seen_filter() {
+        let (_, shard) = shard_fixture(37, 11..29, 40);
+        let mut rng = Rng64::seed_from(8);
+        let users = Tensor::randn(&[2, 8], &mut rng);
+        let reqs = vec![
+            Request { id: 0, history: vec![12, 28, 3] },  // 12, 28 in window
+            Request { id: 1, history: vec![] },
+        ];
+        let responses = shard.serve_encoded(&reqs, &users);
+        // k exceeds the window: all unseen window items come back.
+        assert_eq!(responses[0].items.len(), 16);
+        assert_eq!(responses[1].items.len(), 18);
+        for resp in &responses {
+            for s in &resp.items {
+                assert!((11..29).contains(&s.item), "global id {}", s.item);
+            }
+        }
+        assert!(responses[0].items.iter().all(|s| s.item != 12 && s.item != 28));
+    }
+
+    #[test]
+    fn shard_backpressure_rejects_oversized_calls() {
+        let (_, shard) = shard_fixture(20, 0..20, 3);
+        let shard = shard.with_resilience(ResilienceConfig {
+            max_queue_depth: 2,
+            retry: RetryPolicy::default(),
+        });
+        let mut rng = Rng64::seed_from(9);
+        let users = Tensor::randn(&[3, 8], &mut rng);
+        let reqs: Vec<Request> = (0..3)
+            .map(|i| Request { id: i, history: vec![] })
+            .collect();
+        match shard.try_serve_encoded(&reqs, &users) {
+            Err(ServeError::Overloaded { depth, limit }) => {
+                assert_eq!((depth, limit), (3, 2));
+            }
+            Ok(_) => panic!("expected per-shard backpressure rejection"),
+        }
+        assert!(shard.try_serve_encoded(&reqs[..2], &users).is_ok());
+    }
+
+    #[test]
+    fn rearm_quarantines_poisoned_global_rows() {
+        let mut rng = Rng64::seed_from(10);
+        let items = Tensor::randn(&[30, 8], &mut rng);
+        let cfg = ServeConfig { k: 4, max_batch: 8, max_seq: 6, filter_seen: false };
+        let mut shard = CatalogShard::from_window(&items, 10..20, &cfg);
+        assert!(shard.quarantined_items().is_empty());
+        // A plan dense enough to hit at least one row in a 10-row window.
+        let rates = wr_fault::FaultRates {
+            poison: 1.0,
+            ..Default::default()
+        };
+        let plan = wr_fault::FaultPlan::with_rates(3, rates);
+        shard.rearm(&items, std::sync::Arc::new(plan));
+        assert!(!shard.quarantined_items().is_empty());
+        for &q in shard.quarantined_items() {
+            assert!(q < 10, "quarantine indices are window-local");
+        }
+    }
+}

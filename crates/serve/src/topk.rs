@@ -25,8 +25,11 @@ const SEGMENT: usize = 4096;
 
 /// Top-`k` of one score row via segmented scan + k-way merge. `seen_mask`
 /// is the row-length exclusion bitmap (seen items skipped before the
-/// heap, exactly as [`wr_eval::top_k_filtered`] skips them).
-fn row_top_k_segmented(row: &[f32], k: usize, seen_mask: &[bool]) -> Vec<ScoredItem> {
+/// heap, exactly as [`wr_eval::top_k_filtered`] skips them). Returned
+/// item ids are shifted by `item_base` — column `c` reports as
+/// `item_base + c` — so a catalog-window row answers in global ids. The
+/// shift preserves the tie order (it is monotone in the column index).
+fn row_top_k_segmented(row: &[f32], k: usize, seen_mask: &[bool], item_base: usize) -> Vec<ScoredItem> {
     let n = row.len();
     let n_segments = n.div_ceil(SEGMENT).max(1);
     let mut partials: Vec<Vec<ScoredItem>> = Vec::with_capacity(n_segments);
@@ -36,7 +39,7 @@ fn row_top_k_segmented(row: &[f32], k: usize, seen_mask: &[bool]) -> Vec<ScoredI
         let mut acc = TopK::new(k);
         for item in lo..hi {
             if !seen_mask[item] {
-                acc.push(item, row[item]);
+                acc.push(item_base + item, row[item]);
             }
         }
         partials.push(acc.into_sorted());
@@ -56,6 +59,26 @@ fn row_top_k_segmented(row: &[f32], k: usize, seen_mask: &[bool]) -> Vec<ScoredI
 ///
 /// `seen` must have one entry per batch row.
 pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<ScoredItem>> {
+    batch_top_k_shifted(scores, k, seen, 0)
+}
+
+/// [`batch_top_k`] over a catalog *window*: `scores` holds columns
+/// `[item_base, item_base + n_items)` of the global catalog, `seen` lists
+/// **global** item ids (entries outside the window are ignored — they
+/// belong to some other shard), and the returned items are global ids.
+///
+/// With `item_base = 0` this is exactly `batch_top_k` — the window case
+/// only shifts the mask lookup on the way in and the reported ids on the
+/// way out, so per-shard results from disjoint windows merge into the
+/// full-catalog answer bit-for-bit (see [`merge_top_k`]). The mask is
+/// built in place per row (set, scan, unset) rather than remapping each
+/// seen list into a fresh allocation on the hot path.
+pub fn batch_top_k_shifted(
+    scores: &Tensor,
+    k: usize,
+    seen: &[&[usize]],
+    item_base: usize,
+) -> Vec<Vec<ScoredItem>> {
     assert!(scores.rank() == 2, "batch_top_k expects [batch, n_items]");
     assert_eq!(
         scores.rows(),
@@ -75,13 +98,13 @@ pub fn batch_top_k(scores: &Tensor, k: usize, seen: &[&[usize]]) -> Vec<Vec<Scor
             // `out`; the checked lookup keeps the pool closure panic-free.
             let row_seen: &[usize] = seen.get(row).copied().unwrap_or(&[]);
             for &s in row_seen {
-                if let Some(m) = mask.get_mut(s) {
+                if let Some(m) = s.checked_sub(item_base).and_then(|l| mask.get_mut(l)) {
                     *m = true;
                 }
             }
-            *slot = row_top_k_segmented(scores.row(row), k, &mask);
+            *slot = row_top_k_segmented(scores.row(row), k, &mask, item_base);
             for &s in row_seen {
-                if let Some(m) = mask.get_mut(s) {
+                if let Some(m) = s.checked_sub(item_base).and_then(|l| mask.get_mut(l)) {
                     *m = false;
                 }
             }
@@ -163,5 +186,41 @@ mod tests {
     fn empty_batch_is_fine() {
         let scores = Tensor::zeros(&[0, 10]);
         assert!(batch_top_k(&scores, 5, &[]).is_empty());
+    }
+
+    #[test]
+    fn shifted_window_matches_full_catalog_slice() {
+        // Score a full catalog, then re-extract through a window at
+        // item_base: the window's global-id results must be exactly the
+        // full extraction restricted to the window (quantized scores so
+        // ties cross the boundary).
+        let mut rng = Rng64::seed_from(12);
+        let (n_items, base, width) = (230usize, 57usize, 91usize);
+        let data: Vec<f32> = (0..5 * n_items).map(|_| (rng.below(11) as f32) * 0.5).collect();
+        let scores = Tensor::from_vec(data, &[5, n_items]);
+        let window_data: Vec<f32> = (0..5)
+            .flat_map(|r| scores.row(r)[base..base + width].to_vec())
+            .collect();
+        let window = Tensor::from_vec(window_data, &[5, width]);
+        let seen_store: Vec<Vec<usize>> = (0..5)
+            .map(|_| (0..8).map(|_| rng.below(n_items)).collect())
+            .collect();
+        let seen: Vec<&[usize]> = seen_store.iter().map(|s| s.as_slice()).collect();
+        // k larger than the whole catalog so nothing is lost to
+        // truncation on either side.
+        let k = n_items + 5;
+        let full = batch_top_k(&scores, k, &seen);
+        let shifted = batch_top_k_shifted(&window, k, &seen, base);
+        for r in 0..5 {
+            let expect: Vec<_> = full[r]
+                .iter()
+                .filter(|s| (base..base + width).contains(&s.item))
+                .collect();
+            assert_eq!(shifted[r].len(), expect.len(), "row {r}");
+            for (a, b) in shifted[r].iter().zip(expect) {
+                assert_eq!(a.item, b.item, "row {r}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "row {r}");
+            }
+        }
     }
 }

@@ -104,4 +104,43 @@ grep -Eq '"fault\.injected":[1-9]' "$smoke_dir/chaos-metrics.json"
 grep -Eq '"serve\.(quarantined_rows|retries)":[1-9]' "$smoke_dir/chaos-metrics.json"
 echo "   chaos ok: $(grep -Eo '"(fault\.injected|serve\.quarantined_rows|serve\.retries)":[0-9]+' "$smoke_dir/chaos-metrics.json" | tr '\n' ' ')"
 
+# Gateway smoke: replay a Zipf trace through the sharded gateway, reusing
+# the same checkpoint fixture. A healthy 2-shard partitioned gateway must
+# report the same top1_checksum as a 1-shard gateway (the single-engine
+# degenerate case) — the cross-binary face of the differential suite —
+# and the in-binary --check-single differential must pass. The metrics
+# export must carry nonzero gateway.* traffic counters.
+echo "== check: gateway-bench smoke (2-shard == 1-shard checksum) =="
+./target/release/gateway-bench --scale 0.05 --epochs 1 --queries 256 \
+    --batch 32 --k 10 --shards 1 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/gw1-report.json"
+./target/release/gateway-bench --scale 0.05 --epochs 1 --queries 256 \
+    --batch 32 --k 10 --shards 2 --check-single 64 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/gw2-report.json" \
+    --metrics-out "$smoke_dir/gw-metrics.json"
+gw1_sum="$(grep -Eo '"top1_checksum":"[0-9a-f]+"' "$smoke_dir/gw1-report.json")"
+gw2_sum="$(grep -Eo '"top1_checksum":"[0-9a-f]+"' "$smoke_dir/gw2-report.json")"
+[ -n "$gw1_sum" ] && [ "$gw1_sum" = "$gw2_sum" ] \
+    || { echo "   gateway shard-count checksum diverged: $gw1_sum vs $gw2_sum"; exit 1; }
+grep -q '"p50_ms"' "$smoke_dir/gw2-report.json"
+grep -q '"p99_ms"' "$smoke_dir/gw2-report.json"
+grep -Eq '"gateway\.requests":[1-9]' "$smoke_dir/gw-metrics.json"
+grep -Eq '"gateway\.fanout_calls":[1-9]' "$smoke_dir/gw-metrics.json"
+grep -q '"gateway.latency_ms"' "$smoke_dir/gw-metrics.json"
+grep -q '"gateway.degraded_responses"' "$smoke_dir/gw-metrics.json"
+echo "   gateway ok: $gw1_sum == $gw2_sum"
+
+# Gateway chaos smoke: same fixture, one shard poisoned. The replay must
+# exit cleanly (survivor shards keep answering; the victim degrades the
+# responses it loses) with nonzero injected faults in the export.
+echo "== check: gateway-bench chaos smoke (one shard poisoned) =="
+WR_FAULT_SEED=20240613 ./target/release/gateway-bench --scale 0.05 --epochs 1 \
+    --queries 256 --batch 32 --k 10 --shards 3 --poison-shard 1 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/gw-chaos-report.json" \
+    --metrics-out "$smoke_dir/gw-chaos-metrics.json"
+grep -q '"qps"' "$smoke_dir/gw-chaos-report.json"
+grep -Eq '"fault\.injected":[1-9]' "$smoke_dir/gw-chaos-metrics.json"
+grep -Eq '"serve\.(quarantined_rows|retries)":[1-9]' "$smoke_dir/gw-chaos-metrics.json"
+echo "   gateway chaos ok: $(grep -Eo '"(fault\.injected|gateway\.degraded_responses)":[0-9]+' "$smoke_dir/gw-chaos-metrics.json" | tr '\n' ' ')"
+
 echo "== check: ok =="
