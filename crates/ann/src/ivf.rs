@@ -66,6 +66,11 @@ pub struct SearchStats {
     /// Catalog rows whose scores were accumulated (excluded rows are
     /// skipped *before* the dot product and do not count).
     pub rows_scanned: usize,
+    /// Owning trace id when the probe was issued through
+    /// [`IvfIndex::search_traced`] (0 = untraced). Pure accounting — it
+    /// never influences the scan — but it lets the serving layer join a
+    /// probe's cost back to the request batch that paid it.
+    pub trace_id: u64,
 }
 
 /// An IVF-flat index over a frozen catalog tensor.
@@ -198,6 +203,21 @@ impl IvfIndex {
         nprobe: usize,
         excluded: &[usize],
     ) -> (Vec<ScoredItem>, SearchStats) {
+        self.search_traced(query, k, nprobe, excluded, 0)
+    }
+
+    /// [`IvfIndex::search`] under a trace identity: the scan is
+    /// bit-identical (the id is write-only accounting), but the returned
+    /// [`SearchStats`] carry `trace_id` so per-probe cost can be joined
+    /// to the owning request batch's span tree.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        excluded: &[usize],
+        trace_id: u64,
+    ) -> (Vec<ScoredItem>, SearchStats) {
         assert_eq!(
             query.len(),
             self.dim,
@@ -212,7 +232,10 @@ impl IvfIndex {
 
         let order = self.probe_order(query);
         let mut partials: Vec<Vec<ScoredItem>> = Vec::with_capacity(nprobe);
-        let mut stats = SearchStats::default();
+        let mut stats = SearchStats {
+            trace_id,
+            ..SearchStats::default()
+        };
         for &(l, _) in order.iter().take(nprobe) {
             stats.lists_probed += 1;
             // `l < nlist` and `offsets.len() == nlist + 1` by construction;
@@ -450,6 +473,20 @@ mod tests {
             assert_eq!(stats.lists_probed, 12);
             assert_eq!(stats.rows_scanned, 300);
         }
+    }
+
+    #[test]
+    fn traced_search_is_bit_identical_and_stamps_the_id() {
+        let items = catalog(150, 8, 11);
+        let index = IvfIndex::build(&items, 6, 4).unwrap();
+        let q: Vec<f32> = items.row(3).to_vec();
+        let (plain, plain_stats) = index.search(&q, 7, 3, &[2]);
+        let (traced, traced_stats) = index.search_traced(&q, 7, 3, &[2], 0xDEAD_BEEF);
+        assert_eq!(plain, traced, "trace id must never change the scan");
+        assert_eq!(plain_stats.lists_probed, traced_stats.lists_probed);
+        assert_eq!(plain_stats.rows_scanned, traced_stats.rows_scanned);
+        assert_eq!(plain_stats.trace_id, 0);
+        assert_eq!(traced_stats.trace_id, 0xDEAD_BEEF);
     }
 
     #[test]

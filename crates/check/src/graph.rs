@@ -21,6 +21,11 @@
 //!   flags cycles and locks held across a `parallel_*` dispatch.
 //! * **R8 hot-loop-alloc** flags allocation calls inside loops of
 //!   hot-path-reachable functions.
+//! * **R9 write-only-telemetry** flags calls that resolve exclusively to
+//!   the obs read / export surface ([`TELEMETRY_READ_APIS`]) from any
+//!   crate outside the sanctioned reader set (obs itself, the bench
+//!   harness, the CLI binaries, wr-check). Serving code emits telemetry;
+//!   only the scrape endpoint and exporters read it back.
 //!
 //! Kernel crates (R1's domain — their panic discipline is already owned
 //! by the no-panic rule with documented `try_` siblings) and the
@@ -34,6 +39,28 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// Crates whose `parallel_*` closure bodies are hot-path roots.
 const CLOSURE_ROOT_CRATES: &[&str] = &["serve", "ann", "runtime", "obs", "gateway"];
 
+/// The obs read / export surface guarded by R9. A call is flagged only
+/// when *every* resolved candidate sits on this list — an ambiguous
+/// method name (a `snapshot()` that may equally bind to
+/// `Histogram::snapshot`) stays silent, keeping the rule sound under
+/// name+arity resolution.
+const TELEMETRY_READ_APIS: &[&str] = &[
+    "Registry::snapshot",
+    "Registry::to_json",
+    "Tracer::events",
+    "Tracer::to_chrome_json",
+    "Tracer::to_jsonl",
+    "FlightRecorder::events",
+    "FlightRecorder::snapshot_json",
+];
+
+/// Crates allowed to read telemetry back (R9): obs owns the scrape
+/// endpoint, bench and the crates/core CLI binaries export reports, and
+/// wr-check is not serving code.
+fn reads_telemetry_legitimately(krate: &str) -> bool {
+    matches!(krate, "obs" | "bench" | "check" | "core" | "workspace")
+}
+
 /// Qualified names of the declared hot-path root set.
 const HOT_ROOTS: &[&str] = &[
     "ServeEngine::serve",
@@ -43,6 +70,15 @@ const HOT_ROOTS: &[&str] = &[
     "IvfIndex::search",
     "batch_top_k",
 ];
+
+/// Fail-stop sinks the hot-path BFS does not traverse *through*: sealing
+/// a flight dump happens on the way down (degradation, permanent panic,
+/// overload), at most a handful of times per process, and is I/O-bound —
+/// its callees are not request-path code. The sink itself stays hot (its
+/// own body is still checked); only reachability through it is cut. A
+/// callee that is also reachable on a genuine hot path keeps its
+/// findings via that other chain.
+const COLD_SINKS: &[&str] = &["FlightRecorder::trigger"];
 
 /// A call the resolver could not bind to any workspace definition.
 #[derive(Debug, Clone)]
@@ -242,6 +278,9 @@ pub fn analyze(files: &[FileSymbols]) -> Analysis {
         }
     }
     while let Some(u) = queue.pop_front() {
+        if COLD_SINKS.contains(&g.def(u).qual.as_str()) {
+            continue;
+        }
         for &v in &g.edges[u] {
             if !hot[v] {
                 hot[v] = true;
@@ -301,6 +340,37 @@ pub fn analyze(files: &[FileSymbols]) -> Analysis {
                 ),
                 suppressed: None,
             });
+        }
+    }
+
+    // ---- R9: telemetry reads outside the sanctioned reader crates ----
+    for i in 0..n {
+        if reads_telemetry_legitimately(g.krate(i)) {
+            continue;
+        }
+        let d = g.def(i);
+        for (ci, targets) in &call_targets[i] {
+            if targets.is_empty() {
+                continue;
+            }
+            let all_banned = targets.iter().all(|&t| {
+                g.krate(t) == "obs" && TELEMETRY_READ_APIS.contains(&g.def(t).qual.as_str())
+            });
+            if all_banned {
+                let call = &d.calls[*ci];
+                violations.push(Violation {
+                    rule: Rule::WriteOnlyTelemetry,
+                    path: g.path(i).to_string(),
+                    line: call.line,
+                    message: format!(
+                        "call to {} in {} resolves only to the telemetry read surface ({}) — telemetry is write-only outside crates/obs; read via the scrape endpoint or a bench/CLI exporter",
+                        call.name,
+                        d.qual,
+                        g.def(targets[0]).qual,
+                    ),
+                    suppressed: None,
+                });
+            }
         }
     }
 
@@ -640,6 +710,119 @@ mod tests {
         // Temporary guards die at their statement: no nesting, no cycle.
         assert!(
             a.violations.iter().all(|v| v.rule != Rule::LockOrder),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn cold_sinks_cut_reachability_but_stay_checked_themselves() {
+        let files = table(&[
+            (
+                "crates/serve/src/engine.rs",
+                "impl ServeEngine { pub fn serve(&self) { self.flight.trigger(1); } }",
+            ),
+            (
+                "crates/obs/src/flight.rs",
+                "impl FlightRecorder { pub fn trigger(&self, r: u32) { seal(r); } }\n\
+                 pub fn seal(r: u32) { let x: Option<u32> = None; x.unwrap(); }",
+            ),
+        ]);
+        let a = analyze(&files);
+        // The unwrap in the dump-sealing callee is NOT hot: the BFS cuts
+        // at the fail-stop sink instead of dragging cold sealing code
+        // into R6.
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::PanicReachability),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r9_flags_unambiguous_telemetry_read_in_a_serving_crate() {
+        let files = table(&[
+            (
+                "crates/obs/src/registry.rs",
+                "impl Registry { pub fn snapshot(&self) -> u32 { 0 } }",
+            ),
+            (
+                "crates/serve/src/engine.rs",
+                "impl ServeEngine { pub fn serve(&self) { let s = self.registry.snapshot(); } }",
+            ),
+        ]);
+        let a = analyze(&files);
+        let r9: Vec<&Violation> =
+            a.violations.iter().filter(|v| v.rule == Rule::WriteOnlyTelemetry).collect();
+        assert_eq!(r9.len(), 1, "{:#?}", a.violations);
+        assert_eq!(r9[0].path, "crates/serve/src/engine.rs");
+        assert!(r9[0].message.contains("Registry::snapshot"), "{}", r9[0].message);
+    }
+
+    #[test]
+    fn r9_stays_silent_on_ambiguous_method_names() {
+        // runtime's sampler calls `h.snapshot()` on a Histogram; under
+        // name+arity resolution that also matches Registry::snapshot.
+        // Ambiguity must not convict — only all-banned target sets do.
+        let files = table(&[
+            (
+                "crates/obs/src/registry.rs",
+                "impl Registry { pub fn snapshot(&self) -> u32 { 0 } }\n\
+                 impl Histogram { pub fn snapshot(&self) -> u32 { 1 } }",
+            ),
+            (
+                "crates/runtime/src/lib.rs",
+                "pub fn record_metrics(h: &Histogram) { let s = h.snapshot(); }",
+            ),
+        ]);
+        let a = analyze(&files);
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::WriteOnlyTelemetry),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r9_exempts_obs_bench_and_the_cli_binaries() {
+        let files = table(&[
+            (
+                "crates/obs/src/span.rs",
+                "impl Tracer { pub fn to_chrome_json(&self) -> u32 { 0 } }\n\
+                 impl Tracer { pub fn dump(&self) { let j = self.to_chrome_json(); } }",
+            ),
+            (
+                "crates/core/src/telemetry_export.rs",
+                "pub fn export(t: &Tracer) { let j = t.to_chrome_json(); }",
+            ),
+            (
+                "crates/bench/src/probe.rs",
+                "pub fn probe(t: &Tracer) { let j = t.to_chrome_json(); }",
+            ),
+        ]);
+        let a = analyze(&files);
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::WriteOnlyTelemetry),
+            "{:#?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn r9_ignores_test_code_readbacks() {
+        let files = table(&[
+            (
+                "crates/obs/src/span.rs",
+                "impl Tracer { pub fn to_chrome_json(&self) -> u32 { 0 } }",
+            ),
+            (
+                "crates/gateway/src/gateway.rs",
+                "#[cfg(test)]\nmod tests { fn t(t: &Tracer) { let j = t.to_chrome_json(); } }",
+            ),
+        ]);
+        let a = analyze(&files);
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::WriteOnlyTelemetry),
             "{:#?}",
             a.violations
         );

@@ -12,9 +12,12 @@
 //!   immediately preceded by a `// SAFETY:` comment (applies everywhere,
 //!   tests included). Function-pointer *types* (`unsafe fn(…)`) are exempt.
 //! * **R3 `pool-only-parallelism`** — `thread::spawn` and `static mut` are
-//!   forbidden outside `crates/runtime`: all parallelism goes through the
-//!   shared pool so the bit-determinism contract stays auditable in one
-//!   place.
+//!   forbidden outside `crates/runtime` and `crates/obs`: all
+//!   result-producing parallelism goes through the shared pool so the
+//!   bit-determinism contract stays auditable in one place. The obs
+//!   exemption covers exactly the telemetry endpoint's accept loop
+//!   (`wr_obs::serve_http`), which must outlive any bounded pool dispatch
+//!   and never touches results.
 //! * **R4 `determinism`** — `Instant::now` / `SystemTime::now` and
 //!   `HashMap` / `HashSet` (iteration-order hazards) are flagged in
 //!   result-producing crates. Wall-clock reads are allowlisted only in
@@ -25,7 +28,7 @@
 //! * **R5 `float-eq`** — direct `==` / `!=` against a float literal in
 //!   non-test code; use a tolerance helper or justify the exact compare.
 //!
-//! Three semantic rules run on the workspace call graph built by
+//! Four semantic rules run on the workspace call graph built by
 //! [`crate::symbols`] / [`crate::graph`] (pass 2):
 //!
 //! * **R6 `panic-reachability`** — panic sites (unwrap/expect/panic!-family,
@@ -35,6 +38,11 @@
 //!   locks held across a `parallel_*` dispatch, same-class re-acquisition.
 //! * **R8 `hot-loop-alloc`** — allocation calls inside loops of
 //!   hot-path-reachable functions.
+//! * **R9 `write-only-telemetry`** — serving crates may emit telemetry but
+//!   never read it back: calls that resolve exclusively to the obs read /
+//!   export surface (`Registry::snapshot`, `Tracer::events`,
+//!   `FlightRecorder::snapshot_json`, …) are flagged outside
+//!   `crates/obs`, the harness, and the CLI binaries.
 //!
 //! Suppression is explicit and justified, never silent:
 //!
@@ -60,6 +68,7 @@ pub enum Rule {
     PanicReachability,
     LockOrder,
     HotLoopAlloc,
+    WriteOnlyTelemetry,
     Directive,
 }
 
@@ -74,6 +83,7 @@ impl Rule {
         Rule::PanicReachability,
         Rule::LockOrder,
         Rule::HotLoopAlloc,
+        Rule::WriteOnlyTelemetry,
         Rule::Directive,
     ];
 
@@ -87,6 +97,7 @@ impl Rule {
             Rule::PanicReachability => "R6",
             Rule::LockOrder => "R7",
             Rule::HotLoopAlloc => "R8",
+            Rule::WriteOnlyTelemetry => "R9",
             Rule::Directive => "D0",
         }
     }
@@ -101,6 +112,7 @@ impl Rule {
             Rule::PanicReachability => "panic-reachability",
             Rule::LockOrder => "lock-order",
             Rule::HotLoopAlloc => "hot-loop-alloc",
+            Rule::WriteOnlyTelemetry => "write-only-telemetry",
             Rule::Directive => "directive",
         }
     }
@@ -116,6 +128,7 @@ impl Rule {
             "r6" | "panic-reachability" => Some(Rule::PanicReachability),
             "r7" | "lock-order" => Some(Rule::LockOrder),
             "r8" | "hot-loop-alloc" => Some(Rule::HotLoopAlloc),
+            "r9" | "write-only-telemetry" => Some(Rule::WriteOnlyTelemetry),
             _ => None,
         }
     }
@@ -146,11 +159,15 @@ impl Rule {
             }
             Rule::PoolOnlyParallelism => {
                 "R3 pool-only-parallelism — thread::spawn and `static mut` are\n\
-                 forbidden outside crates/runtime.\n\n\
+                 forbidden outside crates/runtime and crates/obs.\n\n\
                  Rationale: bit-identical results at any WR_THREADS require every\n\
                  parallel primitive to go through the one audited pool; ad-hoc\n\
-                 threads and racy statics break that contract invisibly.\n\n\
-                 Scope: every crate except crates/runtime.\n\n\
+                 threads and racy statics break that contract invisibly. The obs\n\
+                 exemption exists for the telemetry endpoint's accept loop\n\
+                 (wr_obs::serve_http): it must outlive any bounded pool dispatch,\n\
+                 and obs sits below wr-runtime in the dependency order — it is\n\
+                 read-only over snapshots and never touches results.\n\n\
+                 Scope: every crate except crates/runtime and crates/obs.\n\n\
                  Suppress: // wr-check: allow(R3) — <reason>"
             }
             Rule::Determinism => {
@@ -221,6 +238,27 @@ impl Rule {
                  Scope: same reachability and crate set as R6.\n\n\
                  Suppress: // wr-check: allow(R8) — <why the allocation must stay>"
             }
+            Rule::WriteOnlyTelemetry => {
+                "R9 write-only-telemetry — serving code may emit telemetry\n\
+                 (counters, histograms, spans, flight events) but never read it\n\
+                 back: calls that resolve exclusively to the obs read / export\n\
+                 surface are flagged outside crates/obs.\n\n\
+                 Rationale: the hot path's telemetry cost budget assumes strictly\n\
+                 write-only instruments — a snapshot or span export inside a\n\
+                 serving crate takes the aggregation locks, stalls every\n\
+                 concurrent observe, and smuggles telemetry state into code that\n\
+                 must stay bit-deterministic. Reads belong to the scrape\n\
+                 endpoint (wr_obs::serve_http), the bench harness, and the CLI\n\
+                 binaries that export reports.\n\n\
+                 Banned targets: Registry::snapshot, Registry::to_json,\n\
+                 Tracer::events, Tracer::to_chrome_json, Tracer::to_jsonl,\n\
+                 FlightRecorder::events, FlightRecorder::snapshot_json.\n\
+                 A call is flagged only when every resolved candidate is on the\n\
+                 banned list — ambiguous method names stay silent.\n\n\
+                 Scope: production code of every crate except crates/obs,\n\
+                 crates/bench, crates/core (the CLI binaries), and wr-check.\n\n\
+                 Suppress: // wr-check: allow(R9) — <why this read is off the hot path>"
+            }
             Rule::Directive => {
                 "D0 directive — a malformed `wr-check:` suppression directive.\n\n\
                  Rationale: suppression is explicit and justified, never silent; a\n\
@@ -290,7 +328,7 @@ impl Scope {
         Scope {
             r1: krate.is_some_and(|c| KERNEL_CRATES.contains(&c)),
             r2: true,
-            r3: krate != Some("runtime"),
+            r3: !matches!(krate, Some("runtime") | Some("obs")),
             r4_clock: !bench_or_check && krate != Some("obs"),
             r4_hash: !bench_or_check,
             r5: krate != Some("check"),
@@ -586,7 +624,7 @@ fn parse_directive(comment: &str) -> Result<(Vec<Rule>, String), String> {
             Some(r) => rules.push(r),
             None => {
                 return Err(format!(
-                    "malformed directive: unknown rule {:?} (use R1–R8 or their slugs)",
+                    "malformed directive: unknown rule {:?} (use R1–R9 or their slugs)",
                     name.trim()
                 ))
             }
@@ -623,7 +661,11 @@ mod tests {
         assert!(Scope::for_path("crates/tensor/src/lib.rs").r1);
         assert!(!Scope::for_path("crates/models/src/lib.rs").r1);
         assert!(!Scope::for_path("crates/runtime/src/lib.rs").r3);
+        // The telemetry endpoint's accept loop lives on a detached thread;
+        // obs shares runtime's R3 exemption (and only obs does).
+        assert!(!Scope::for_path("crates/obs/src/http.rs").r3);
         assert!(Scope::for_path("crates/tensor/src/lib.rs").r3);
+        assert!(Scope::for_path("crates/gateway/src/gateway.rs").r3);
         assert!(!Scope::for_path("crates/bench/src/harness.rs").r4_clock);
         assert!(!Scope::for_path("crates/bench/src/harness.rs").r4_hash);
         // wr-obs is the one production home of wall-clock reads, but it

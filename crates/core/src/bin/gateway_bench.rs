@@ -11,6 +11,7 @@
 //!               [--out report.json] [--check-single N]
 //!               [--poison-shard IDX] [--trace-out trace.json]
 //!               [--metrics-out metrics.json]
+//!               [--obs-listen 127.0.0.1:0] [--obs-dump-dir DIR]
 //!               [--ann-nlist N] [--ann-nprobe N] [--ann-seed N]
 //! ```
 //!
@@ -48,6 +49,16 @@
 //! `--trace-out` / `--metrics-out` attach write-only telemetry: per-batch
 //! and per-shard spans, `gateway.*` + `serve.*` counters, the
 //! `gateway.latency_ms` histogram, pool utilization, and whitening health.
+//!
+//! `--obs-listen ADDR` (e.g. `127.0.0.1:0`) additionally starts the live
+//! read-only telemetry endpoint (`/metrics`, `/traces/recent`, `/flight`,
+//! `/health`) for the duration of the replay; the bound address is printed
+//! to stderr. `--obs-dump-dir DIR` arms the flight recorder's incident
+//! dump into `DIR/flight.dump.jsonl` and — when the endpoint is up —
+//! self-scrapes `/metrics` and `/flight` into `DIR/metrics.scrape.json` /
+//! `DIR/flight.scrape.jsonl` after the replay, which is how the
+//! `scripts/check.sh` smoke asserts the live surface end to end. Either
+//! flag implies telemetry even without `--trace-out`/`--metrics-out`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -72,6 +83,7 @@ fn main() -> ExitCode {
         eprintln!("  [--log PATH] [--save-log PATH] [--batch N] [--k N]");
         eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-single N]");
         eprintln!("  [--poison-shard IDX] [--trace-out PATH] [--metrics-out PATH]");
+        eprintln!("  [--obs-listen ADDR] [--obs-dump-dir DIR]");
         eprintln!("  [--ann-nlist N] [--ann-nprobe N] [--ann-seed N]");
         eprintln!("  env: WR_FAULT_SEED=N  arm deterministic chaos on one shard (0/unset = off)");
         return ExitCode::SUCCESS;
@@ -156,7 +168,13 @@ fn run(args: &[String]) -> Result<(), String> {
     ctx.train_config.max_epochs = epochs;
     let trace_out = flag(args, "--trace-out");
     let metrics_out = flag(args, "--metrics-out");
-    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+    let obs_listen = flag(args, "--obs-listen");
+    let obs_dump_dir = flag(args, "--obs-dump-dir");
+    let telemetry = if trace_out.is_some()
+        || metrics_out.is_some()
+        || obs_listen.is_some()
+        || obs_dump_dir.is_some()
+    {
         let tel = Telemetry::new();
         tel.registry.register_fault_counters();
         ctx.telemetry = Some(tel.clone());
@@ -164,6 +182,20 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(tel)
     } else {
         None
+    };
+    if let (Some(dir), Some(tel)) = (&obs_dump_dir, &telemetry) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--obs-dump-dir {dir}: {e}"))?;
+        let dump = Path::new(dir).join("flight.dump.jsonl");
+        tel.flight.arm_dump(&dump);
+        eprintln!("obs: flight recorder armed -> {}", dump.display());
+    }
+    let obs_server = match (&obs_listen, &telemetry) {
+        (Some(addr), Some(tel)) => {
+            let server = whitenrec::obs::serve_http(addr, tel).map_err(|e| e.to_string())?;
+            eprintln!("obs: live telemetry endpoint on http://{}", server.addr());
+            Some(server)
+        }
+        _ => None,
     };
     let fault_plan: Option<Arc<FaultPlan>> = FaultPlan::from_env().map(Arc::new);
     let poison_shard: usize = parse_num(args, "--poison-shard", 0)?;
@@ -390,5 +422,23 @@ fn run(args: &[String]) -> Result<(), String> {
             eprintln!("metrics -> {p}");
         }
     }
+    // Self-scrape the live endpoint after the replay so the smoke gate
+    // exercises the exact HTTP surface an external scraper would see.
+    if let Some(server) = &obs_server {
+        if let Some(dir) = &obs_dump_dir {
+            let addr = server.addr().to_string();
+            for (route, file) in [
+                ("/metrics", "metrics.scrape.json"),
+                ("/flight", "flight.scrape.jsonl"),
+            ] {
+                let body = whitenrec::obs::http_get(&addr, route)
+                    .map_err(|e| format!("scrape {route}: {e}"))?;
+                let path = Path::new(dir).join(file);
+                std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+            eprintln!("obs: scraped /metrics and /flight into {dir}");
+        }
+    }
+    drop(obs_server);
     Ok(())
 }

@@ -7,7 +7,7 @@
 //!             [--save-log trace.jsonl] [--batch 64] [--k 10]
 //!             [--no-filter-seen] [--seed 17] [--out report.json]
 //!             [--check-naive N] [--trace-out trace.json]
-//!             [--metrics-out metrics.json]
+//!             [--metrics-out metrics.json] [--obs-listen 127.0.0.1:0]
 //!             [--ann-nlist N] [--ann-nprobe N] [--ann-index index.wriv]
 //!             [--ann-seed N]
 //! ```
@@ -37,6 +37,12 @@
 //! dataset table's pre/post-whitening embedding health
 //! (`whiten.pre.*` / `whiten.post.*`). Both documents are shape-validated
 //! before they are written.
+//!
+//! `--obs-listen ADDR` (e.g. `127.0.0.1:0`) starts the live read-only
+//! telemetry endpoint (`/metrics`, `/traces/recent`, `/flight`,
+//! `/health`) for the duration of the replay and prints the bound address
+//! to stderr; it implies telemetry even without
+//! `--trace-out`/`--metrics-out`.
 //!
 //! `--ann-nlist N` (nonzero) switches the engine to IVF-flat retrieval:
 //! an index with `N` inverted lists is built over the frozen item table
@@ -74,7 +80,7 @@ fn main() -> ExitCode {
         eprintln!("  [--scale F] [--epochs N] [--checkpoint PATH] [--queries N]");
         eprintln!("  [--max-len N] [--log PATH] [--save-log PATH] [--batch N] [--k N]");
         eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-naive N]");
-        eprintln!("  [--trace-out PATH] [--metrics-out PATH]");
+        eprintln!("  [--trace-out PATH] [--metrics-out PATH] [--obs-listen ADDR]");
         eprintln!("  [--ann-nlist N] [--ann-nprobe N] [--ann-index PATH] [--ann-seed N]");
         eprintln!("  env: WR_FAULT_SEED=N  arm deterministic fault injection (0/unset = off)");
         return ExitCode::SUCCESS;
@@ -127,7 +133,8 @@ fn run(args: &[String]) -> Result<(), String> {
     ctx.train_config.max_epochs = epochs;
     let trace_out = flag(args, "--trace-out");
     let metrics_out = flag(args, "--metrics-out");
-    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+    let obs_listen = flag(args, "--obs-listen");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() || obs_listen.is_some() {
         let tel = Telemetry::new();
         // The full fault-tolerance surface is present (at zero) in every
         // export, so a clean run and a chaos run have the same shape.
@@ -139,6 +146,14 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(tel)
     } else {
         None
+    };
+    let obs_server = match (&obs_listen, &telemetry) {
+        (Some(addr), Some(tel)) => {
+            let server = whitenrec::obs::serve_http(addr, tel).map_err(|e| e.to_string())?;
+            eprintln!("obs: live telemetry endpoint on http://{}", server.addr());
+            Some(server)
+        }
+        _ => None,
     };
     // Chaos mode: a nonzero WR_FAULT_SEED arms a deterministic fault
     // schedule over the serving path (cache poison, score poison, induced
@@ -339,5 +354,6 @@ fn run(args: &[String]) -> Result<(), String> {
             eprintln!("metrics -> {p}");
         }
     }
+    drop(obs_server);
     Ok(())
 }

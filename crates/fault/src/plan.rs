@@ -45,6 +45,18 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Every fault kind, in `slot` order — the canonical taxonomy for
+    /// chaos summaries and flight-recorder event labeling. Iterate this
+    /// instead of hand-listing the variants so a new kind can never be
+    /// silently dropped from a report.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::IoError,
+        FaultKind::Truncation,
+        FaultKind::BitFlip,
+        FaultKind::NanPoison,
+        FaultKind::Panic,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::IoError => "io_error",
@@ -318,6 +330,16 @@ impl FaultInjector for FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn the_taxonomy_is_complete_and_slot_ordered() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.slot(), i, "ALL must be in slot order");
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len());
+    }
 
     #[test]
     fn decisions_are_pure_functions_of_seed_site_index() {

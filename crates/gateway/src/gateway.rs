@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use crate::{ShardMode, ShardPlan};
 use wr_fault::{RetryPolicy, SharedInjector, Sleeper};
-use wr_obs::Telemetry;
+use wr_obs::{Telemetry, TraceContext};
 use wr_serve::{
     merge_top_k, BatcherConfig, CatalogShard, EmbeddingCache, MicroBatcher, Request,
     ResilienceConfig, Response, ScoredItem, ServeConfig, ServeError,
@@ -293,21 +293,28 @@ impl Gateway {
             let Some(slice) = requests.get(group.clone()) else {
                 continue;
             };
+            // Deterministic trace identity for this micro-batch — pure
+            // function of (first request id, batch index), so a replay
+            // harness predicts it without plumbing state through us.
+            let ctx = TraceContext::root(
+                slice.first().map(|r| r.id).unwrap_or(0),
+                batch_index as u64,
+            );
             let span = self.telemetry.as_ref().map(|tel| {
                 tel.registry.counter("gateway.batches").inc();
                 tel.registry.counter("gateway.requests").add(slice.len() as u64);
                 tel.registry
                     .gauge("gateway.queue_depth")
                     .set((requests.len() - group.end) as f64);
-                tel.tracer.span("batch", "gateway")
+                tel.tracer.span_ctx("batch", "gateway", ctx)
             });
             let contexts: Vec<&[usize]> = slice
                 .iter()
                 .map(|r| MicroBatcher::sanitize(&r.history))
                 .collect();
             let users = self.model.user_representations(&contexts);
-            let parts = self.fan_out(slice, &users, batch_index);
-            responses.extend(self.merge_group(slice, parts));
+            let parts = self.fan_out(slice, &users, batch_index, ctx);
+            responses.extend(self.merge_group(slice, parts, ctx));
             drop(span);
         }
         responses
@@ -321,6 +328,15 @@ impl Gateway {
         if requests.len() > limit {
             if let Some(tel) = &self.telemetry {
                 tel.registry.counter("gateway.rejected_overload").inc();
+                tel.flight.note(
+                    "overload",
+                    "gateway.admission",
+                    TraceContext::UNTRACED,
+                    u64::MAX,
+                    u64::MAX,
+                    tel.clock.now_ns(),
+                );
+                tel.flight.trigger("overload");
             }
             return Err(GatewayError::Overloaded {
                 depth: requests.len(),
@@ -341,6 +357,7 @@ impl Gateway {
         slice: &[Request],
         users: &Tensor,
         batch_index: usize,
+        ctx: TraceContext,
     ) -> Vec<(usize, Option<Vec<Response>>)> {
         let to_part = |r: Result<Vec<Response>, ServeError>| r.ok();
         if self.plan.mode() == ShardMode::Replicated {
@@ -350,8 +367,9 @@ impl Gateway {
             }
             return match self.shards.get(chosen) {
                 Some(shard) => {
-                    let _span = self.shard_span(chosen);
-                    vec![(chosen, to_part(shard.try_serve_encoded(slice, users)))]
+                    let sctx = ctx.child(chosen as u64);
+                    let _span = self.shard_span(chosen, sctx);
+                    vec![(chosen, to_part(shard.try_serve_encoded_ctx(slice, users, sctx)))]
                 }
                 None => Vec::new(),
             };
@@ -363,29 +381,33 @@ impl Gateway {
         }
         // Borrow only the `Sync` pieces into the pool closure: the shards,
         // the labels, the telemetry handle. `self` itself must stay out —
-        // the gateway holds the non-`Sync` encoder model.
+        // the gateway holds the non-`Sync` encoder model. `ctx` is `Copy`.
         let shards = &self.shards;
         let labels = &self.shard_labels;
         let tel = self.telemetry.as_ref();
         let results: Vec<Option<Vec<Response>>> =
             wr_runtime::parallel_map(shards.len(), 1, |s| {
+                let sctx = ctx.child(s as u64);
                 let _span = tel.map(|t| {
-                    t.tracer
-                        .span(labels.get(s).cloned().unwrap_or_default(), "gateway.shard")
+                    t.tracer.span_ctx(
+                        labels.get(s).cloned().unwrap_or_default(),
+                        "gateway.shard",
+                        sctx,
+                    )
                 });
                 shards
                     .get(s)
-                    .and_then(|shard| to_part(shard.try_serve_encoded(slice, users)))
+                    .and_then(|shard| to_part(shard.try_serve_encoded_ctx(slice, users, sctx)))
             });
         results.into_iter().enumerate().map(|(s, p)| (s, p)).collect()
     }
 
     /// One span per shard dispatch (precomputed label, `gateway.shard`
-    /// category) — only when telemetry is attached.
-    fn shard_span(&self, s: usize) -> Option<wr_obs::Span<'_>> {
+    /// category, child trace context) — only when telemetry is attached.
+    fn shard_span(&self, s: usize, sctx: TraceContext) -> Option<wr_obs::Span<'_>> {
         let tel = self.telemetry.as_ref()?;
         let label = self.shard_labels.get(s).cloned().unwrap_or_default();
-        Some(tel.tracer.span(label, "gateway.shard"))
+        Some(tel.tracer.span_ctx(label, "gateway.shard", sctx))
     }
 
     /// Merge per-shard parts back into per-request answers with
@@ -397,6 +419,7 @@ impl Gateway {
         &self,
         slice: &[Request],
         mut parts: Vec<(usize, Option<Vec<Response>>)>,
+        ctx: TraceContext,
     ) -> Vec<GatewayResponse> {
         let k = self.cfg.serve.k;
         let rejected = parts.iter().filter(|(_, p)| p.is_none()).count();
@@ -436,6 +459,16 @@ impl Gateway {
             let items = merge_top_k(k, &partials);
             if degraded {
                 degraded_total += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.flight.note(
+                        "degraded",
+                        "gateway.merge",
+                        ctx,
+                        req.id,
+                        u64::MAX,
+                        tel.clock.now_ns(),
+                    );
+                }
             }
             out.push(GatewayResponse {
                 id: req.id,
@@ -448,6 +481,7 @@ impl Gateway {
                 tel.registry
                     .counter("gateway.degraded_responses")
                     .add(degraded_total);
+                tel.flight.trigger("degraded");
             }
         }
         out

@@ -1,59 +1,78 @@
 //! `wr-obs` — std-only observability for the WhitenRec reproduction.
 //!
-//! Three pieces, all global-free and pool-safe:
+//! Six pieces, all global-free and pool-safe:
 //!
 //! * [`registry`] — a [`Registry`] of [`Counter`]s, [`Gauge`]s, and
-//!   fixed-bucket [`Histogram`]s; lock-sharded lookup, lock-free
-//!   observation, deterministic name-sorted [`Snapshot`] with compact
-//!   JSON export (`wr-obs/v1`).
+//!   fixed-bucket [`Histogram`]s with per-bucket trace-id **exemplars**;
+//!   lock-sharded lookup, lock-free observation, deterministic
+//!   name-sorted [`Snapshot`] with compact JSON export (`wr-obs/v1`).
 //! * [`clock`] + [`span`] — the [`Clock`] trait ([`MonotonicClock`] in
 //!   production, [`MockClock`] in tests) and a [`Tracer`] of RAII
 //!   [`Span`]s exporting Chrome `trace_event` JSON (Perfetto /
 //!   `about:tracing`) and JSONL.
+//! * [`trace`] — [`TraceContext`]: deterministic request-scoped
+//!   trace/span ids (SplitMix64 of request id + batch index — no RNG,
+//!   no wall clock) propagated through the serving stack.
+//! * [`flight`] — [`FlightRecorder`]: an always-on bounded ring of
+//!   recent structured events, snapshotted to CRC-sealed JSON artifacts
+//!   on degradation/permanent-panic/overload incidents.
+//! * [`http`] — [`serve_http`]: a read-only live telemetry endpoint
+//!   (`/metrics`, `/traces/recent`, `/flight`, `/health`) on a blocking
+//!   `TcpListener` thread, plus the [`http_get`] scrape client.
 //! * [`health`] — [`EmbeddingHealth`]: the paper's anisotropy
 //!   diagnostics (mean pairwise cosine, top-k singular mass, condition
 //!   number, uniformity/alignment) computed on raw `f32` matrices and
 //!   recordable as gauges.
 //!
 //! **Layering.** This crate sits at the very bottom of the workspace —
-//! it depends on nothing, and `wr-runtime` (which everything else builds
-//! on) depends on it to time pool jobs. That is why the health module
-//! carries its own small f64 eigensolver instead of using `wr-linalg`,
-//! and why JSON is written by local helpers instead of
+//! its only dependency is `wr-fault` (itself dependency-free), for the
+//! CRC-sealed atomic flight dumps — and `wr-runtime` (which everything
+//! else builds on) depends on it to time pool jobs. That is why the
+//! health module carries its own small f64 eigensolver instead of using
+//! `wr-linalg`, and why JSON is written by local helpers instead of
 //! `wr_tensor::json` (same dialect; parse-compatibility is asserted by
 //! root integration tests).
 //!
 //! **Determinism contract.** Telemetry is strictly write-only with
 //! respect to computation: nothing in this crate is ever read back into
 //! a result-producing path. `wr-check`'s R4 rule pins the only
-//! production wall-clock reads to this crate, and the serve/runtime
-//! differential suites assert bit-identical results with instrumentation
-//! attached and across `WR_THREADS` settings.
+//! production wall-clock reads to this crate, R9 confines the
+//! registry/tracer/flight *read* APIs to obs/bench/test code, and the
+//! serve/runtime differential suites assert bit-identical results with
+//! instrumentation attached and across `WR_THREADS` settings.
 
 pub mod clock;
+pub mod flight;
 pub mod health;
+pub mod http;
 mod jsonw;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
+pub use flight::{read_dump, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_FORMAT};
 pub use health::{alignment, EmbeddingHealth, HealthConfig};
+pub use http::{http_get, serve_http, ObsServer};
 pub use registry::{
     nearest_rank, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
-    FAULT_COUNTERS,
+    EXEMPLARS_PER_BUCKET, FAULT_COUNTERS,
 };
 pub use span::{Span, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use trace::TraceContext;
 
 use std::sync::Arc;
 
-/// One shared clock + registry + tracer, threaded through an instrumented
-/// pipeline as a unit. Cheap to clone pieces out of (everything is an
-/// `Arc`); construct one per experiment/benchmark run.
+/// One shared clock + registry + tracer + flight recorder, threaded
+/// through an instrumented pipeline as a unit. Cheap to clone pieces out
+/// of (everything is an `Arc`); construct one per experiment/benchmark
+/// run.
 #[derive(Clone)]
 pub struct Telemetry {
     pub clock: Arc<dyn Clock>,
     pub registry: Arc<Registry>,
     pub tracer: Arc<Tracer>,
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl Telemetry {
@@ -69,6 +88,7 @@ impl Telemetry {
             clock,
             registry: Arc::new(Registry::new()),
             tracer,
+            flight: Arc::new(FlightRecorder::new()),
         }
     }
 }

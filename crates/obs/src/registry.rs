@@ -75,14 +75,51 @@ impl Gauge {
 /// Observation is lock-free (one `fetch_add` plus CAS loops for the
 /// extrema), so pool workers can observe concurrently; totals are exact,
 /// percentiles are bucket-resolution estimates.
+///
+/// Each bucket additionally retains the last [`EXEMPLARS_PER_BUCKET`]
+/// trace ids observed into it ([`Histogram::observe_exemplar`]) in a
+/// tiny lock-free ring — id 0 is the empty sentinel — so a latency
+/// bucket links directly to the traces that landed there. Exemplars are
+/// copied, never reset, by [`Histogram::snapshot`].
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<f64>,
     buckets: Vec<AtomicU64>,
+    exemplars: Vec<BucketExemplars>,
     count: AtomicU64,
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+}
+
+/// Trace ids retained per bucket (last-k, lock-free overwrite).
+pub const EXEMPLARS_PER_BUCKET: usize = 4;
+
+/// One bucket's exemplar ring: a wrapping cursor picks the slot to
+/// overwrite, so concurrent writers never block and the ring always
+/// holds the most recent `EXEMPLARS_PER_BUCKET` distinct observations.
+#[derive(Debug, Default)]
+struct BucketExemplars {
+    cursor: AtomicU64,
+    slots: [AtomicU64; EXEMPLARS_PER_BUCKET],
+}
+
+impl BucketExemplars {
+    fn store(&self, trace_id: u64) {
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % EXEMPLARS_PER_BUCKET;
+        if let Some(slot) = self.slots.get(at) {
+            slot.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Occupied slots in slot order (0 = empty sentinel, skipped).
+    fn load(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&id| id != 0)
+            .collect()
+    }
 }
 
 /// Point-in-time copy of one histogram, used for snapshots and JSON.
@@ -90,6 +127,9 @@ pub struct Histogram {
 pub struct HistogramSnapshot {
     pub bounds: Vec<f64>,
     pub buckets: Vec<u64>,
+    /// Per-bucket retained trace ids (parallel to `buckets`; empty vec =
+    /// no exemplars observed into that bucket yet).
+    pub exemplars: Vec<Vec<u64>>,
     pub count: u64,
     pub sum: f64,
     pub min: f64,
@@ -110,6 +150,9 @@ impl Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..bounds.len() + 1)
+                .map(|_| BucketExemplars::default())
+                .collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
@@ -131,21 +174,36 @@ impl Histogram {
         bounds
     }
 
+    fn bucket_index(&self, v: f64) -> usize {
+        for (i, b) in self.bounds.iter().enumerate() {
+            if v < *b {
+                return i;
+            }
+        }
+        self.bounds.len() // overflow (NaN compares false against every bound)
+    }
+
     /// Record one sample. NaN samples are counted in the overflow bucket
     /// (they compare false against every bound) and excluded from the
     /// extrema; this keeps observation panic-free on hostile inputs.
     pub fn observe(&self, v: f64) {
-        let mut idx = self.bounds.len(); // overflow unless a bound catches it
-        for (i, b) in self.bounds.iter().enumerate() {
-            if v < *b {
-                idx = i;
-                break;
-            }
-        }
+        self.observe_exemplar(v, 0);
+    }
+
+    /// [`Self::observe`] that also retains `trace_id` in the target
+    /// bucket's exemplar ring (0 = no exemplar, plain observation).
+    /// Lock-free like `observe` — safe from pool workers.
+    pub fn observe_exemplar(&self, v: f64, trace_id: u64) {
+        let idx = self.bucket_index(v);
         // `idx ≤ bounds.len()` and `buckets.len() == bounds.len() + 1` by
         // construction; the checked form keeps the hot path panic-free.
         if let Some(bucket) = self.buckets.get(idx) {
             bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        if trace_id != 0 {
+            if let Some(ring) = self.exemplars.get(idx) {
+                ring.store(trace_id);
+            }
         }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.cas_f64(&self.sum_bits, |cur| cur + v);
@@ -202,18 +260,35 @@ impl Histogram {
         snap.percentile(p)
     }
 
+    /// Point-in-time copy. The snapshot's `count` is computed from the
+    /// bucket loads themselves — not read from the separate `count`
+    /// atomic — so `count == sum(buckets)` holds in every snapshot even
+    /// while concurrent `observe` calls are mid-flight between their
+    /// bucket and counter increments. Exemplar rings are copied, never
+    /// reset: snapshotting is read-only on the histogram.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        // A racing first observation may have bumped its bucket before
+        // its min/max CAS landed; an empty snapshot must still read as
+        // all-zeros, so the extrema follow the bucket-derived count.
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min(), self.max())
+        };
         HistogramSnapshot {
             bounds: self.bounds.clone(),
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            count: self.count(),
+            exemplars: self.exemplars.iter().map(|e| e.load()).collect(),
+            buckets,
+            count,
             sum: self.sum(),
-            min: self.min(),
-            max: self.max(),
+            min,
+            max,
         }
     }
 }
@@ -493,6 +568,23 @@ impl Snapshot {
                 }
                 out.push_str(&b.to_string());
             }
+            // Exemplars: per-bucket retained trace ids, hex strings in
+            // the same formatting as the trace exports so a bucket can
+            // be joined to its span tree with a text match.
+            out.push_str("],\"exemplars\":[");
+            for (j, ids) in h.exemplars.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (m, id) in ids.iter().enumerate() {
+                    if m > 0 {
+                        out.push(',');
+                    }
+                    write_str(&mut out, &format!("{id:016x}"));
+                }
+                out.push(']');
+            }
             out.push_str("]}");
         }
         out.push_str("}}");
@@ -625,6 +717,73 @@ mod tests {
         assert!(json.contains("\"a.first\":2"));
         assert!(json.contains("\"m.mid\":1.25"));
         assert!(json.contains("\"h.lat\":{\"count\":1"));
+    }
+
+    #[test]
+    fn exemplars_retain_last_k_per_bucket_and_survive_snapshots() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        // Six exemplars into the middle bucket: only the last 4 survive.
+        for id in 1..=6u64 {
+            h.observe_exemplar(5.0, id);
+        }
+        h.observe_exemplar(0.5, 77); // underflow bucket
+        h.observe(20.0); // overflow, no exemplar
+        let s1 = h.snapshot();
+        assert_eq!(s1.exemplars.len(), s1.buckets.len());
+        assert_eq!(s1.exemplars[0], vec![77]);
+        let mut mid = s1.exemplars[1].clone();
+        mid.sort_unstable();
+        assert_eq!(mid, vec![3, 4, 5, 6], "ring keeps the last 4");
+        assert!(s1.exemplars[2].is_empty(), "plain observe leaves no exemplar");
+        // Snapshotting does not reset the rings.
+        let s2 = h.snapshot();
+        assert_eq!(s1.exemplars, s2.exemplars);
+        // And the ids appear as hex strings in the JSON export.
+        let reg = Registry::new();
+        reg.adopt_histogram("lat", &Arc::new(h));
+        let json = reg.to_json();
+        assert!(json.contains("\"exemplars\":[["), "{json}");
+        assert!(json.contains(&format!("\"{:016x}\"", 77)), "{json}");
+    }
+
+    #[test]
+    fn concurrent_observe_never_breaks_the_snapshot_count_invariant() {
+        // Regression: `snapshot()` used to read the count atomic
+        // separately from the bucket loads, so a snapshot taken between
+        // an observer's bucket increment and its count increment violated
+        // `count == sum(buckets)`. The count is now derived from the
+        // loaded buckets themselves.
+        let h = Arc::new(Histogram::new(&[1.0, 10.0, 100.0]));
+        let stop = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = h.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let v = ((w * 1000 + i) % 200) as f64;
+                        h.observe_exemplar(v, i + 1);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2000 {
+            let s = h.snapshot();
+            let bucket_sum: u64 = s.buckets.iter().sum();
+            assert_eq!(
+                s.count, bucket_sum,
+                "snapshot count must equal the sum of its own bucket loads"
+            );
+        }
+        stop.store(1, Ordering::Relaxed);
+        for t in writers {
+            t.join().unwrap();
+        }
+        // Quiesced: the exact atomics agree with the buckets again.
+        let s = h.snapshot();
+        assert_eq!(s.count, h.count());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::clock::Clock;
 use crate::jsonw::{write_f64, write_str};
+use crate::trace::TraceContext;
 
 /// One recorded interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,10 @@ pub struct TraceEvent {
     pub dur_ns: u64,
     /// Stable per-thread id, first-seen order.
     pub tid: u64,
+    /// Owning request-batch trace id ([`TraceContext`]); 0 = untraced.
+    pub trace_id: u64,
+    /// Span id within the trace; 0 = untraced.
+    pub span_id: u64,
 }
 
 #[derive(Debug, Default)]
@@ -75,6 +80,7 @@ pub struct Span<'a> {
     name: Option<String>,
     cat: &'static str,
     start_ns: u64,
+    ctx: Option<TraceContext>,
 }
 
 impl Tracer {
@@ -99,12 +105,55 @@ impl Tracer {
             name: Some(name.into()),
             cat,
             start_ns: self.clock.now_ns(),
+            ctx: None,
+        }
+    }
+
+    /// [`Self::span`] tagged with a request-scoped [`TraceContext`]: the
+    /// recorded event carries the context's trace/span ids, so exports
+    /// can be joined against histogram exemplars and flight events.
+    pub fn span_ctx(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ctx: TraceContext,
+    ) -> Span<'_> {
+        Span {
+            tracer: self,
+            name: Some(name.into()),
+            cat,
+            start_ns: self.clock.now_ns(),
+            ctx: Some(ctx),
         }
     }
 
     /// Record a completed interval directly (used by the span guard, and
     /// by call sites that already hold start/end timestamps).
     pub fn record(&self, name: impl Into<String>, cat: &'static str, start_ns: u64, end_ns: u64) {
+        self.push(name.into(), cat, start_ns, end_ns, 0, 0);
+    }
+
+    /// [`Self::record`] tagged with a [`TraceContext`].
+    pub fn record_ctx(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        ctx: TraceContext,
+    ) {
+        self.push(name.into(), cat, start_ns, end_ns, ctx.trace_id, ctx.span_id);
+    }
+
+    fn push(
+        &self,
+        name: String,
+        cat: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        trace_id: u64,
+        span_id: u64,
+    ) {
         let tid_key = format!("{:?}", std::thread::current().id());
         let mut inner = self
             .inner
@@ -117,11 +166,13 @@ impl Tracer {
         let next_tid = inner.tids.len() as u64;
         let tid = *inner.tids.entry(tid_key).or_insert(next_tid);
         inner.events.push(TraceEvent {
-            name: name.into(),
+            name,
             cat,
             ts_ns: start_ns,
             dur_ns: end_ns.saturating_sub(start_ns),
             tid,
+            trace_id,
+            span_id,
         });
     }
 
@@ -172,6 +223,15 @@ impl Tracer {
             write_f64(&mut out, e.dur_ns as f64 / 1e3);
             out.push_str(",\"pid\":1,\"tid\":");
             out.push_str(&e.tid.to_string());
+            if e.trace_id != 0 {
+                // Chrome's viewer shows per-event args; the ids are hex
+                // strings so they survive JSON's f64 number range.
+                out.push_str(",\"args\":{\"trace_id\":");
+                write_str(&mut out, &format!("{:016x}", e.trace_id));
+                out.push_str(",\"span_id\":");
+                write_str(&mut out, &format!("{:016x}", e.span_id));
+                out.push('}');
+            }
             out.push('}');
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"");
@@ -185,24 +245,57 @@ impl Tracer {
     }
 
     /// One JSON object per line (`\n`-terminated), for log shippers:
-    /// `{"name":…,"cat":…,"ts_us":…,"dur_us":…,"tid":…}`.
+    /// `{"name":…,"cat":…,"ts_us":…,"dur_us":…,"tid":…}` plus hex
+    /// `trace_id`/`span_id` on traced events.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
-            out.push_str("{\"name\":");
-            write_str(&mut out, &e.name);
-            out.push_str(",\"cat\":");
-            write_str(&mut out, if e.cat.is_empty() { "default" } else { e.cat });
-            out.push_str(",\"ts_us\":");
-            write_f64(&mut out, e.ts_ns as f64 / 1e3);
-            out.push_str(",\"dur_us\":");
-            write_f64(&mut out, e.dur_ns as f64 / 1e3);
-            out.push_str(",\"tid\":");
-            out.push_str(&e.tid.to_string());
-            out.push_str("}\n");
+            write_event_json(&mut out, &e, "ts_us", "dur_us");
+            out.push('\n');
         }
         out
     }
+
+    /// The last `limit` recorded events as one `wr-trace-recent/v1` JSON
+    /// document — the `/traces/recent` payload of [`crate::serve_http`].
+    pub fn recent_json(&self, limit: usize) -> String {
+        let events = self.events();
+        let skip = events.len().saturating_sub(limit);
+        let mut out = String::from("{\"format\":\"wr-trace-recent/v1\",\"events\":[");
+        for (i, e) in events.iter().skip(skip).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_event_json(&mut out, e, "ts_us", "dur_us");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Shared JSONL/recent event shape (µs timestamps, hex trace ids).
+fn write_event_json(out: &mut String, e: &TraceEvent, ts_key: &str, dur_key: &str) {
+    out.push_str("{\"name\":");
+    write_str(out, &e.name);
+    out.push_str(",\"cat\":");
+    write_str(out, if e.cat.is_empty() { "default" } else { e.cat });
+    out.push_str(",\"");
+    out.push_str(ts_key);
+    out.push_str("\":");
+    write_f64(out, e.ts_ns as f64 / 1e3);
+    out.push_str(",\"");
+    out.push_str(dur_key);
+    out.push_str("\":");
+    write_f64(out, e.dur_ns as f64 / 1e3);
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    if e.trace_id != 0 {
+        out.push_str(",\"trace_id\":");
+        write_str(out, &format!("{:016x}", e.trace_id));
+        out.push_str(",\"span_id\":");
+        write_str(out, &format!("{:016x}", e.span_id));
+    }
+    out.push('}');
 }
 
 impl Span<'_> {
@@ -214,7 +307,10 @@ impl Span<'_> {
     fn finish(&mut self) {
         if let Some(name) = self.name.take() {
             let end = self.tracer.clock.now_ns();
-            self.tracer.record(name, self.cat, self.start_ns, end);
+            match self.ctx {
+                Some(ctx) => self.tracer.record_ctx(name, self.cat, self.start_ns, end, ctx),
+                None => self.tracer.record(name, self.cat, self.start_ns, end),
+            }
         }
     }
 }
@@ -323,6 +419,40 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"name\":\"a\""));
         assert!(lines[1].contains("\"name\":\"b\""));
+    }
+
+    #[test]
+    fn ctx_spans_carry_trace_ids_into_every_export() {
+        use crate::trace::TraceContext;
+        let (clock, tracer) = mock_tracer(0);
+        let ctx = TraceContext::root(5, 0);
+        {
+            let _s = tracer.span_ctx("batch", "serve", ctx);
+            clock.advance(1000);
+        }
+        tracer.span("plain", "serve").end();
+        let events = tracer.events();
+        assert_eq!(events[0].trace_id, ctx.trace_id);
+        assert_eq!(events[0].span_id, ctx.span_id);
+        assert_eq!(events[1].trace_id, 0, "plain spans stay untraced");
+        let hex = format!("{:016x}", ctx.trace_id);
+        assert!(tracer.to_chrome_json().contains(&hex));
+        assert!(tracer.to_jsonl().contains(&hex));
+        assert!(tracer.recent_json(16).contains(&hex));
+        // The untraced event exports without an args/trace_id block.
+        assert_eq!(tracer.to_chrome_json().matches("trace_id").count(), 1);
+    }
+
+    #[test]
+    fn recent_json_keeps_only_the_tail() {
+        let (_clock, tracer) = mock_tracer(10);
+        for i in 0..10 {
+            tracer.span(format!("s{i}"), "t").end();
+        }
+        let doc = tracer.recent_json(3);
+        assert!(doc.starts_with("{\"format\":\"wr-trace-recent/v1\""));
+        assert!(!doc.contains("\"s6\"") && doc.contains("\"s7\""));
+        assert!(doc.contains("\"s8\"") && doc.contains("\"s9\""));
     }
 
     #[test]

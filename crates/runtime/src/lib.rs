@@ -194,6 +194,52 @@ fn pool() -> &'static PoolState {
     })
 }
 
+/// Samples a thread buffers locally before flushing into the shared pool
+/// histograms (see [`buffer_timing`]).
+const TIMING_BUFFER_LEN: usize = 32;
+
+thread_local! {
+    /// Worker-local event buffer: per-job `(queue_wait_ms, exec_ms)`
+    /// samples recorded by this thread and not yet flushed into the
+    /// shared [`PoolObs`] histograms.
+    static TIMING_BUFFER: std::cell::RefCell<Vec<(f64, f64)>> =
+        std::cell::RefCell::new(Vec::with_capacity(TIMING_BUFFER_LEN));
+}
+
+/// Record one job's timing into this thread's local buffer, flushing into
+/// the shared histograms when the buffer fills. Buffering keeps the
+/// per-job hot path free of contended atomic RMWs on the shared bucket
+/// cache lines — the flush pays them once per [`TIMING_BUFFER_LEN`] jobs.
+/// Telemetry stays write-only either way; only *when* the shared buckets
+/// see a sample changes, never any computed result.
+fn buffer_timing(wait_ms: f64, exec_ms: f64) {
+    TIMING_BUFFER.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.push((wait_ms, exec_ms));
+        if buf.len() >= TIMING_BUFFER_LEN {
+            flush_buffer(&mut buf);
+        }
+    });
+}
+
+fn flush_buffer(buf: &mut Vec<(f64, f64)>) {
+    let obs = &pool().obs;
+    for (wait_ms, exec_ms) in buf.drain(..) {
+        obs.queue_wait_ms.observe(wait_ms);
+        obs.exec_ms.observe(exec_ms);
+    }
+}
+
+/// Flush the calling thread's worker-local timing buffer into the shared
+/// pool histograms. Dispatchers flush on the way out of every dispatch
+/// and workers flush before going idle, so snapshots taken between
+/// dispatches ([`record_metrics`]) see every completed job; call this
+/// directly only when sampling from a thread that ran pool jobs outside
+/// a dispatch of its own.
+pub fn flush_worker_telemetry() {
+    TIMING_BUFFER.with(|buf| flush_buffer(&mut buf.borrow_mut()));
+}
+
 /// Execute one job, converting panics into a latch flag so the dispatching
 /// thread can re-raise them instead of the whole process aborting.
 ///
@@ -202,16 +248,15 @@ fn pool() -> &'static PoolState {
 fn run_job(job: Job, by_worker: bool) {
     let obs = &pool().obs;
     let start_ns = obs.clock.now_ns();
-    obs.queue_wait_ms
-        .observe(start_ns.saturating_sub(job.enqueued_ns) as f64 / 1e6);
+    let wait_ms = start_ns.saturating_sub(job.enqueued_ns) as f64 / 1e6;
     // SAFETY: `job.ctx` points at the closure `job.call` was instantiated
     // for, and the dispatching thread keeps it alive by blocking on the
     // latch until this job has counted down.
     let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
         (job.call)(job.ctx, job.range.clone());
     }));
-    obs.exec_ms
-        .observe(obs.clock.now_ns().saturating_sub(start_ns) as f64 / 1e6);
+    let exec_ms = obs.clock.now_ns().saturating_sub(start_ns) as f64 / 1e6;
+    buffer_timing(wait_ms, exec_ms);
     let who = if by_worker {
         &obs.jobs_by_workers
     } else {
@@ -229,13 +274,21 @@ fn run_job(job: Job, by_worker: bool) {
 fn worker_loop() {
     let p = pool();
     loop {
-        let job = {
-            let mut q = p.queue.lock().unwrap();
-            loop {
-                if let Some(j) = q.pop_front() {
-                    break j;
+        // Fast path: take a queued job without going idle.
+        let job = p.queue.lock().unwrap().pop_front();
+        let job = match job {
+            Some(j) => j,
+            None => {
+                // Going idle: flush this worker's local timing buffer so
+                // a snapshot taken between dispatches sees every sample.
+                flush_worker_telemetry();
+                let mut q = p.queue.lock().unwrap();
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = p.work_ready.wait(q).unwrap();
                 }
-                q = p.work_ready.wait(q).unwrap();
             }
         };
         run_job(job, true);
@@ -333,6 +386,9 @@ fn dispatch<F: Fn(Range<usize>) + Sync>(n: usize, chunk: usize, f: F) {
             None => break,
         }
     }
+    // The caller's share of the batch is done: flush its local timing
+    // buffer so the samples are visible as soon as the dispatch returns.
+    flush_worker_telemetry();
     // Wait for workers to finish the jobs they grabbed. Poison-tolerant
     // throughout: a panicked job sets `latch.panicked`, and the re-raise
     // below is the single place that propagates it.
@@ -512,6 +568,9 @@ pub fn pool_stats() -> PoolStats {
 /// at call time) plus count/mean/percentile aggregates of the per-task
 /// `runtime.queue_wait_ms` / `runtime.exec_ms` histograms.
 pub fn record_metrics(registry: &Registry) {
+    // The sampling thread may itself have executed pool jobs (the caller
+    // participates in every dispatch) — surface its buffered samples.
+    flush_worker_telemetry();
     let s = pool_stats();
     registry.gauge("runtime.threads").set(s.threads as f64);
     registry
@@ -724,6 +783,34 @@ mod tests {
                 .map(|(_, v)| *v)
                 .unwrap();
             assert!(ap >= 1.0);
+        });
+    }
+
+    /// Worker-local buffering must not hide samples from between-dispatch
+    /// snapshots: the caller flushes on the way out of the dispatch, the
+    /// workers flush when they go idle.
+    #[test]
+    fn timing_buffers_flush_by_the_time_the_pool_goes_idle() {
+        with_target(4, || {
+            let before = pool().obs.exec_ms.snapshot().count;
+            let n_jobs = 1000usize.div_ceil(chunk_len(1000, 1)) as u64;
+            parallel_for(1000, 1, |i| {
+                std::hint::black_box(i);
+            });
+            // Caller samples are flushed before `parallel_for` returns;
+            // worker samples flush as each worker goes idle — poll
+            // briefly for those stragglers.
+            let want = before + n_jobs;
+            for _ in 0..200 {
+                if pool().obs.exec_ms.snapshot().count >= want {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert!(
+                pool().obs.exec_ms.snapshot().count >= want,
+                "buffered job timings never reached the shared histogram"
+            );
         });
     }
 

@@ -17,7 +17,7 @@ use crate::{BatcherConfig, CatalogShard, MicroBatcher, ScoredItem};
 use wr_ann::IvfIndex;
 use wr_fault::{RetryPolicy, SharedInjector, Sleeper};
 use wr_nn::{load_params, restore_params, CheckpointError};
-use wr_obs::Telemetry;
+use wr_obs::{Telemetry, TraceContext};
 use wr_tensor::Tensor;
 use wr_train::SeqRecModel;
 
@@ -309,12 +309,19 @@ impl ServeEngine {
     /// candidates (counted as `serve.quarantined_rows`).
     pub fn serve(&self, requests: &[Request]) -> Vec<Response> {
         let mut responses = Vec::with_capacity(requests.len());
-        for group in self.batcher.plan(requests.len()) {
+        for (batch_index, group) in self.batcher.plan(requests.len()).into_iter().enumerate() {
             // The batcher's plan covers 0..len by contract; the checked
             // slice keeps a buggy plan from panicking mid-batch.
             let Some(slice) = requests.get(group.clone()) else {
                 continue;
             };
+            // Deterministic trace identity for this micro-batch — pure
+            // function of (first request id, batch index), so a replay
+            // harness predicts it without plumbing state through us.
+            let ctx = TraceContext::root(
+                slice.first().map(|r| r.id).unwrap_or(0),
+                batch_index as u64,
+            );
             let span = self.telemetry.as_ref().map(|tel| {
                 tel.registry.counter("serve.batches").inc();
                 tel.registry.counter("serve.requests").add(slice.len() as u64);
@@ -324,9 +331,9 @@ impl ServeEngine {
                 tel.registry
                     .gauge("serve.queue_depth")
                     .set((requests.len() - group.end) as f64);
-                tel.tracer.span("batch", "serve")
+                tel.tracer.span_ctx("batch", "serve", ctx)
             });
-            responses.extend(self.serve_group_with_recovery(slice));
+            responses.extend(self.serve_group_with_recovery(slice, ctx));
             drop(span);
         }
         responses
@@ -341,6 +348,15 @@ impl ServeEngine {
         if requests.len() > limit {
             if let Some(tel) = &self.telemetry {
                 tel.registry.counter("serve.rejected_overload").inc();
+                tel.flight.note(
+                    "overload",
+                    "serve.admission",
+                    TraceContext::UNTRACED,
+                    u64::MAX,
+                    u64::MAX,
+                    tel.clock.now_ns(),
+                );
+                tel.flight.trigger("overload");
             }
             return Err(ServeError::Overloaded {
                 depth: requests.len(),
@@ -354,14 +370,22 @@ impl ServeEngine {
     /// backoff → per-request isolation. Lives on the engine (not the
     /// shard) so the model forward is inside the containment boundary;
     /// per attempt the histories are re-encoded and the shard re-scores.
-    fn serve_group_with_recovery(&self, slice: &[Request]) -> Vec<Response> {
+    fn serve_group_with_recovery(&self, slice: &[Request], ctx: TraceContext) -> Vec<Response> {
         let policy = self.shard.resilience().retry;
         for attempt in 0..policy.max_attempts {
-            match catch_unwind(AssertUnwindSafe(|| self.process_group(slice, attempt))) {
+            match catch_unwind(AssertUnwindSafe(|| self.process_group(slice, attempt, ctx))) {
                 Ok(responses) => return responses,
                 Err(_payload) => {
                     if let Some(tel) = &self.telemetry {
                         tel.registry.counter("serve.retries").inc();
+                        tel.flight.note(
+                            "retry",
+                            "serve.row",
+                            ctx,
+                            u64::MAX,
+                            u64::MAX,
+                            tel.clock.now_ns(),
+                        );
                     }
                     if attempt + 1 < policy.max_attempts {
                         self.shard.sleeper().sleep_ns(policy.delay_ns(attempt));
@@ -373,36 +397,56 @@ impl ServeEngine {
         // fails alone. Single-request scoring is bit-identical to batched
         // scoring (the differential suite's contract), so the survivors'
         // answers match what the healthy batch would have produced.
-        slice
+        let mut permanent = false;
+        let out: Vec<Response> = slice
             .iter()
             .map(|req| {
                 let one = std::slice::from_ref(req);
                 match catch_unwind(AssertUnwindSafe(|| {
-                    self.process_group(one, policy.max_attempts)
+                    self.process_group(one, policy.max_attempts, ctx)
                 })) {
                     Ok(mut responses) => responses.pop().unwrap_or(Response {
                         id: req.id,
                         items: Vec::new(),
                     }),
-                    Err(_) => Response {
-                        id: req.id,
-                        items: Vec::new(),
-                    },
+                    Err(_) => {
+                        if let Some(tel) = &self.telemetry {
+                            tel.flight.note(
+                                "panic",
+                                "serve.row",
+                                ctx,
+                                req.id,
+                                u64::MAX,
+                                tel.clock.now_ns(),
+                            );
+                        }
+                        permanent = true;
+                        Response {
+                            id: req.id,
+                            items: Vec::new(),
+                        }
+                    }
                 }
             })
-            .collect()
+            .collect();
+        if permanent {
+            if let Some(tel) = &self.telemetry {
+                tel.flight.trigger("permanent-panic");
+            }
+        }
+        out
     }
 
     /// Encode one micro-batch and hand it to the scoring core. May panic
     /// (induced faults or genuine bugs); the caller contains it.
     /// `attempt` feeds the injector so transient faults clear on retry.
-    fn process_group(&self, slice: &[Request], attempt: u32) -> Vec<Response> {
+    fn process_group(&self, slice: &[Request], attempt: u32, ctx: TraceContext) -> Vec<Response> {
         let contexts: Vec<&[usize]> = slice
             .iter()
             .map(|r| MicroBatcher::sanitize(&r.history))
             .collect();
         let users = self.model.user_representations(&contexts);
-        self.shard.process_encoded(slice, &users, attempt)
+        self.shard.process_encoded_ctx(slice, &users, attempt, ctx)
     }
 
     /// Reference scorer for the differential tests: one user at a time, no

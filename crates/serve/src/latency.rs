@@ -108,7 +108,14 @@ pub fn replay_observed(
         let t_ns = clock.now_ns();
         let answered = engine.serve(group);
         let ms = clock.now_ns().saturating_sub(t_ns) as f64 / 1e6;
-        latency_hist.observe(ms);
+        // Exemplar: each `serve(group)` call sees the group as its batch
+        // 0, so this is exactly the trace id `ServeEngine::serve` minted
+        // for the batch span — the bucket joins back to the span tree.
+        let trace_id = group
+            .first()
+            .map(|r| wr_obs::TraceContext::root(r.id, 0).trace_id)
+            .unwrap_or(0);
+        latency_hist.observe_exemplar(ms, trace_id);
         // Every query in the batch waited for the whole batch.
         latencies_ms.extend(std::iter::repeat(ms).take(group.len()));
         responses.extend(answered);

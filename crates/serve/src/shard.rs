@@ -34,7 +34,7 @@ use crate::{Request, ResilienceConfig, Response, Scorer, ServeConfig, ServeError
 use wr_ann::{IvfIndex, SearchStats};
 use wr_eval::{top_k_filtered, ScoredItem};
 use wr_fault::{no_faults, SharedInjector, Sleeper, ThreadSleeper};
-use wr_obs::Telemetry;
+use wr_obs::{Telemetry, TraceContext};
 use wr_tensor::Tensor;
 
 /// Rows of `items` containing any non-finite value — these are
@@ -225,21 +225,46 @@ impl CatalogShard {
         &self.sleeper
     }
 
+    /// Flight-recorder hook: only fires when telemetry is attached, and
+    /// only on degraded-mode paths — the healthy hot path never reads the
+    /// clock for it.
+    fn flight_note(&self, kind: &'static str, site: &str, ctx: TraceContext, req: u64, batch: u64) {
+        if let Some(tel) = &self.telemetry {
+            tel.flight.note(kind, site, ctx, req, batch, tel.clock.now_ns());
+        }
+    }
+
     /// Score one micro-batch of pre-encoded users. May panic (induced
     /// faults or genuine bugs); the caller contains it. `attempt` feeds
     /// the injector so transient faults clear on retry.
     pub fn process_encoded(&self, slice: &[Request], users: &Tensor, attempt: u32) -> Vec<Response> {
+        self.process_encoded_ctx(slice, users, attempt, TraceContext::UNTRACED)
+    }
+
+    /// [`CatalogShard::process_encoded`] under a trace identity: the
+    /// scoring is bit-identical (the context is write-only), but injected
+    /// score poisoning is noted in the flight recorder under `ctx`.
+    pub fn process_encoded_ctx(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+        attempt: u32,
+        ctx: TraceContext,
+    ) -> Vec<Response> {
         for req in slice {
             self.injector.maybe_panic("serve.row", req.id, attempt);
         }
         if let Scorer::Ivf { nprobe } = self.scorer {
-            return self.process_encoded_ann(slice, users, nprobe);
+            return self.process_encoded_ann(slice, users, nprobe, ctx);
         }
         let mut scores = users.matmul(self.cache.items_t());
         for (r, req) in slice.iter().enumerate() {
-            self.injector.poison("serve.score", req.id, scores.row_mut(r));
+            let poisoned = self.injector.poison("serve.score", req.id, scores.row_mut(r));
+            if poisoned > 0 {
+                self.flight_note("fault", "serve.score", ctx, req.id, u64::MAX);
+            }
         }
-        self.extract_top_k(slice, scores)
+        self.extract_top_k(slice, scores, ctx)
     }
 
     /// [`CatalogShard::process_encoded`] with containment: panic →
@@ -248,14 +273,30 @@ impl CatalogShard {
     /// fails with an empty item list while its batch peers get their
     /// normal, bit-identical answers).
     pub fn serve_encoded(&self, slice: &[Request], users: &Tensor) -> Vec<Response> {
+        self.serve_encoded_ctx(slice, users, TraceContext::UNTRACED)
+    }
+
+    /// [`CatalogShard::serve_encoded`] under a trace identity: retries
+    /// and permanent (isolation-defeating) panics are noted in the flight
+    /// recorder under `ctx`, and a permanent panic triggers a sealed
+    /// flight dump when one is armed.
+    pub fn serve_encoded_ctx(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+        ctx: TraceContext,
+    ) -> Vec<Response> {
         let policy = self.resilience.retry;
         for attempt in 0..policy.max_attempts {
-            match catch_unwind(AssertUnwindSafe(|| self.process_encoded(slice, users, attempt))) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.process_encoded_ctx(slice, users, attempt, ctx)
+            })) {
                 Ok(responses) => return responses,
                 Err(_payload) => {
                     if let Some(tel) = &self.telemetry {
                         tel.registry.counter("serve.retries").inc();
                     }
+                    self.flight_note("retry", "serve.row", ctx, u64::MAX, u64::MAX);
                     if attempt + 1 < policy.max_attempts {
                         self.sleeper.sleep_ns(policy.delay_ns(attempt));
                     }
@@ -266,26 +307,39 @@ impl CatalogShard {
         // bit-identical to batched scoring (row independence — the
         // differential suite's contract), so survivors' answers match
         // what the healthy batch would have produced.
-        slice
+        let mut permanent = false;
+        let out: Vec<Response> = slice
             .iter()
             .enumerate()
             .map(|(r, req)| {
                 let row = Tensor::from_vec(users.row(r).to_vec(), &[1, users.cols()]);
                 let one = std::slice::from_ref(req);
                 match catch_unwind(AssertUnwindSafe(|| {
-                    self.process_encoded(one, &row, policy.max_attempts)
+                    self.process_encoded_ctx(one, &row, policy.max_attempts, ctx)
                 })) {
                     Ok(mut responses) => responses.pop().unwrap_or(Response {
                         id: req.id,
                         items: Vec::new(),
                     }),
-                    Err(_) => Response {
-                        id: req.id,
-                        items: Vec::new(),
-                    },
+                    Err(_) => {
+                        // The victim: this request panics even alone, past
+                        // the retry budget — name it in the flight ring.
+                        self.flight_note("panic", "serve.row", ctx, req.id, u64::MAX);
+                        permanent = true;
+                        Response {
+                            id: req.id,
+                            items: Vec::new(),
+                        }
+                    }
                 }
             })
-            .collect()
+            .collect();
+        if permanent {
+            if let Some(tel) = &self.telemetry {
+                tel.flight.trigger("permanent-panic");
+            }
+        }
+        out
     }
 
     /// [`CatalogShard::serve_encoded`] behind per-shard backpressure:
@@ -298,17 +352,29 @@ impl CatalogShard {
         slice: &[Request],
         users: &Tensor,
     ) -> Result<Vec<Response>, ServeError> {
+        self.try_serve_encoded_ctx(slice, users, TraceContext::UNTRACED)
+    }
+
+    /// [`CatalogShard::try_serve_encoded`] under a trace identity;
+    /// backpressure rejections are noted in the flight recorder.
+    pub fn try_serve_encoded_ctx(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+        ctx: TraceContext,
+    ) -> Result<Vec<Response>, ServeError> {
         let limit = self.resilience.max_queue_depth;
         if slice.len() > limit {
             if let Some(tel) = &self.telemetry {
                 tel.registry.counter("serve.rejected_overload").inc();
             }
+            self.flight_note("overload", "serve.queue", ctx, u64::MAX, u64::MAX);
             return Err(ServeError::Overloaded {
                 depth: slice.len(),
                 limit,
             });
         }
-        Ok(self.serve_encoded(slice, users))
+        Ok(self.serve_encoded_ctx(slice, users, ctx))
     }
 
     /// Single pre-encoded query without fault hooks (the interactive
@@ -321,7 +387,7 @@ impl CatalogShard {
                 history: history.to_vec(),
             };
             return self
-                .process_encoded_ann(std::slice::from_ref(&req), users, nprobe)
+                .process_encoded_ann(std::slice::from_ref(&req), users, nprobe, TraceContext::UNTRACED)
                 .pop()
                 .map(|r| r.items)
                 .unwrap_or_default();
@@ -347,7 +413,13 @@ impl CatalogShard {
     /// usual thread-count-independent shape). Seen-item filtering and the
     /// item quarantine are applied as candidate exclusions, remapped into
     /// the window.
-    fn process_encoded_ann(&self, slice: &[Request], users: &Tensor, nprobe: usize) -> Vec<Response> {
+    fn process_encoded_ann(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+        nprobe: usize,
+        ctx: TraceContext,
+    ) -> Vec<Response> {
         let Some(index) = self.index.as_ref() else {
             // Scorer::Ivf without an index — set_ann enforces the
             // pairing, but a broken caller gets dense answers, not a
@@ -356,7 +428,7 @@ impl CatalogShard {
             for (r, req) in slice.iter().enumerate() {
                 self.injector.poison("serve.score", req.id, scores.row_mut(r));
             }
-            return self.extract_top_k(slice, scores);
+            return self.extract_top_k(slice, scores, ctx);
         };
         let (k, filter_seen, offset) = (self.k, self.filter_seen, self.item_offset);
         let n_local = self.cache.n_items();
@@ -373,7 +445,7 @@ impl CatalogShard {
                     }));
                 }
                 excluded.extend_from_slice(quarantined);
-                index_ref.search(users_ref.row(r), k, nprobe, &excluded)
+                index_ref.search_traced(users_ref.row(r), k, nprobe, &excluded, ctx.trace_id)
             });
         if let Some(tel) = &self.telemetry {
             let (lists, rows) = results.iter().fold((0u64, 0u64), |(l, s), (_, st)| {
@@ -396,7 +468,9 @@ impl CatalogShard {
 
     /// Top-k extraction with quarantine: masked items sort last, poisoned
     /// rows take the slow non-finite-aware path. Outputs global ids.
-    fn extract_top_k(&self, slice: &[Request], mut scores: Tensor) -> Vec<Response> {
+    /// Rows that fall back to the quarantine path are noted in the flight
+    /// recorder under `ctx`.
+    fn extract_top_k(&self, slice: &[Request], mut scores: Tensor, ctx: TraceContext) -> Vec<Response> {
         // Quarantined items (non-finite cache rows) are masked to -inf
         // *first*: one bad item column must not poison whole rows.
         if !self.quarantined.is_empty() {
@@ -429,6 +503,11 @@ impl CatalogShard {
                 tel.registry
                     .counter("serve.quarantined_rows")
                     .add(n_poisoned as u64);
+            }
+            for (r, req) in slice.iter().enumerate() {
+                if poisoned.get(r).copied().unwrap_or(false) {
+                    self.flight_note("quarantine", "serve.score", ctx, req.id, u64::MAX);
+                }
             }
         }
         slice

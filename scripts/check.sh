@@ -143,4 +143,24 @@ grep -Eq '"fault\.injected":[1-9]' "$smoke_dir/gw-chaos-metrics.json"
 grep -Eq '"serve\.(quarantined_rows|retries)":[1-9]' "$smoke_dir/gw-chaos-metrics.json"
 echo "   gateway chaos ok: $(grep -Eo '"(fault\.injected|gateway\.degraded_responses)":[0-9]+' "$smoke_dir/gw-chaos-metrics.json" | tr '\n' ' ')"
 
+# Live telemetry smoke: chaos replay with the read-only HTTP endpoint up
+# and the flight recorder armed. The binary self-scrapes /metrics and
+# /flight through the real TCP surface (--obs-dump-dir) after the replay;
+# the scrape must carry live gateway.* traffic counters, the flight ring
+# must name the permanently-panicked victim requests, and the sealed
+# incident dump must have been written on the first degradation trigger.
+echo "== check: gateway-bench live telemetry smoke (--obs-listen) =="
+WR_FAULT_SEED=20240613 ./target/release/gateway-bench --scale 0.05 --epochs 1 \
+    --queries 256 --batch 32 --k 10 --shards 3 --poison-shard 1 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/obs-report.json" \
+    --obs-listen 127.0.0.1:0 --obs-dump-dir "$smoke_dir/obs"
+grep -q '"format":"wr-obs/v1"' "$smoke_dir/obs/metrics.scrape.json"
+grep -Eq '"gateway\.requests":[1-9]' "$smoke_dir/obs/metrics.scrape.json"
+grep -Eq '"gateway\.fanout_calls":[1-9]' "$smoke_dir/obs/metrics.scrape.json"
+grep -q '"format":"wr-flight/v1"' "$smoke_dir/obs/flight.scrape.jsonl"
+grep -Eq '"kind":"panic".*"req":[0-9]+' "$smoke_dir/obs/flight.scrape.jsonl"
+test -s "$smoke_dir/obs/flight.dump.jsonl"
+grep -Eq '"kind":"panic".*"req":[0-9]+' "$smoke_dir/obs/flight.dump.jsonl"
+echo "   obs ok: $(grep -c '"kind":"panic"' "$smoke_dir/obs/flight.dump.jsonl") panic event(s) in the sealed dump"
+
 echo "== check: ok =="
