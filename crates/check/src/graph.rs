@@ -67,6 +67,7 @@ const HOT_ROOTS: &[&str] = &[
     "ServeEngine::try_serve",
     "Gateway::serve",
     "Gateway::try_serve",
+    "ReplicaSet::dispatch",
     "IvfIndex::search",
     "batch_top_k",
 ];

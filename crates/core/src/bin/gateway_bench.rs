@@ -65,7 +65,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use whitenrec::data::{DatasetKind, DatasetSpec};
-use whitenrec::fault::{FaultKind, FaultPlan, SharedInjector, WR_FAULT_SEED_ENV};
+use whitenrec::fault::{FaultKind, FaultPlan, KillAfter, SharedInjector, WR_FAULT_SEED_ENV};
 use whitenrec::nn::save_params;
 use whitenrec::obs::Telemetry;
 use whitenrec::ExperimentContext;
@@ -78,14 +78,19 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: gateway-bench [--model NAME] [--dataset Arts|Toys|Tools|Food]");
         eprintln!("  [--scale F] [--epochs N] [--checkpoint PATH]");
-        eprintln!("  [--shards N] [--mode partitioned|replicated]");
+        eprintln!("  [--shards N] [--replicas R] [--mode partitioned|replicated]");
         eprintln!("  [--queries N] [--users N] [--zipf-alpha F] [--max-len N]");
         eprintln!("  [--log PATH] [--save-log PATH] [--batch N] [--k N]");
         eprintln!("  [--no-filter-seen] [--seed N] [--out PATH] [--check-single N]");
-        eprintln!("  [--poison-shard IDX] [--trace-out PATH] [--metrics-out PATH]");
+        eprintln!("  [--poison-shard IDX] [--poison-replica IDX]");
+        eprintln!("  [--hedge-ns N] [--deadline-ns N] [--router-seed N]");
+        eprintln!("  [--trace-out PATH] [--metrics-out PATH] [--fault-log-out PATH]");
         eprintln!("  [--obs-listen ADDR] [--obs-dump-dir DIR]");
         eprintln!("  [--ann-nlist N] [--ann-nprobe N] [--ann-seed N]");
         eprintln!("  env: WR_FAULT_SEED=N  arm deterministic chaos on one shard (0/unset = off)");
+        eprintln!("  --poison-replica kills that replica of EVERY set (KillAfter, permanent);");
+        eprintln!("  with --replicas >= 2 the breakers route around it: zero degraded answers,");
+        eprintln!("  checksum identical to the healthy run, failovers counted.");
         return ExitCode::SUCCESS;
     }
     match run(&args) {
@@ -157,6 +162,30 @@ fn run(args: &[String]) -> Result<(), String> {
     let batch: usize = parse_num(args, "--batch", 64)?;
     let k: usize = parse_num(args, "--k", 10)?;
     let n_shards: usize = parse_num(args, "--shards", 2)?;
+    let n_replicas: usize = parse_num(args, "--replicas", 1)?;
+    if n_replicas == 0 {
+        return Err("--replicas must be >= 1".into());
+    }
+    let hedge_ns: u64 = parse_num(args, "--hedge-ns", 0)?;
+    let deadline_ns: u64 = parse_num(args, "--deadline-ns", 0)?;
+    let router_seed: u64 = parse_num(args, "--router-seed", GatewayConfig::default().router_seed)?;
+    let poison_replica: Option<usize> = match flag(args, "--poison-replica") {
+        Some(s) => Some(s.parse().map_err(|_| format!("bad --poison-replica {s}"))?),
+        None => None,
+    };
+    if let Some(r) = poison_replica {
+        if n_replicas < 2 {
+            return Err(
+                "--poison-replica needs --replicas >= 2 (a lone replica has no failover target)"
+                    .into(),
+            );
+        }
+        if r >= n_replicas {
+            return Err(format!(
+                "--poison-replica {r} out of range for {n_replicas} replicas"
+            ));
+        }
+    }
     let replicated = match flag(args, "--mode").as_deref() {
         Some("partitioned") | None => false,
         Some("replicated") => true,
@@ -221,6 +250,10 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let gateway_cfg = GatewayConfig {
         serve: serve_cfg,
+        replicas: n_replicas,
+        hedge_threshold_ns: hedge_ns,
+        deadline_ns,
+        router_seed,
         ..GatewayConfig::default()
     };
 
@@ -268,8 +301,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "gateway: {} shards ({}), windows {:?}",
+        "gateway: {} shards x {} replica(s) ({}), windows {:?}",
         gateway.plan().n_shards(),
+        n_replicas,
         if replicated { "replicated" } else { "partitioned" },
         gateway.plan().ranges()
     );
@@ -279,6 +313,19 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let gateway = match &fault_plan {
         Some(plan) => gateway.with_shard_faults(poison_shard, plan.clone() as SharedInjector),
+        None => gateway,
+    };
+    let gateway = match poison_replica {
+        Some(r) => {
+            eprintln!(
+                "chaos: replica {r} of every set permanently killed (KillAfter on serve.row)"
+            );
+            let mut gw = gateway;
+            for s in 0..gw.plan().n_shards() {
+                gw = gw.with_replica_faults(s, r, Arc::new(KillAfter::serve_rows()));
+            }
+            gw
+        }
         None => gateway,
     };
     let ann_nlist: usize = parse_num(args, "--ann-nlist", 0)?;
@@ -406,6 +453,35 @@ fn run(args: &[String]) -> Result<(), String> {
             tel.registry
                 .counter("fault.injected")
                 .add(plan.injected_total());
+        }
+        if let Some(path) = flag(args, "--fault-log-out") {
+            // The schedule as a replayable artifact: CRC-sealed
+            // `wr-faultlog/v1` JSONL, written atomically.
+            whitenrec::fault::save_fault_log(Path::new(&path), plan.seed(), &plan.records())
+                .map_err(|e| format!("fault log export failed: {e}"))?;
+            eprintln!("fault log -> {path} ({} records)", plan.records().len());
+        }
+    }
+    if n_replicas > 1 {
+        // The breaker trajectory snapshot: one state label per replica,
+        // per set. Under --poison-replica the victims must read "open".
+        eprintln!("replicas: breaker states {:?}", gateway.breaker_states());
+        if let Some(tel) = &telemetry {
+            let snap = tel.registry.snapshot();
+            let counter = |name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|(n, _)| n.as_str() == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0)
+            };
+            eprintln!(
+                "replicas: {} failovers, {} breakers opened, {} hedges ({} mismatches)",
+                counter("gateway.failovers"),
+                counter("gateway.breaker_open"),
+                counter("gateway.hedges"),
+                counter("gateway.hedge_mismatches"),
+            );
         }
     }
     if let Some(tel) = &telemetry {

@@ -339,6 +339,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 .counter("fault.injected")
                 .add(plan.injected_total());
         }
+        if let Some(path) = flag(args, "--fault-log-out") {
+            // The schedule as a replayable artifact: CRC-sealed
+            // `wr-faultlog/v1` JSONL, written atomically.
+            whitenrec::fault::save_fault_log(Path::new(&path), plan.seed(), &plan.records())
+                .map_err(|e| format!("fault log export failed: {e}"))?;
+            eprintln!("fault log -> {path} ({} records)", plan.records().len());
+        }
     }
     if let Some(tel) = &telemetry {
         whitenrec::runtime::record_metrics(&tel.registry);

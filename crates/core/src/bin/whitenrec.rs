@@ -7,7 +7,7 @@
 //! whitenrec train --model WhitenRec+ --dataset Arts [--scale 0.2]
 //!     [--epochs 15] [--cold] [--save model.wrck] [--records out.jsonl]
 //!     [--metrics-out metrics.json] [--trace-out trace.json]
-//!     [--resume-dir DIR] [--checkpoint-every N]
+//!     [--resume-dir DIR] [--checkpoint-every N] [--fault-seed S]
 //!     Train one zoo model, print metrics, optionally checkpoint + export.
 //!     `--resume-dir` routes the warm loop through the crash-safe
 //!     resumable trainer: full training state (parameters, Adam moments,
@@ -15,6 +15,12 @@
 //!     every N epochs (default 1), and a re-run against the same DIR
 //!     resumes from the newest valid generation, bit-identically to an
 //!     uninterrupted run.
+//!     `--fault-seed` arms wr-fault's chaos drill against that loop: on a
+//!     *fresh* resume dir the run crashes (typed `InducedPanic`, FAILURE
+//!     exit) at a mid-training epoch derived purely from the seed; the
+//!     same command run again finds the surviving WRTS generations,
+//!     disarms, resumes, and must finish bit-identically to a run that
+//!     was never interrupted.
 //!     The metrics snapshot carries per-epoch `train.*` telemetry, the
 //!     runtime pool's utilization gauges, and the paper's embedding-health
 //!     diagnostics for the dataset's table before and after whitening
@@ -71,6 +77,20 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Does the resume dir already hold WRTS checkpoint generations? (An
+/// unreadable or missing dir counts as fresh — the trainer creates it.)
+fn dir_has_generations(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.flatten().any(|e| {
+                e.path()
+                    .extension()
+                    .is_some_and(|ext| ext == "wrts")
+            })
+        })
+        .unwrap_or(false)
 }
 
 fn parse_dataset(args: &[String]) -> Result<DatasetKind, String> {
@@ -158,6 +178,20 @@ fn train(args: &[String]) -> ExitCode {
         eprintln!("--resume-dir is a warm-loop feature (the cold protocol retrains from scratch)");
         return ExitCode::FAILURE;
     }
+    let fault_seed = match flag(args, "--fault-seed") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(seed) => Some(seed),
+            Err(_) => {
+                eprintln!("bad --fault-seed {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if fault_seed.is_some() && resume_dir.is_none() {
+        eprintln!("--fault-seed needs --resume-dir: the drill is crash *and recover*");
+        return ExitCode::FAILURE;
+    }
     let trained = if cold {
         ctx.run_cold(&model_name)
     } else if let Some(dir) = resume_dir {
@@ -176,10 +210,55 @@ fn train(args: &[String]) -> ExitCode {
             every,
         };
         println!("resumable: WRTS generations in {dir} (every {every} epoch(s))");
-        match ctx.run_warm_resumable(&model_name, &policy) {
-            Ok(t) => t,
-            Err(e) => {
+        // The crash drill arms only on a *fresh* dir: epoch boundaries
+        // persist generations before the crash fires, so the re-run sees
+        // them, disarms, and recovers instead of crash-looping.
+        let crash_epoch = match fault_seed {
+            Some(seed) => {
+                if ctx.train_config.max_epochs < 2 {
+                    eprintln!("--fault-seed needs --epochs >= 2 (the crash lands mid-training)");
+                    return ExitCode::FAILURE;
+                }
+                if dir_has_generations(&policy.dir) {
+                    println!("fault drill: generations found in {dir}; disarmed, resuming");
+                    None
+                } else {
+                    // Pure in the seed: epoch in [2, max_epochs], so at
+                    // least one generation exists when the crash fires.
+                    let epoch = 2 + (seed % (ctx.train_config.max_epochs as u64 - 1)) as usize;
+                    println!("fault drill: armed with seed {seed}, crash at epoch {epoch}");
+                    Some(epoch)
+                }
+            }
+            None => None,
+        };
+        let run = || match crash_epoch {
+            Some(crash_epoch) => ctx.run_warm_resumable_hooked(&model_name, &policy, |_, rec| {
+                if rec.epoch + 1 == crash_epoch {
+                    std::panic::panic_any(whitenrec::fault::InducedPanic {
+                        site: "train.epoch".to_string(),
+                        index: rec.epoch as u64,
+                        attempt: 0,
+                    });
+                }
+            }),
+            None => ctx.run_warm_resumable(&model_name, &policy),
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+            Ok(Ok(t)) => t,
+            Ok(Err(e)) => {
                 eprintln!("resumable training failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(payload) => {
+                match payload.downcast::<whitenrec::fault::InducedPanic>() {
+                    Ok(p) => eprintln!(
+                        "induced crash at {} epoch {} — run the same command again to resume",
+                        p.site,
+                        p.index + 1
+                    ),
+                    Err(_) => eprintln!("training panicked"),
+                }
                 return ExitCode::FAILURE;
             }
         }

@@ -159,6 +159,21 @@ impl ExperimentContext {
         name: &str,
         policy: &CheckpointPolicy,
     ) -> Result<TrainedModel, CheckpointError> {
+        self.run_warm_resumable_hooked(name, policy, |_, _| {})
+    }
+
+    /// As [`Self::run_warm_resumable`], with a per-epoch hook. The hook
+    /// runs at every epoch boundary *before* that epoch's checkpoint is
+    /// persisted — which is exactly where `whitenrec train --fault-seed`
+    /// injects its scheduled crash, so a crash at epoch `e` leaves
+    /// generations `1..e` on disk and the restart replays epoch `e`
+    /// bit-identically.
+    pub fn run_warm_resumable_hooked(
+        &self,
+        name: &str,
+        policy: &CheckpointPolicy,
+        hook: impl FnMut(&Box<dyn SeqRecModel>, &EpochRecord),
+    ) -> Result<TrainedModel, CheckpointError> {
         let mut model = self.build_model(name);
         let mut optimizer = Adam::new(AdamConfig {
             lr: 1e-3,
@@ -174,7 +189,7 @@ impl ExperimentContext {
             self.train_config,
             &self.telemetry_or_default(),
             policy,
-            |_, _| {},
+            hook,
         )?;
         let test = cap(&self.warm.test, self.eval_cap);
         let metrics = self.evaluate(model.as_ref(), &test);

@@ -1,0 +1,129 @@
+//! End-to-end crash drill for `whitenrec train --fault-seed`: the CLI is
+//! crashed mid-training by an armed wr-fault panic, restarted with the
+//! same `--resume-dir`, and the recovered run's saved parameters must be
+//! **byte-identical** to a run that was never interrupted.
+//!
+//! This drives the real binary (`CARGO_BIN_EXE_whitenrec`) three times:
+//!
+//! 1. fresh dir + `--fault-seed` → FAILURE exit, induced-crash message,
+//!    WRTS generations left behind;
+//! 2. same command again → the drill sees the generations, disarms,
+//!    resumes, SUCCESS, saves a checkpoint;
+//! 3. a clean run (fresh dir, no fault) saves the reference checkpoint.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const ARGS: &[&str] = &[
+    "train",
+    "--model",
+    "WhitenRec+",
+    "--dataset",
+    "Arts",
+    "--scale",
+    "0.05",
+    "--epochs",
+    "3",
+];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wr-fault-drill-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn whitenrec(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_whitenrec"))
+        .args(ARGS)
+        .args(extra)
+        .output()
+        .expect("spawn whitenrec")
+}
+
+#[test]
+fn induced_crash_then_resume_is_bit_identical_to_uninterrupted() {
+    let dir = scratch("crash");
+    let resume_dir = dir.join("gens");
+    let crashed_ckpt = dir.join("resumed.wrck");
+    let clean_ckpt = dir.join("clean.wrck");
+    let resume_dir_s = resume_dir.to_string_lossy().into_owned();
+    let crashed_ckpt_s = crashed_ckpt.to_string_lossy().into_owned();
+    let clean_ckpt_s = clean_ckpt.to_string_lossy().into_owned();
+
+    // Run 1: fresh dir, armed — must crash with the typed drill message.
+    let run1 = whitenrec(&[
+        "--resume-dir",
+        &resume_dir_s,
+        "--fault-seed",
+        "7",
+        "--save",
+        &crashed_ckpt_s,
+    ]);
+    let stderr1 = String::from_utf8_lossy(&run1.stderr);
+    assert!(
+        !run1.status.success(),
+        "armed run must exit FAILURE, stderr: {stderr1}"
+    );
+    assert!(
+        stderr1.contains("induced crash at train.epoch"),
+        "stderr must name the induced crash, got: {stderr1}"
+    );
+    assert!(
+        !crashed_ckpt.exists(),
+        "the crashed run must not have reached --save"
+    );
+    let generations = std::fs::read_dir(&resume_dir)
+        .expect("resume dir exists after crash")
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wrts"))
+        .count();
+    assert!(
+        generations >= 1,
+        "the crash lands after at least one checkpointed epoch"
+    );
+
+    // Run 2: identical command — generations present, drill disarms,
+    // training resumes and completes.
+    let run2 = whitenrec(&[
+        "--resume-dir",
+        &resume_dir_s,
+        "--fault-seed",
+        "7",
+        "--save",
+        &crashed_ckpt_s,
+    ]);
+    let stdout2 = String::from_utf8_lossy(&run2.stdout);
+    assert!(
+        run2.status.success(),
+        "resumed run must succeed, stderr: {}",
+        String::from_utf8_lossy(&run2.stderr)
+    );
+    assert!(
+        stdout2.contains("disarmed, resuming"),
+        "the drill must report disarming, got: {stdout2}"
+    );
+
+    // Run 3: never-interrupted reference on a fresh dir.
+    let fresh = scratch("clean").join("gens");
+    let run3 = whitenrec(&[
+        "--resume-dir",
+        &fresh.to_string_lossy(),
+        "--save",
+        &clean_ckpt_s,
+    ]);
+    assert!(
+        run3.status.success(),
+        "clean run must succeed, stderr: {}",
+        String::from_utf8_lossy(&run3.stderr)
+    );
+
+    // The acceptance bit: crash + resume converges to the exact bytes of
+    // the uninterrupted run.
+    let resumed = std::fs::read(&crashed_ckpt).expect("resumed checkpoint");
+    let clean = std::fs::read(&clean_ckpt).expect("clean checkpoint");
+    assert_eq!(
+        resumed, clean,
+        "resumed parameters must be byte-identical to the uninterrupted run"
+    );
+}

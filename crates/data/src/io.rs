@@ -7,10 +7,20 @@
 //! bit-flipped file fails its CRC on load instead of silently feeding a
 //! damaged dataset into an experiment. Loaders skip `#` comment lines and
 //! accept footer-less files, so hand-written fixtures stay loadable.
+//!
+//! The dataset *build* path is chaos-testable like the serving path: the
+//! `_with` writers thread a [`FaultInjector`] through both the per-line
+//! encode step (site `data.line`, one index per sequence — an upstream
+//! producer emitting a garbage row) and the final landing
+//! (`wr_fault::write_atomic_with`, sites `file.write` / `file.bytes`).
+//! [`load_sequences_lenient`] is the recovery side: it salvages every
+//! intact line from a damaged file and *counts* what it skipped, so a
+//! build pipeline can decide whether the survivors are enough — without
+//! a damaged row ever mutating a surviving one.
 
 use std::path::Path;
 
-use wr_fault::{seal_lines, verify_lines, write_atomic};
+use wr_fault::{seal_lines, verify_lines, write_atomic, write_atomic_with, FaultInjector, NoFaults};
 use wr_tensor::{json, Json, Tensor};
 
 fn bad_data(msg: impl Into<String>) -> std::io::Error {
@@ -19,12 +29,30 @@ fn bad_data(msg: impl Into<String>) -> std::io::Error {
 
 /// Write sequences as JSON-lines (one user per line), sealed + atomic.
 pub fn save_sequences(path: impl AsRef<Path>, sequences: &[Vec<usize>]) -> std::io::Result<()> {
+    save_sequences_with(path, sequences, &NoFaults, 0)
+}
+
+/// [`save_sequences`] with chaos hooks: the injector may corrupt each
+/// encoded line (site `"data.line"`, index = line number) *before* the
+/// seal — modelling a producer that emits a damaged row, which the CRC
+/// footer then faithfully covers — and may fail or mangle the landing
+/// write itself (`"file.write"` / `"file.bytes"` via
+/// [`write_atomic_with`], at the caller's `index`). Under
+/// [`NoFaults`] this is byte-identical to [`save_sequences`].
+pub fn save_sequences_with(
+    path: impl AsRef<Path>,
+    sequences: &[Vec<usize>],
+    injector: &dyn FaultInjector,
+    index: u64,
+) -> std::io::Result<()> {
     let mut body = String::new();
-    for s in sequences {
-        body.push_str(&json::usize_array_to_string(s));
+    for (i, s) in sequences.iter().enumerate() {
+        let mut line = json::usize_array_to_string(s).into_bytes();
+        injector.corrupt("data.line", i as u64, &mut line);
+        body.push_str(&String::from_utf8_lossy(&line));
         body.push('\n');
     }
-    write_atomic(path, seal_lines(body).as_bytes())
+    write_atomic_with(path, seal_lines(body).as_bytes(), injector, index)
 }
 
 /// Read sequences written by [`save_sequences`]. The integrity footer is
@@ -47,10 +75,74 @@ pub fn load_sequences(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<usize>>
     Ok(out)
 }
 
+/// What [`load_sequences_lenient`] salvaged from a (possibly damaged)
+/// sequence file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LenientLoad {
+    /// Every line that still parsed, in file order. Damage to one line
+    /// never mutates another: a surviving sequence is bit-identical to
+    /// what the strict loader would have returned for it.
+    pub sequences: Vec<Vec<usize>>,
+    /// Lines that were present but no longer parsed as integer arrays.
+    pub skipped_lines: usize,
+    /// Whether the `#crc32:` integrity footer (if present) still matched.
+    /// `false` means the file was damaged *after* sealing (torn flush,
+    /// bit rot) — the survivors are best-effort, not producer-attested.
+    pub seal_intact: bool,
+}
+
+/// Best-effort read of a sequence file: skip-and-count instead of
+/// fail-fast.
+///
+/// Where [`load_sequences`] refuses the whole file on the first damaged
+/// line (or a broken seal), this salvages every line that still parses
+/// and reports how many it had to drop. Blank and `#` comment lines are
+/// not damage and are skipped silently, exactly as the strict loader
+/// does. Only honest I/O errors (missing file, permissions) still fail.
+pub fn load_sequences_lenient(path: impl AsRef<Path>) -> std::io::Result<LenientLoad> {
+    let text = std::fs::read_to_string(path)?;
+    let seal_intact = verify_lines(&text).is_ok();
+    let mut sequences = Vec::new();
+    let mut skipped_lines = 0usize;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match Json::parse(line).ok().and_then(|j| j.as_usize_vec()) {
+            Some(seq) => sequences.push(seq),
+            None => skipped_lines += 1,
+        }
+    }
+    Ok(LenientLoad {
+        sequences,
+        skipped_lines,
+        seal_intact,
+    })
+}
+
 /// Write an embedding matrix as JSON (`{dims, data}` via `wr_tensor`'s
 /// JSON support), sealed + atomic.
 pub fn save_embeddings(path: impl AsRef<Path>, embeddings: &Tensor) -> std::io::Result<()> {
     write_atomic(path, seal_lines(embeddings.to_json_string()).as_bytes())
+}
+
+/// [`save_embeddings`] with chaos hooks on the landing write
+/// (`"file.write"` / `"file.bytes"` via [`write_atomic_with`]). The
+/// matrix is one JSON document, so there is no per-row lenient recovery
+/// — a damaged embedding file must fail loudly, and does (CRC footer).
+pub fn save_embeddings_with(
+    path: impl AsRef<Path>,
+    embeddings: &Tensor,
+    injector: &dyn FaultInjector,
+    index: u64,
+) -> std::io::Result<()> {
+    write_atomic_with(
+        path,
+        seal_lines(embeddings.to_json_string()).as_bytes(),
+        injector,
+        index,
+    )
 }
 
 /// Read an embedding matrix written by [`save_embeddings`]. The integrity
@@ -64,10 +156,36 @@ pub fn load_embeddings(path: impl AsRef<Path>) -> std::io::Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wr_fault::Corruption;
     use wr_tensor::Rng64;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("wrdata_{name}_{}", std::process::id()))
+    }
+
+    /// A build-time fault: the producer emits garbage for the listed
+    /// line indices at site `data.line`. Everything else is inert.
+    struct TornRows(&'static [u64]);
+
+    impl FaultInjector for TornRows {
+        fn write_error(&self, _site: &str, _index: u64) -> Option<std::io::Error> {
+            None
+        }
+
+        fn corrupt(&self, site: &str, index: u64, bytes: &mut Vec<u8>) -> Option<Corruption> {
+            if site == "data.line" && self.0.contains(&index) {
+                bytes.clear();
+                bytes.extend_from_slice(b"!!torn row!!");
+                return Some(Corruption::Truncated { keep: 0 });
+            }
+            None
+        }
+
+        fn poison(&self, _site: &str, _index: u64, _data: &mut [f32]) -> usize {
+            0
+        }
+
+        fn maybe_panic(&self, _site: &str, _index: u64, _attempt: u32) {}
     }
 
     #[test]
@@ -123,6 +241,98 @@ mod tests {
         std::fs::write(&path, "[5,6]\n# a hand-written comment\n[7]\n").unwrap();
         let back = load_sequences(&path).unwrap();
         assert_eq!(back, vec![vec![5, 6], vec![7]]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn with_writers_under_no_faults_match_the_plain_writers_byte_for_byte() {
+        let seqs = vec![vec![1usize, 2, 3], vec![], vec![9, 9]];
+        let plain = tmp("plain.jsonl");
+        let hooked = tmp("hooked.jsonl");
+        save_sequences(&plain, &seqs).unwrap();
+        save_sequences_with(&hooked, &seqs, &NoFaults, 0).unwrap();
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&hooked).unwrap(),
+            "NoFaults must be the identity"
+        );
+        let lenient = load_sequences_lenient(&hooked).unwrap();
+        assert_eq!(lenient.sequences, load_sequences(&hooked).unwrap());
+        assert_eq!(lenient.skipped_lines, 0);
+        assert!(lenient.seal_intact);
+
+        let mut rng = Rng64::seed_from(11);
+        let e = Tensor::randn(&[3, 4], &mut rng);
+        let plain_e = tmp("plain_e.json");
+        let hooked_e = tmp("hooked_e.json");
+        save_embeddings(&plain_e, &e).unwrap();
+        save_embeddings_with(&hooked_e, &e, &NoFaults, 0).unwrap();
+        assert_eq!(
+            std::fs::read(&plain_e).unwrap(),
+            std::fs::read(&hooked_e).unwrap()
+        );
+        for p in [plain, hooked, plain_e, hooked_e] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn torn_build_rows_are_skipped_and_counted_without_touching_survivors() {
+        let seqs: Vec<Vec<usize>> = (0..5).map(|u| vec![u, u + 10, u + 20]).collect();
+        let path = tmp("torn.jsonl");
+        // Lines 1 and 3 come out of the producer as garbage; the seal is
+        // computed over the damaged body, so the CRC is *consistent* —
+        // this is silent build-time damage, not post-seal bit rot.
+        save_sequences_with(&path, &seqs, &TornRows(&[1, 3]), 0).unwrap();
+        assert!(
+            load_sequences(&path).is_err(),
+            "the strict loader must refuse a file with damaged rows"
+        );
+        let lenient = load_sequences_lenient(&path).unwrap();
+        assert_eq!(lenient.skipped_lines, 2);
+        assert!(lenient.seal_intact, "damage was sealed in, not bit rot");
+        assert_eq!(
+            lenient.sequences,
+            vec![seqs[0].clone(), seqs[2].clone(), seqs[4].clone()],
+            "survivors must be bit-identical and in file order"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn post_seal_damage_breaks_the_seal_but_survivors_still_salvage() {
+        let seqs = vec![vec![5usize, 6], vec![7, 8], vec![9]];
+        let path = tmp("rot.jsonl");
+        save_sequences(&path, &seqs).unwrap();
+        // Damage one line *after* sealing — the CRC no longer matches.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rotted = text.replacen("[7,8]", "[7,8}", 1);
+        assert_ne!(text, rotted, "the fixture must actually hit a line");
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(load_sequences(&path).is_err(), "strict load must reject");
+        let lenient = load_sequences_lenient(&path).unwrap();
+        assert!(!lenient.seal_intact, "post-seal damage must be flagged");
+        assert_eq!(lenient.skipped_lines, 1);
+        assert_eq!(lenient.sequences, vec![vec![5, 6], vec![9]]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn injected_landing_faults_hit_the_sequence_writer_too() {
+        use wr_fault::{FaultPlan, FaultRates};
+        let seqs = vec![vec![1usize], vec![2]];
+        let path = tmp("landing.jsonl");
+        save_sequences(&path, &seqs).unwrap();
+        // An injected I/O error on the landing write leaves the previous
+        // generation untouched (write_atomic's contract, reachable from
+        // the dataset writer).
+        let ioerr = FaultPlan::with_rates(
+            9,
+            FaultRates { io_error: 1.0, corrupt: 0.0, ..FaultRates::default() },
+        );
+        let doomed = vec![vec![3usize]];
+        assert!(save_sequences_with(&path, &doomed, &ioerr, 0).is_err());
+        assert_eq!(load_sequences(&path).unwrap(), seqs);
         std::fs::remove_file(path).ok();
     }
 

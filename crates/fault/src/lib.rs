@@ -31,12 +31,17 @@
 
 pub mod atomic_io;
 pub mod backoff;
+pub mod faultlog;
 mod plan;
 
 pub use atomic_io::{
     crc32, seal_lines, verify_lines, write_atomic, write_atomic_with, CRC_LINE_PREFIX,
 };
 pub use backoff::{NoSleep, RetryPolicy, Sleeper, ThreadSleeper};
+pub use faultlog::{
+    counts_by_kind, load_fault_log, parse_fault_log, render_fault_log, save_fault_log, FaultLog,
+    FAULTLOG_FORMAT,
+};
 pub use plan::{
     Corruption, FaultKind, FaultPlan, FaultRates, FaultRecord, InducedPanic, WR_FAULT_SEED_ENV,
 };
@@ -87,6 +92,69 @@ impl FaultInjector for NoFaults {
     fn maybe_panic(&self, _site: &str, _index: u64, _attempt: u32) {}
 }
 
+/// An injector that *permanently* panics one site from a chosen index on
+/// — the "replica process died" failure mode, as opposed to
+/// [`FaultPlan`]'s probabilistic mix of transient and permanent faults.
+///
+/// `maybe_panic(site, index, _)` panics (with an [`InducedPanic`]
+/// payload) for every `index >= from_index` at the armed site, on *every*
+/// attempt: retry can never recover, which is exactly what a health
+/// breaker must learn to route around. All other hooks are no-ops — a
+/// dead replica never poisons scores, it just stops answering — so a
+/// gateway that fails over to a healthy replica keeps its answers
+/// bit-identical to a fully healthy run.
+#[derive(Debug, Clone)]
+pub struct KillAfter {
+    site: String,
+    from_index: u64,
+}
+
+impl KillAfter {
+    /// Kill every `site` call with `index >= from_index`.
+    pub fn new(site: impl Into<String>, from_index: u64) -> Self {
+        KillAfter {
+            site: site.into(),
+            from_index,
+        }
+    }
+
+    /// Kill every `serve.row` call — a replica that is dead from the
+    /// first request it sees.
+    pub fn serve_rows() -> Self {
+        KillAfter::new("serve.row", 0)
+    }
+
+    /// Whether this injector panics for `(site, index)` (pure query, any
+    /// attempt — the kill is permanent).
+    pub fn would_panic(&self, site: &str, index: u64) -> bool {
+        site == self.site && index >= self.from_index
+    }
+}
+
+impl FaultInjector for KillAfter {
+    fn write_error(&self, _site: &str, _index: u64) -> Option<std::io::Error> {
+        None
+    }
+
+    fn corrupt(&self, _site: &str, _index: u64, _bytes: &mut Vec<u8>) -> Option<Corruption> {
+        None
+    }
+
+    fn poison(&self, _site: &str, _index: u64, _data: &mut [f32]) -> usize {
+        0
+    }
+
+    fn maybe_panic(&self, site: &str, index: u64, attempt: u32) {
+        if self.would_panic(site, index) {
+            std::panic::panic_any(InducedPanic {
+                site: site.to_string(),
+                index,
+                attempt,
+            });
+        }
+    }
+}
+
 /// Shared injector handle, the form the hardened constructors take.
 pub type SharedInjector = Arc<dyn FaultInjector>;
 
@@ -98,6 +166,31 @@ pub fn no_faults() -> SharedInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kill_after_is_permanent_and_site_scoped() {
+        let kill = KillAfter::new("serve.row", 10);
+        // Below the threshold and at other sites: inert.
+        kill.maybe_panic("serve.row", 9, 0);
+        kill.maybe_panic("serve.score", 10, 0);
+        assert!(!kill.would_panic("serve.row", 9));
+        assert!(kill.would_panic("serve.row", 10));
+        // At and past the threshold: panics on every attempt (permanent).
+        for attempt in [0u32, 1, 5, u32::MAX] {
+            let err = std::panic::catch_unwind(|| kill.maybe_panic("serve.row", 10, attempt))
+                .expect_err("kill zone must panic");
+            let payload = err.downcast::<InducedPanic>().expect("typed payload");
+            assert_eq!(payload.site, "serve.row");
+            assert_eq!(payload.index, 10);
+        }
+        // Non-panic hooks never fire: a dead replica can't poison data.
+        assert!(kill.write_error("serve.row", 10).is_none());
+        let mut bytes = vec![1u8];
+        assert!(kill.corrupt("serve.row", 10, &mut bytes).is_none());
+        let mut data = vec![1.0f32];
+        assert_eq!(kill.poison("serve.row", 10, &mut data), 0);
+        assert!(KillAfter::serve_rows().would_panic("serve.row", 0));
+    }
 
     #[test]
     fn no_faults_is_inert() {

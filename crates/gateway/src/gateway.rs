@@ -2,12 +2,13 @@
 
 use std::sync::Arc;
 
+use crate::health::{BreakerConfig, ReplicaCall, ReplicaSet};
 use crate::{ShardMode, ShardPlan};
 use wr_fault::{RetryPolicy, SharedInjector, Sleeper};
-use wr_obs::{Telemetry, TraceContext};
+use wr_obs::{Clock, DeadlineBudget, MonotonicClock, Telemetry, TraceContext};
 use wr_serve::{
     merge_top_k, BatcherConfig, CatalogShard, EmbeddingCache, MicroBatcher, Request,
-    ResilienceConfig, Response, ScoredItem, ServeConfig, ServeError,
+    ResilienceConfig, Response, ScoredItem, ServeConfig,
 };
 use wr_tensor::Tensor;
 use wr_train::SeqRecModel;
@@ -30,6 +31,29 @@ pub struct GatewayConfig {
     pub shard_max_rows: usize,
     /// Bounded retry-with-backoff for shard micro-batches that panic.
     pub retry: RetryPolicy,
+    /// Replicas per catalog window (`R`). Each replica is a handle clone
+    /// of the window's frozen cache behind its own circuit breaker, so
+    /// failover and hedging change *which core answers*, never the bits.
+    /// `1` (the default) reproduces the pre-replica gateway exactly —
+    /// byte-for-byte and counter-for-counter.
+    pub replicas: usize,
+    /// Hedge a dispatch whose winning attempt took at least this many
+    /// nanoseconds of the gateway clock: one extra strict attempt on a
+    /// healthy sibling, bit-compared against the answer in hand
+    /// (`gateway.hedge_mismatches` counts disagreements — it must stay
+    /// zero). `0` disables hedging.
+    pub hedge_threshold_ns: u64,
+    /// Per-micro-batch deadline budget in nanoseconds of the gateway
+    /// clock; a spent budget sheds the batch (degraded, not failed).
+    /// `0` means unlimited.
+    pub deadline_ns: u64,
+    /// Seed for the replica-rotation hash. Routing is a pure function of
+    /// `(router_seed, first request id, shard index)` — no RNG stream —
+    /// so a replay with the same seed walks the same replicas.
+    pub router_seed: u64,
+    /// Per-replica circuit-breaker knobs (consecutive-failure threshold,
+    /// half-open cooldown).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for GatewayConfig {
@@ -40,6 +64,11 @@ impl Default for GatewayConfig {
             max_queue_depth: 1024,
             shard_max_rows: serve.max_batch,
             retry: RetryPolicy::default(),
+            replicas: 1,
+            hedge_threshold_ns: 0,
+            deadline_ns: 0,
+            router_seed: 0x5EED_0017,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -108,7 +137,9 @@ pub struct GatewayResponse {
 /// windows are disjoint and every shard ranks under the same total order.
 pub struct Gateway {
     model: Box<dyn SeqRecModel>,
-    shards: Vec<CatalogShard>,
+    /// One replica set per catalog window; `sets[s]` holds `R`
+    /// interchangeable [`CatalogShard`] handles over window `s`.
+    sets: Vec<ReplicaSet>,
     plan: ShardPlan,
     batcher: MicroBatcher,
     cfg: GatewayConfig,
@@ -116,6 +147,11 @@ pub struct Gateway {
     /// Per-shard span labels, precomputed so the fan-out hot path never
     /// formats strings.
     shard_labels: Vec<String>,
+    /// Time source for deadline budgets and hedge decisions. Defaults to
+    /// [`MonotonicClock`]; [`Gateway::with_telemetry`] adopts the
+    /// telemetry clock so routing and flight timestamps share one
+    /// timeline, and tests inject a frozen `MockClock`.
+    clock: Arc<dyn Clock>,
 }
 
 impl Gateway {
@@ -162,23 +198,24 @@ impl Gateway {
             max_queue_depth: cfg.shard_max_rows,
             retry: cfg.retry,
         };
-        let shards: Vec<CatalogShard> = shards
+        let sets: Vec<ReplicaSet> = shards
             .into_iter()
-            .map(|s| s.with_resilience(resilience))
+            .map(|s| ReplicaSet::new(s.with_resilience(resilience), cfg.replicas, cfg.breaker))
             .collect();
         let batcher = MicroBatcher::new(BatcherConfig {
             max_batch: cfg.serve.max_batch,
             max_seq: cfg.serve.max_seq,
         });
-        let shard_labels = (0..shards.len()).map(|s| format!("shard{s}")).collect();
+        let shard_labels = (0..sets.len()).map(|s| format!("shard{s}")).collect();
         Gateway {
             model,
-            shards,
+            sets,
             plan,
             batcher,
             cfg,
             telemetry: None,
             shard_labels,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -201,17 +238,32 @@ impl Gateway {
         telemetry.registry.counter("gateway.shard_rejections");
         telemetry.registry.counter("gateway.degraded_responses");
         telemetry.registry.counter("gateway.rejected_overload");
+        telemetry.registry.counter("gateway.failovers");
+        telemetry.registry.counter("gateway.hedges");
+        telemetry.registry.counter("gateway.hedge_mismatches");
+        telemetry.registry.counter("gateway.breaker_open");
         telemetry.registry.counter("serve.rejected_overload");
         telemetry.registry.counter("serve.quarantined_rows");
         telemetry.registry.counter("serve.retries");
         telemetry.registry.counter("serve.ann.lists_probed");
         telemetry.registry.counter("serve.ann.rows_scanned");
-        self.shards = self
-            .shards
-            .drain(..)
-            .map(|s| s.with_telemetry(telemetry.clone()))
-            .collect();
+        for set in &mut self.sets {
+            set.map_replicas(|s| s.with_telemetry(telemetry.clone()));
+        }
+        // Deadline and hedge decisions read the telemetry clock from here
+        // on, so routing and flight timestamps share one timeline (and a
+        // test's MockClock governs both).
+        self.clock = telemetry.clock.clone();
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replace the gateway's time source (builder-style). Tests inject a
+    /// frozen [`wr_obs::MockClock`] so deadline and hedge decisions run
+    /// in virtual time. Call *after* [`Gateway::with_telemetry`], which
+    /// also resets the clock to the telemetry's.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -222,11 +274,9 @@ impl Gateway {
     /// Replace every shard's backoff sleeper (builder-style). Tests
     /// inject [`wr_fault::NoSleep`] so retry storms never block.
     pub fn with_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> Self {
-        self.shards = self
-            .shards
-            .drain(..)
-            .map(|s| s.with_sleeper(sleeper.clone()))
-            .collect();
+        for set in &mut self.sets {
+            set.map_replicas(|s| s.with_sleeper(sleeper.clone()));
+        }
         self
     }
 
@@ -238,11 +288,39 @@ impl Gateway {
     /// which is exactly the chaos suite's "one shard poisoned" shape.
     pub fn with_shard_faults(mut self, shard: usize, injector: SharedInjector) -> Self {
         let items = self.model.item_representations();
-        match self.shards.get_mut(shard) {
-            Some(s) => s.rearm(&items, injector),
+        let n_sets = self.sets.len();
+        match self.sets.get_mut(shard) {
+            Some(set) => set.map_replicas(|mut s| {
+                s.rearm(&items, injector.clone());
+                s
+            }),
+            None => panic!("with_shard_faults: shard {shard} out of range ({n_sets} shards)"),
+        }
+        self
+    }
+
+    /// Arm fault injection on one *replica* of a set without touching its
+    /// cache (builder-style): the replica's hot path consults `injector`
+    /// while its siblings — and the shared frozen cache — stay clean.
+    /// This is the replica-chaos shape: kill one replica per set (e.g.
+    /// with [`wr_fault::KillAfter`]), let the breakers route around it,
+    /// and the answer bits cannot change because every sibling scores the
+    /// same cache.
+    pub fn with_replica_faults(
+        mut self,
+        shard: usize,
+        replica: usize,
+        injector: SharedInjector,
+    ) -> Self {
+        let n_sets = self.sets.len();
+        let Some(set) = self.sets.get_mut(shard) else {
+            panic!("with_replica_faults: shard {shard} out of range ({n_sets} shards)");
+        };
+        let n_replicas = set.replicas().len();
+        match set.replica_mut(replica) {
+            Some(r) => r.set_injector(injector),
             None => panic!(
-                "with_shard_faults: shard {shard} out of range ({} shards)",
-                self.shards.len()
+                "with_replica_faults: replica {replica} out of range ({n_replicas} replicas)"
             ),
         }
         self
@@ -255,9 +333,18 @@ impl Gateway {
     /// bit-identical to the single-engine one — the differential suite's
     /// IVF axis.
     pub fn with_ann(mut self, nlist: usize, nprobe: usize, seed: u64) -> Result<Self, GatewayError> {
-        for shard in &mut self.shards {
-            let index = shard.cache().build_ivf(nlist, seed)?;
-            shard.set_ann(Arc::new(index), nprobe);
+        for set in &mut self.sets {
+            // One index per *window*, built from the primary's cache and
+            // shared (Arc) by every replica — siblings must probe the
+            // same lists to stay bit-interchangeable.
+            let index = match set.primary() {
+                Some(primary) => Arc::new(primary.cache().build_ivf(nlist, seed)?),
+                None => continue,
+            };
+            set.map_replicas(|mut s| {
+                s.set_ann(index.clone(), nprobe);
+                s
+            });
         }
         Ok(self)
     }
@@ -270,8 +357,25 @@ impl Gateway {
         &self.plan
     }
 
-    pub fn shards(&self) -> &[CatalogShard] {
-        &self.shards
+    /// The primary shard of every replica set, in window order — the
+    /// pre-replica view of the gateway.
+    pub fn shards(&self) -> Vec<&CatalogShard> {
+        self.sets.iter().filter_map(|set| set.primary()).collect()
+    }
+
+    /// The replica sets themselves (one per catalog window).
+    pub fn sets(&self) -> &[ReplicaSet] {
+        &self.sets
+    }
+
+    /// Breaker state labels, `[set][replica]` → `"closed"` / `"open"` /
+    /// `"half-open"` — the bench CLIs export this as the breaker
+    /// trajectory snapshot.
+    pub fn breaker_states(&self) -> Vec<Vec<&'static str>> {
+        self.sets
+            .iter()
+            .map(|set| set.health().iter().map(|h| h.state_label()).collect())
+            .collect()
     }
 
     pub fn n_items(&self) -> usize {
@@ -359,17 +463,31 @@ impl Gateway {
         batch_index: usize,
         ctx: TraceContext,
     ) -> Vec<(usize, Option<Vec<Response>>)> {
-        let to_part = |r: Result<Vec<Response>, ServeError>| r.ok();
+        // One deadline budget per micro-batch, opened on the gateway
+        // clock. With `deadline_ns = 0` this is the unlimited budget and
+        // the deadline checks below are dead weight-free comparisons.
+        let deadline = DeadlineBudget::started_at(self.clock.now_ns(), self.cfg.deadline_ns);
         if self.plan.mode() == ShardMode::Replicated {
-            let chosen = batch_index % self.shards.len().max(1);
+            let chosen = batch_index % self.sets.len().max(1);
             if let Some(tel) = &self.telemetry {
                 tel.registry.counter("gateway.fanout_calls").inc();
             }
-            return match self.shards.get(chosen) {
-                Some(shard) => {
+            return match self.sets.get(chosen) {
+                Some(set) => {
                     let sctx = ctx.child(chosen as u64);
                     let _span = self.shard_span(chosen, sctx);
-                    vec![(chosen, to_part(shard.try_serve_encoded_ctx(slice, users, sctx)))]
+                    let call = ReplicaCall {
+                        shard: chosen,
+                        slice,
+                        users,
+                        ctx: sctx,
+                        deadline,
+                        router_seed: self.cfg.router_seed,
+                        hedge_threshold_ns: self.cfg.hedge_threshold_ns,
+                        clock: &*self.clock,
+                        telemetry: self.telemetry.as_ref(),
+                    };
+                    vec![(chosen, set.dispatch(&call))]
                 }
                 None => Vec::new(),
             };
@@ -377,16 +495,22 @@ impl Gateway {
         if let Some(tel) = &self.telemetry {
             tel.registry
                 .counter("gateway.fanout_calls")
-                .add(self.shards.len() as u64);
+                .add(self.sets.len() as u64);
         }
-        // Borrow only the `Sync` pieces into the pool closure: the shards,
-        // the labels, the telemetry handle. `self` itself must stay out —
-        // the gateway holds the non-`Sync` encoder model. `ctx` is `Copy`.
-        let shards = &self.shards;
+        // Borrow only the `Sync` pieces into the pool closure: the replica
+        // sets, the labels, the clock, the telemetry handle. `self` itself
+        // must stay out — the gateway holds the non-`Sync` encoder model.
+        // One pool task per set means each set's breaker state is touched
+        // by exactly one thread per batch, keeping trajectories
+        // independent of `WR_THREADS`.
+        let sets = &self.sets;
         let labels = &self.shard_labels;
         let tel = self.telemetry.as_ref();
+        let clock: &dyn Clock = &*self.clock;
+        let router_seed = self.cfg.router_seed;
+        let hedge_threshold_ns = self.cfg.hedge_threshold_ns;
         let results: Vec<Option<Vec<Response>>> =
-            wr_runtime::parallel_map(shards.len(), 1, |s| {
+            wr_runtime::parallel_map(sets.len(), 1, |s| {
                 let sctx = ctx.child(s as u64);
                 let _span = tel.map(|t| {
                     t.tracer.span_ctx(
@@ -395,9 +519,18 @@ impl Gateway {
                         sctx,
                     )
                 });
-                shards
-                    .get(s)
-                    .and_then(|shard| to_part(shard.try_serve_encoded_ctx(slice, users, sctx)))
+                let call = ReplicaCall {
+                    shard: s,
+                    slice,
+                    users,
+                    ctx: sctx,
+                    deadline,
+                    router_seed,
+                    hedge_threshold_ns,
+                    clock,
+                    telemetry: tel,
+                };
+                sets.get(s).and_then(|set| set.dispatch(&call))
             });
         results.into_iter().enumerate().map(|(s, p)| (s, p)).collect()
     }

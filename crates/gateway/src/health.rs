@@ -1,0 +1,519 @@
+//! Replica health: per-replica circuit breakers and the replica-set
+//! dispatch loop (failover, hedging, deadline enforcement).
+//!
+//! # Determinism argument
+//!
+//! Every *routing* decision here is a pure function of `(router seed,
+//! first request id of the batch, shard index)` plus breaker state that
+//! is itself driven only by deterministic failures — no RNG stream, no
+//! wall clock on the decision path. Time enters in exactly two places,
+//! both through the caller's [`wr_obs::Clock`] handle: deadline expiry
+//! and the hedge threshold. Under a frozen `MockClock` both read zero
+//! elapsed, so tests are bit-for-bit reproducible; under the production
+//! `MonotonicClock` they change only *which replica* answers — and every
+//! replica of a set scores the same frozen window through the same
+//! shared cache, so the answer bits cannot change (the whitened item
+//! table is immutable; replication is free of divergence by
+//! construction). That is why the differential gate holds at every
+//! `(shards, replicas, threads)` combination.
+//!
+//! # Breaker state machine
+//!
+//! ```text
+//!            failure (< threshold)         cooldown elapses
+//!   Closed ──────────────────────► Closed'      (allow() observes it)
+//!     ▲  │ failure (= threshold)                      │
+//!     │  └───────────────► Open ──────────────► HalfOpen
+//!     │ success                ▲                      │
+//!     └────────────────────────┼──────────────────────┤ probe succeeds
+//!                              └──────────────────────┘ probe fails
+//! ```
+//!
+//! `Open` replicas are skipped by dispatch, so a permanently dead
+//! replica costs `failure_threshold` failed batches once, not a retry
+//! storm per request. After `cooldown_ns` of virtual time the next
+//! `allow()` moves the breaker to `HalfOpen`: probes flow again, one
+//! success re-closes, one failure re-opens for another cooldown.
+
+use std::sync::Mutex;
+
+use wr_obs::{Clock, DeadlineBudget, Telemetry, TraceContext};
+use wr_serve::{CatalogShard, Request, Response, ServeError};
+use wr_tensor::Tensor;
+
+/// Circuit-breaker knobs, per replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive strict-dispatch failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Nanoseconds (of the gateway clock's timeline) an open breaker
+    /// waits before letting a half-open probe through.
+    pub cooldown_ns: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ns: 50_000_000, // 50 ms
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until_ns: u64 },
+    HalfOpen,
+}
+
+/// One replica's consecutive-failure circuit breaker. All transitions
+/// happen under a short mutex that is never held across another call
+/// (wr-check R7); a poisoned lock is recovered, never propagated — the
+/// breaker is availability machinery and must not add failure modes.
+#[derive(Debug)]
+pub struct HealthTracker {
+    cfg: BreakerConfig,
+    state: Mutex<BreakerState>,
+}
+
+impl HealthTracker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        HealthTracker {
+            cfg,
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        // Poison recovery: a panic while holding this lock can only have
+        // happened between two plain assignments, so the state is valid.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// May this replica be tried at clock reading `now_ns`? An `Open`
+    /// breaker whose cooldown has elapsed transitions to `HalfOpen`
+    /// (probe mode) and answers yes.
+    pub fn allow(&self, now_ns: u64) -> bool {
+        let mut state = self.lock();
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_ns } => {
+                if now_ns >= until_ns {
+                    *state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A strict dispatch on this replica succeeded: close the breaker
+    /// and forget the failure streak.
+    pub fn record_success(&self) {
+        *self.lock() = BreakerState::Closed { failures: 0 };
+    }
+
+    /// A strict dispatch failed (panicked past its retry budget) at
+    /// clock reading `now_ns`. Returns `true` when this failure *opened*
+    /// the breaker — the caller counts and flight-records that edge.
+    pub fn record_failure(&self, now_ns: u64) -> bool {
+        let mut state = self.lock();
+        match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures.saturating_add(1);
+                if failures >= self.cfg.failure_threshold {
+                    *state = BreakerState::Open {
+                        until_ns: now_ns.saturating_add(self.cfg.cooldown_ns),
+                    };
+                    true
+                } else {
+                    *state = BreakerState::Closed { failures };
+                    false
+                }
+            }
+            // A failed half-open probe re-opens for another cooldown.
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    until_ns: now_ns.saturating_add(self.cfg.cooldown_ns),
+                };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// The state as an export label: `"closed"`, `"open"`, `"half-open"`.
+    pub fn state_label(&self) -> &'static str {
+        match *self.lock() {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the workspace's standard bit mixer, used here
+/// to turn `(router seed, request id, shard)` into a rotation start so
+/// replica load spreads without an RNG stream.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Everything one dispatch needs from the gateway, bundled so the pool
+/// closure borrows a single `Sync` view.
+pub(crate) struct ReplicaCall<'a> {
+    /// Shard (replica-set) index, for the rotation hash and event labels.
+    pub shard: usize,
+    pub slice: &'a [Request],
+    pub users: &'a Tensor,
+    pub ctx: TraceContext,
+    pub deadline: DeadlineBudget,
+    pub router_seed: u64,
+    /// Hedge a slow-but-successful primary past this many elapsed
+    /// nanoseconds; `0` disables hedging.
+    pub hedge_threshold_ns: u64,
+    pub clock: &'a dyn Clock,
+    pub telemetry: Option<&'a Telemetry>,
+}
+
+impl ReplicaCall<'_> {
+    fn first_id(&self) -> u64 {
+        self.slice.first().map(|r| r.id).unwrap_or(0)
+    }
+
+    fn note(&self, kind: &'static str, req: u64, replica: u64) {
+        if let Some(tel) = self.telemetry {
+            tel.flight
+                .note(kind, "gateway.replica", self.ctx, req, replica, tel.clock.now_ns());
+        }
+    }
+
+    fn count(&self, name: &'static str) {
+        if let Some(tel) = self.telemetry {
+            tel.registry.counter(name).inc();
+        }
+    }
+}
+
+/// Bit-level equality of two response vectors — the hedge assertion.
+/// Score comparison is on the `f32` bit patterns, not float equality.
+fn bits_identical(a: &[Response], b: &[Response]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.id == y.id
+                && x.items.len() == y.items.len()
+                && x.items
+                    .iter()
+                    .zip(&y.items)
+                    .all(|(p, q)| p.item == q.item && p.score.to_bits() == q.score.to_bits())
+        })
+}
+
+/// One catalog window behind `R` interchangeable [`CatalogShard`]
+/// replicas (handle clones of the same frozen cache) plus a
+/// [`HealthTracker`] per replica.
+pub struct ReplicaSet {
+    replicas: Vec<CatalogShard>,
+    health: Vec<HealthTracker>,
+}
+
+impl ReplicaSet {
+    /// `primary` plus `n_replicas - 1` handle-clone replicas (minimum 1
+    /// total), each with a fresh closed breaker.
+    pub fn new(primary: CatalogShard, n_replicas: usize, breaker: BreakerConfig) -> Self {
+        let n = n_replicas.max(1);
+        let mut replicas = Vec::with_capacity(n);
+        for _ in 1..n {
+            replicas.push(primary.replica());
+        }
+        replicas.insert(0, primary);
+        let health = (0..n).map(|_| HealthTracker::new(breaker)).collect();
+        ReplicaSet { replicas, health }
+    }
+
+    pub fn primary(&self) -> Option<&CatalogShard> {
+        self.replicas.first()
+    }
+
+    pub fn replicas(&self) -> &[CatalogShard] {
+        &self.replicas
+    }
+
+    pub fn health(&self) -> &[HealthTracker] {
+        &self.health
+    }
+
+    /// Rebuild every replica through `f` (builder plumbing: telemetry,
+    /// sleeper, resilience attach). Breaker state is untouched — builders
+    /// run before traffic, when every breaker is closed anyway.
+    pub(crate) fn map_replicas(&mut self, mut f: impl FnMut(CatalogShard) -> CatalogShard) {
+        let replicas = std::mem::take(&mut self.replicas);
+        self.replicas = replicas.into_iter().map(&mut f).collect();
+    }
+
+    pub(crate) fn replica_mut(&mut self, r: usize) -> Option<&mut CatalogShard> {
+        self.replicas.get_mut(r)
+    }
+
+    /// Rotation start for this batch: pure hash of `(seed, first request
+    /// id, shard)` — no RNG stream, no clock, so a replay recomputes it.
+    fn rotation_start(&self, call: &ReplicaCall<'_>) -> usize {
+        let n = self.replicas.len().max(1);
+        let h = splitmix(
+            call.router_seed
+                ^ call.first_id().wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (call.shard as u64).wrapping_mul(0xD1B54A32D192ED03),
+        );
+        (h % n as u64) as usize
+    }
+
+    /// Serve one encoded micro-batch through the healthiest replica that
+    /// will take it. Returns `None` when the set sheds the batch
+    /// (backpressure on the final candidate, or a spent deadline) — the
+    /// gateway degrades those responses, exactly as it did pre-replica.
+    ///
+    /// Candidates are walked in rotation order, breaker-gated; every
+    /// candidate but the last goes through the *strict* path
+    /// ([`CatalogShard::try_serve_replica`]) so a dead replica surfaces
+    /// as a typed failure and the next sibling answers bit-identically.
+    /// The final candidate uses the absorbing legacy path
+    /// ([`CatalogShard::try_serve_encoded_ctx`]) so a set with one
+    /// usable replica behaves byte-for-byte like the pre-replica
+    /// gateway (same counters, same per-request isolation).
+    pub(crate) fn dispatch(&self, call: &ReplicaCall<'_>) -> Option<Vec<Response>> {
+        let now0 = call.clock.now_ns();
+        let n = self.replicas.len();
+        let start = self.rotation_start(call);
+        let mut candidates: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            let idx = (start + i) % n.max(1);
+            if self.health.get(idx).is_some_and(|h| h.allow(now0)) {
+                candidates.push(idx);
+            }
+        }
+        if candidates.is_empty() {
+            // Every breaker is open. Refusing to answer would degrade the
+            // whole window for a cooldown; forcing one absorbing attempt
+            // keeps availability and lets its success close a breaker.
+            candidates.push(start.min(n.saturating_sub(1)));
+        }
+        let last_pos = candidates.len().saturating_sub(1);
+        for (pos, &idx) in candidates.iter().enumerate() {
+            let Some(replica) = self.replicas.get(idx) else {
+                continue;
+            };
+            if pos == last_pos {
+                // Last usable candidate: absorb panics into per-request
+                // isolation rather than fail the window (legacy behavior;
+                // with R=1 this is the only path, bit- and
+                // counter-identical to the pre-replica gateway).
+                let t0 = call.clock.now_ns();
+                let part = replica.try_serve_encoded_ctx(call.slice, call.users, call.ctx).ok();
+                if part.is_some() {
+                    if let Some(h) = self.health.get(idx) {
+                        h.record_success();
+                    }
+                    self.maybe_hedge(call, idx, &candidates, part.as_deref(), t0);
+                }
+                return part;
+            }
+            let t0 = call.clock.now_ns();
+            match replica.try_serve_replica(call.slice, call.users, call.ctx, call.deadline, t0) {
+                Ok(responses) => {
+                    if let Some(h) = self.health.get(idx) {
+                        h.record_success();
+                    }
+                    self.maybe_hedge(call, idx, &candidates, Some(&responses), t0);
+                    return Some(responses);
+                }
+                Err(ServeError::Panicked { .. }) => {
+                    let opened = self
+                        .health
+                        .get(idx)
+                        .is_some_and(|h| h.record_failure(call.clock.now_ns()));
+                    call.count("gateway.failovers");
+                    call.note("failover", call.first_id(), idx as u64);
+                    if opened {
+                        call.count("gateway.breaker_open");
+                        call.note("breaker", call.first_id(), idx as u64);
+                        if let Some(tel) = call.telemetry {
+                            tel.flight.trigger("breaker-open");
+                        }
+                    }
+                    // Fall through to the next candidate: same window,
+                    // same cache, bit-identical answer.
+                }
+                Err(ServeError::Overloaded { .. }) => {
+                    // Backpressure is load, not ill-health: no breaker
+                    // penalty, try the next sibling.
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => {
+                    // The budget is spent; burning more replicas answers
+                    // after the caller hung up. Shed the batch.
+                    call.note("deadline", call.first_id(), idx as u64);
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Hedge a slow-but-successful attempt: when the winning replica
+    /// took longer than the hedge threshold, fire one more strict
+    /// attempt on the next allowed sibling and *assert* (via counter,
+    /// never a panic — this is the hot path) that the two answers are
+    /// bit-identical. The first finite answer — the one already in hand
+    /// — wins either way; the hedge buys the breaker an extra health
+    /// observation and pins the replica-interchangeability invariant in
+    /// production, not just in tests.
+    fn maybe_hedge(
+        &self,
+        call: &ReplicaCall<'_>,
+        winner: usize,
+        candidates: &[usize],
+        responses: Option<&[Response]>,
+        t0: u64,
+    ) {
+        if call.hedge_threshold_ns == 0 {
+            return;
+        }
+        let elapsed = call.clock.now_ns().saturating_sub(t0);
+        if elapsed < call.hedge_threshold_ns {
+            return;
+        }
+        let Some(&hedge_idx) = candidates.iter().find(|&&i| i != winner) else {
+            return; // no sibling to hedge on
+        };
+        let Some(replica) = self.replicas.get(hedge_idx) else {
+            return;
+        };
+        call.count("gateway.hedges");
+        call.note("hedge", call.first_id(), hedge_idx as u64);
+        let now = call.clock.now_ns();
+        match replica.try_serve_replica(call.slice, call.users, call.ctx, call.deadline, now) {
+            Ok(hedged) => {
+                if let Some(h) = self.health.get(hedge_idx) {
+                    h.record_success();
+                }
+                let identical = responses.is_some_and(|r| bits_identical(r, &hedged));
+                if !identical {
+                    // Replicas disagreeing on a frozen cache is a real
+                    // bug (or genuine divergence); surface it loudly but
+                    // keep serving the primary's answer.
+                    call.count("gateway.hedge_mismatches");
+                    call.note("hedge-mismatch", call.first_id(), hedge_idx as u64);
+                    if let Some(tel) = call.telemetry {
+                        tel.flight.trigger("hedge-mismatch");
+                    }
+                }
+            }
+            Err(ServeError::Panicked { .. }) => {
+                let opened = self
+                    .health
+                    .get(hedge_idx)
+                    .is_some_and(|h| h.record_failure(call.clock.now_ns()));
+                if opened {
+                    call.count("gateway.breaker_open");
+                    call.note("breaker", call.first_id(), hedge_idx as u64);
+                    if let Some(tel) = call.telemetry {
+                        tel.flight.trigger("breaker-open");
+                    }
+                }
+            }
+            Err(_) => {} // overload/deadline on a hedge: drop it silently
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let t = HealthTracker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ns: 1_000,
+        });
+        assert!(t.allow(0));
+        assert_eq!(t.state_label(), "closed");
+        assert!(!t.record_failure(10));
+        assert!(!t.record_failure(20));
+        assert!(t.record_failure(30), "third consecutive failure opens");
+        assert_eq!(t.state_label(), "open");
+        assert!(!t.allow(30));
+        assert!(!t.allow(1029), "cooldown not yet elapsed");
+        // Cooldown elapses → half-open probe allowed.
+        assert!(t.allow(1030));
+        assert_eq!(t.state_label(), "half-open");
+        // Probe succeeds → closed, streak forgotten.
+        t.record_success();
+        assert_eq!(t.state_label(), "closed");
+        assert!(!t.record_failure(2000), "streak restarted");
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_for_another_cooldown() {
+        let t = HealthTracker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ns: 500,
+        });
+        assert!(t.record_failure(0));
+        assert!(t.allow(500));
+        assert_eq!(t.state_label(), "half-open");
+        assert!(t.record_failure(500), "failed probe re-opens");
+        assert!(!t.allow(999));
+        assert!(t.allow(1_000));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let t = HealthTracker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ns: 100,
+        });
+        assert!(!t.record_failure(0));
+        t.record_success();
+        assert!(!t.record_failure(1), "streak was reset");
+        assert!(t.record_failure(2));
+    }
+
+    #[test]
+    fn further_failures_while_open_do_not_re_trigger() {
+        let t = HealthTracker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ns: 1_000,
+        });
+        assert!(t.record_failure(0), "first failure opens");
+        assert!(!t.record_failure(10), "already open: no new open edge");
+        assert_eq!(t.state_label(), "open");
+    }
+
+    #[test]
+    fn rotation_is_a_pure_function_of_seed_request_and_shard() {
+        // Two sets built the same way rotate identically; changing any
+        // hash input moves the start for at least some batch.
+        let mix = |seed: u64, id: u64, shard: u64| {
+            splitmix(
+                seed ^ id.wrapping_mul(0x9E3779B97F4A7C15)
+                    ^ shard.wrapping_mul(0xD1B54A32D192ED03),
+            ) % 3
+        };
+        for id in 0..64u64 {
+            assert_eq!(mix(7, id, 1), mix(7, id, 1));
+        }
+        let a: Vec<u64> = (0..64).map(|id| mix(7, id, 1)).collect();
+        let b: Vec<u64> = (0..64).map(|id| mix(8, id, 1)).collect();
+        let c: Vec<u64> = (0..64).map(|id| mix(7, id, 2)).collect();
+        assert_ne!(a, b, "seed must matter");
+        assert_ne!(a, c, "shard must matter");
+    }
+}

@@ -36,9 +36,11 @@
 //! the fault-free run, per-seed-deterministic checksums).
 
 mod gateway;
+mod health;
 mod plan;
 mod replay;
 
 pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayResponse};
+pub use health::{BreakerConfig, HealthTracker, ReplicaSet};
 pub use plan::{ShardMode, ShardPlan};
 pub use replay::{replay_gateway, GatewayReport};

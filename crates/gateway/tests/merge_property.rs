@@ -12,9 +12,14 @@
 //! quarantine — and checks the merge against a full-sort reference over
 //! the union of offered candidates, item ids and score bits both.
 
+use std::sync::Arc;
+
+use wr_fault::{FaultPlan, FaultRates};
 use wr_gateway::ShardPlan;
-use wr_serve::{merge_top_k, ScoredItem};
-use wr_tensor::Rng64;
+use wr_models::{zoo, LossKind, ModelConfig, SasRec, TextTower};
+use wr_serve::{merge_top_k, CatalogShard, MicroBatcher, QueryLog, ScoredItem, ServeConfig};
+use wr_tensor::{Rng64, Tensor};
+use wr_train::SeqRecModel;
 
 /// The reference: sort every offered candidate under the shared policy,
 /// truncate to `k`. Deliberately shares no code with the bounded-heap
@@ -142,6 +147,178 @@ fn k_beyond_all_candidates_returns_the_sorted_union() {
     assert_merge_matches(&merged, &want, "k beyond candidates");
     assert!(merge_top_k(50, &[Vec::new(), Vec::new()]).is_empty());
     assert!(merge_top_k(0, &partials).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Replica substitution: the merge input the replica-aware gateway really
+// produces. A partial may come from *any* replica of a set (failover,
+// hedging), so the property the whole failover design leans on is:
+// swapping any shard's partial for one produced by a replica of that
+// shard changes no bit of the merge. Checked with real `CatalogShard`
+// engines — including a primary whose window has NaN-quarantined rows —
+// not hand-built partials.
+// ---------------------------------------------------------------------
+
+const RS_ITEMS: usize = 96;
+const RS_MAX_SEQ: usize = 10;
+const RS_SHARDS: usize = 3;
+const RS_K: usize = 10;
+/// The shard whose cache gets NaN-poisoned rows (quarantine case).
+const RS_VICTIM: usize = 1;
+
+fn rs_model() -> Box<dyn SeqRecModel> {
+    let mut table_rng = Rng64::seed_from(23);
+    let raw = Tensor::randn(&[RS_ITEMS, 20], &mut table_rng);
+    let whitened = zoo::whiten_relaxed(&raw, 4);
+    let mut rng = Rng64::seed_from(23);
+    let config = ModelConfig {
+        dim: 16,
+        heads: 2,
+        blocks: 1,
+        max_seq: RS_MAX_SEQ,
+        dropout: 0.0,
+        ..ModelConfig::default()
+    };
+    let tower = TextTower::new(whitened, config.dim, 2, &mut rng);
+    Box::new(SasRec::new(
+        "whitenrec-merge-prop",
+        Box::new(tower),
+        LossKind::Softmax,
+        config,
+        &mut rng,
+    ))
+}
+
+fn rs_serve_cfg() -> ServeConfig {
+    ServeConfig {
+        k: RS_K,
+        max_batch: 16,
+        max_seq: RS_MAX_SEQ,
+        filter_seen: true,
+    }
+}
+
+/// Primaries for every window (the victim rearmed so its window holds
+/// quarantined rows) plus one replica of each, and the per-request
+/// partials both tiers produced for a zipf trace.
+fn replica_partials() -> (Vec<CatalogShard>, Vec<CatalogShard>, Vec<Vec<Vec<ScoredItem>>>, Vec<Vec<Vec<ScoredItem>>>)
+{
+    let model = rs_model();
+    let items = model.item_representations();
+    let cfg = rs_serve_cfg();
+    let plan = ShardPlan::partitioned(RS_ITEMS, RS_SHARDS).unwrap();
+    let mut primaries: Vec<CatalogShard> = plan
+        .ranges()
+        .iter()
+        .map(|r| CatalogShard::from_window(&items, r.clone(), &cfg))
+        .collect();
+    // NaN-poison some of the victim's cache rows so its partials are
+    // computed over a quarantined window — the case where a replica
+    // *must* agree anyway (it shares the quarantine set).
+    primaries[RS_VICTIM].rearm(
+        &items,
+        Arc::new(FaultPlan::with_rates(
+            41,
+            FaultRates { io_error: 0.0, corrupt: 0.0, poison: 0.3, panic: 0.0 },
+        )),
+    );
+    assert!(
+        !primaries[RS_VICTIM].quarantined_items().is_empty(),
+        "poison rate 0.3 over a {}-row window must quarantine something",
+        primaries[RS_VICTIM].n_items()
+    );
+    let replicas: Vec<CatalogShard> = primaries.iter().map(|p| p.replica()).collect();
+
+    let log = QueryLog::synthetic_zipf(96, 1_500, RS_ITEMS, RS_MAX_SEQ + 3, 1.1, 131).unwrap();
+    let mut by_primary: Vec<Vec<Vec<ScoredItem>>> = Vec::with_capacity(log.len());
+    let mut by_replica: Vec<Vec<Vec<ScoredItem>>> = Vec::with_capacity(log.len());
+    let mut start = 0;
+    while start < log.len() {
+        let end = (start + cfg.max_batch).min(log.len());
+        let slice = &log.queries[start..end];
+        let contexts: Vec<&[usize]> = slice
+            .iter()
+            .map(|r| MicroBatcher::sanitize(&r.history))
+            .collect();
+        let users = model.user_representations(&contexts);
+        let prim: Vec<Vec<wr_serve::Response>> = primaries
+            .iter()
+            .map(|s| s.serve_encoded(slice, &users))
+            .collect();
+        let repl: Vec<Vec<wr_serve::Response>> = replicas
+            .iter()
+            .map(|s| s.serve_encoded(slice, &users))
+            .collect();
+        for r in 0..slice.len() {
+            by_primary.push(prim.iter().map(|p| p[r].items.clone()).collect());
+            by_replica.push(repl.iter().map(|p| p[r].items.clone()).collect());
+        }
+        start = end;
+    }
+    (primaries, replicas, by_primary, by_replica)
+}
+
+/// Swapping any single shard's partial — or all of them — for the one
+/// its replica produced changes no bit of the merged answer, including
+/// for the shard whose window carries quarantined rows.
+#[test]
+fn replica_partials_substitute_for_their_primaries_bit_for_bit() {
+    let (primaries, replicas, by_primary, by_replica) = replica_partials();
+    for (p, r) in primaries.iter().zip(&replicas) {
+        assert!(
+            r.cache().shares_storage_with(p.cache()),
+            "a replica is a handle clone, never a copy"
+        );
+        assert_eq!(
+            r.quarantined_items(),
+            p.quarantined_items(),
+            "replicas share the primary's quarantine set"
+        );
+    }
+    for (q, (prim, repl)) in by_primary.iter().zip(&by_replica).enumerate() {
+        let baseline = merge_top_k(RS_K, prim);
+        for s in 0..RS_SHARDS {
+            let mut substituted = prim.clone();
+            substituted[s] = repl[s].clone();
+            let merged = merge_top_k(RS_K, &substituted);
+            assert_merge_matches(
+                &merged,
+                &baseline,
+                &format!("query {q}: replica substituted for primary {s}"),
+            );
+        }
+        let all_replicas = merge_top_k(RS_K, repl);
+        assert_merge_matches(&all_replicas, &baseline, &format!("query {q}: all replicas"));
+    }
+}
+
+/// A set whose every replica died contributes an *empty* partial. The
+/// merge must treat that exactly like the set not being consulted at
+/// all: identical bits to merging with the entry removed, and no item
+/// from the dead window can appear.
+#[test]
+fn a_dropped_replica_set_is_an_empty_partial_not_a_skew() {
+    let (primaries, _replicas, by_primary, _by_replica) = replica_partials();
+    for (q, prim) in by_primary.iter().enumerate() {
+        for s in 0..RS_SHARDS {
+            let mut dropped = prim.clone();
+            dropped[s] = Vec::new();
+            let with_empty = merge_top_k(RS_K, &dropped);
+            let mut removed = prim.clone();
+            removed.remove(s);
+            let without_entry = merge_top_k(RS_K, &removed);
+            assert_merge_matches(
+                &with_empty,
+                &without_entry,
+                &format!("query {q}: set {s} dropped"),
+            );
+            let window = primaries[s].item_range();
+            assert!(
+                with_empty.iter().all(|item| !window.contains(&item.item)),
+                "query {q}: a dead window {window:?} cannot contribute items"
+            );
+        }
+    }
 }
 
 /// -0.0 and 0.0 are distinct under `total_cmp` (+0.0 ranks above -0.0);

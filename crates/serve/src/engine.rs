@@ -17,7 +17,7 @@ use crate::{BatcherConfig, CatalogShard, MicroBatcher, ScoredItem};
 use wr_ann::IvfIndex;
 use wr_fault::{RetryPolicy, SharedInjector, Sleeper};
 use wr_nn::{load_params, restore_params, CheckpointError};
-use wr_obs::{Telemetry, TraceContext};
+use wr_obs::{DeadlineBudget, Telemetry, TraceContext};
 use wr_tensor::Tensor;
 use wr_train::SeqRecModel;
 
@@ -108,12 +108,22 @@ pub enum Scorer {
     Ivf { nprobe: usize },
 }
 
-/// Typed serving failures surfaced by [`ServeEngine::try_serve`].
+/// Typed serving failures surfaced by [`ServeEngine::try_serve`] and the
+/// strict replica path ([`CatalogShard::try_serve_replica`]).
 #[derive(Debug)]
 pub enum ServeError {
     /// The call exceeded [`ResilienceConfig::max_queue_depth`]. The caller
     /// should shed load (split the batch, back off) — nothing was scored.
     Overloaded { depth: usize, limit: usize },
+    /// The micro-batch panicked on every retry attempt. Nothing was
+    /// answered; a replica-aware caller should fail over to a sibling
+    /// (same window, same cache ⇒ bit-identical answers) instead of
+    /// degrading.
+    Panicked { attempts: u32 },
+    /// The request's [`wr_obs::DeadlineBudget`] was already spent when the
+    /// call arrived — scoring would answer after the caller stopped
+    /// listening, so nothing was scored.
+    DeadlineExceeded { elapsed_ns: u64, budget_ns: u64 },
 }
 
 impl std::fmt::Display for ServeError {
@@ -121,6 +131,15 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overloaded { depth, limit } => {
                 write!(f, "serve overloaded: {depth} requests exceed queue depth {limit}")
+            }
+            ServeError::Panicked { attempts } => {
+                write!(f, "serve micro-batch panicked on all {attempts} attempts")
+            }
+            ServeError::DeadlineExceeded { elapsed_ns, budget_ns } => {
+                write!(
+                    f,
+                    "serve deadline exceeded: {elapsed_ns} ns elapsed of a {budget_ns} ns budget"
+                )
             }
         }
     }
@@ -364,6 +383,38 @@ impl ServeEngine {
             });
         }
         Ok(self.serve(requests))
+    }
+
+    /// [`ServeEngine::try_serve`] under a request deadline: a budget that
+    /// is already spent at clock reading `now_ns` is rejected outright
+    /// ([`ServeError::DeadlineExceeded`]) — answering after the caller
+    /// stopped listening is wasted work. The clock reading is the
+    /// caller's (virtual time flows through `wr_obs::Clock`, so tests
+    /// drive this with a [`wr_obs::MockClock`]); an unlimited budget
+    /// never rejects.
+    pub fn try_serve_deadline(
+        &self,
+        requests: &[Request],
+        deadline: DeadlineBudget,
+        now_ns: u64,
+    ) -> Result<Vec<Response>, ServeError> {
+        if deadline.expired(now_ns) {
+            if let Some(tel) = &self.telemetry {
+                tel.flight.note(
+                    "deadline",
+                    "serve.admission",
+                    TraceContext::UNTRACED,
+                    u64::MAX,
+                    u64::MAX,
+                    tel.clock.now_ns(),
+                );
+            }
+            return Err(ServeError::DeadlineExceeded {
+                elapsed_ns: deadline.elapsed_ns(now_ns),
+                budget_ns: deadline.budget_ns,
+            });
+        }
+        self.try_serve(requests)
     }
 
     /// Run one micro-batch with containment: panic → bounded retry with

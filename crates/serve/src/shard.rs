@@ -34,7 +34,7 @@ use crate::{Request, ResilienceConfig, Response, Scorer, ServeConfig, ServeError
 use wr_ann::{IvfIndex, SearchStats};
 use wr_eval::{top_k_filtered, ScoredItem};
 use wr_fault::{no_faults, SharedInjector, Sleeper, ThreadSleeper};
-use wr_obs::{Telemetry, TraceContext};
+use wr_obs::{DeadlineBudget, Telemetry, TraceContext};
 use wr_tensor::Tensor;
 
 /// Rows of `items` containing any non-finite value — these are
@@ -144,6 +144,38 @@ impl CatalogShard {
         }
         self.quarantined = non_finite_rows(&window);
         self.cache = crate::EmbeddingCache::new(window);
+        self.injector = injector;
+    }
+
+    /// A serving replica of this shard: the same catalog window through
+    /// handle clones of the same cache and ANN index (no embedding
+    /// copies), the same quarantine set, config, injector, sleeper, and
+    /// telemetry. Same window + same frozen cache ⇒ every replica scores
+    /// bit-identically to its primary — the invariant that makes replica
+    /// failover and hedging answer-preserving.
+    pub fn replica(&self) -> CatalogShard {
+        CatalogShard {
+            cache: self.cache.clone(),
+            item_offset: self.item_offset,
+            quarantined: self.quarantined.clone(),
+            k: self.k,
+            filter_seen: self.filter_seen,
+            resilience: self.resilience,
+            injector: self.injector.clone(),
+            sleeper: self.sleeper.clone(),
+            telemetry: self.telemetry.clone(),
+            scorer: self.scorer,
+            index: self.index.clone(),
+        }
+    }
+
+    /// Replace this shard's hot-path injector *without* re-snapshotting
+    /// the cache. This is the "replica process died" arming: injectors
+    /// like [`wr_fault::KillAfter`] only panic, never poison, so the
+    /// cache (and therefore every surviving answer) stays bit-identical
+    /// to the healthy replicas'. For data-damage chaos use
+    /// [`CatalogShard::rearm`], which re-snapshots through `cache.load`.
+    pub fn set_injector(&mut self, injector: SharedInjector) {
         self.injector = injector;
     }
 
@@ -375,6 +407,68 @@ impl CatalogShard {
             });
         }
         Ok(self.serve_encoded_ctx(slice, users, ctx))
+    }
+
+    /// The *strict* replica-dispatch path: backpressure and deadline are
+    /// checked up front, panics are retried up to the policy bound, and a
+    /// micro-batch that still dies surfaces as [`ServeError::Panicked`]
+    /// instead of being absorbed into per-request isolation. A
+    /// replica-aware caller wants the typed failure — a sibling replica
+    /// over the same window answers bit-identically, so failing over
+    /// beats degrading. (The absorbing path, [`serve_encoded_ctx`], stays
+    /// the last line of defense when no replica is left.)
+    ///
+    /// `now_ns` is the caller's reading of its `wr_obs::Clock` — the
+    /// shard itself never reads a clock, so deadline behavior is a pure
+    /// function of the caller's virtual timeline.
+    ///
+    /// [`serve_encoded_ctx`]: CatalogShard::serve_encoded_ctx
+    pub fn try_serve_replica(
+        &self,
+        slice: &[Request],
+        users: &Tensor,
+        ctx: TraceContext,
+        deadline: DeadlineBudget,
+        now_ns: u64,
+    ) -> Result<Vec<Response>, ServeError> {
+        let limit = self.resilience.max_queue_depth;
+        if slice.len() > limit {
+            if let Some(tel) = &self.telemetry {
+                tel.registry.counter("serve.rejected_overload").inc();
+            }
+            self.flight_note("overload", "serve.queue", ctx, u64::MAX, u64::MAX);
+            return Err(ServeError::Overloaded {
+                depth: slice.len(),
+                limit,
+            });
+        }
+        if deadline.expired(now_ns) {
+            self.flight_note("deadline", "serve.queue", ctx, u64::MAX, u64::MAX);
+            return Err(ServeError::DeadlineExceeded {
+                elapsed_ns: deadline.elapsed_ns(now_ns),
+                budget_ns: deadline.budget_ns,
+            });
+        }
+        let policy = self.resilience.retry;
+        for attempt in 0..policy.max_attempts {
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.process_encoded_ctx(slice, users, attempt, ctx)
+            })) {
+                Ok(responses) => return Ok(responses),
+                Err(_payload) => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.registry.counter("serve.retries").inc();
+                    }
+                    self.flight_note("retry", "serve.row", ctx, u64::MAX, u64::MAX);
+                    if attempt + 1 < policy.max_attempts {
+                        self.sleeper.sleep_ns(policy.delay_ns(attempt));
+                    }
+                }
+            }
+        }
+        Err(ServeError::Panicked {
+            attempts: policy.max_attempts,
+        })
     }
 
     /// Single pre-encoded query without fault hooks (the interactive
@@ -640,9 +734,73 @@ mod tests {
             Err(ServeError::Overloaded { depth, limit }) => {
                 assert_eq!((depth, limit), (3, 2));
             }
-            Ok(_) => panic!("expected per-shard backpressure rejection"),
+            other => panic!("expected per-shard backpressure rejection, got {other:?}"),
         }
         assert!(shard.try_serve_encoded(&reqs[..2], &users).is_ok());
+    }
+
+    #[test]
+    fn replica_shares_the_cache_and_scores_bit_identically() {
+        let (_, shard) = shard_fixture(37, 11..29, 5);
+        let replica = shard.replica();
+        assert!(replica.cache().shares_storage_with(shard.cache()));
+        assert_eq!(replica.item_offset(), shard.item_offset());
+        assert_eq!(replica.quarantined_items(), shard.quarantined_items());
+        let mut rng = Rng64::seed_from(12);
+        let users = Tensor::randn(&[4, 8], &mut rng);
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request { id: i, history: vec![12, 3] })
+            .collect();
+        let a = shard.serve_encoded(&reqs, &users);
+        let b = replica.serve_encoded(&reqs, &users);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.items.len(), rb.items.len());
+            for (sa, sb) in ra.items.iter().zip(&rb.items) {
+                assert_eq!(sa.item, sb.item);
+                assert_eq!(sa.score.to_bits(), sb.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn strict_replica_path_surfaces_typed_failures() {
+        let (_, shard) = shard_fixture(20, 0..20, 3);
+        let mut rng = Rng64::seed_from(13);
+        let users = Tensor::randn(&[2, 8], &mut rng);
+        let reqs: Vec<Request> = (0..2)
+            .map(|i| Request { id: i, history: vec![] })
+            .collect();
+        let unlimited = DeadlineBudget::unlimited();
+        // Healthy: answers like the absorbing path.
+        let ok = shard
+            .try_serve_replica(&reqs, &users, TraceContext::UNTRACED, unlimited, 0)
+            .unwrap();
+        assert_eq!(ok, shard.serve_encoded(&reqs, &users));
+        // Expired deadline: typed rejection, nothing scored.
+        let spent = DeadlineBudget::started_at(0, 100);
+        match shard.try_serve_replica(&reqs, &users, TraceContext::UNTRACED, spent, 250) {
+            Err(ServeError::DeadlineExceeded { elapsed_ns, budget_ns }) => {
+                assert_eq!((elapsed_ns, budget_ns), (250, 100));
+            }
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
+        // A permanently-dead replica: typed panic after the retry budget,
+        // never absorbed into empty-item isolation.
+        let mut dead = shard.replica().with_sleeper(Arc::new(wr_fault::NoSleep));
+        dead.set_injector(Arc::new(wr_fault::KillAfter::serve_rows()));
+        match dead.try_serve_replica(&reqs, &users, TraceContext::UNTRACED, unlimited, 0) {
+            Err(ServeError::Panicked { attempts }) => {
+                assert_eq!(attempts, RetryPolicy::default().max_attempts);
+            }
+            other => panic!("expected typed panic failure, got {other:?}"),
+        }
+        // The primary (same cache handle) is untouched by the replica's
+        // injector swap.
+        assert!(shard
+            .try_serve_replica(&reqs, &users, TraceContext::UNTRACED, unlimited, 0)
+            .is_ok());
     }
 
     #[test]

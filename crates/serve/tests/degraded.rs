@@ -264,7 +264,10 @@ fn try_serve_rejects_overload_with_typed_error() {
             assert_eq!(depth, 9);
             assert_eq!(limit, 8);
         }
-        Ok(_) => panic!("9 requests over a depth-8 bound must be rejected"),
+        other => panic!(
+            "9 requests over a depth-8 bound must be rejected, got {:?}",
+            other.map(|r| r.len())
+        ),
     }
     assert_eq!(counter(&tel, "serve.rejected_overload"), 1);
 

@@ -132,16 +132,49 @@ echo "   gateway ok: $gw1_sum == $gw2_sum"
 
 # Gateway chaos smoke: same fixture, one shard poisoned. The replay must
 # exit cleanly (survivor shards keep answering; the victim degrades the
-# responses it loses) with nonzero injected faults in the export.
+# responses it loses) with nonzero injected faults in the export, and the
+# armed schedule must export as a sealed wr-faultlog/v1 artifact so the
+# run's exact injections travel with its bench JSON.
 echo "== check: gateway-bench chaos smoke (one shard poisoned) =="
 WR_FAULT_SEED=20240613 ./target/release/gateway-bench --scale 0.05 --epochs 1 \
     --queries 256 --batch 32 --k 10 --shards 3 --poison-shard 1 \
     --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/gw-chaos-report.json" \
-    --metrics-out "$smoke_dir/gw-chaos-metrics.json"
+    --metrics-out "$smoke_dir/gw-chaos-metrics.json" \
+    --fault-log-out "$smoke_dir/gw-faults.jsonl"
 grep -q '"qps"' "$smoke_dir/gw-chaos-report.json"
 grep -Eq '"fault\.injected":[1-9]' "$smoke_dir/gw-chaos-metrics.json"
 grep -Eq '"serve\.(quarantined_rows|retries)":[1-9]' "$smoke_dir/gw-chaos-metrics.json"
+grep -q '"format":"wr-faultlog/v1"' "$smoke_dir/gw-faults.jsonl"
+grep -Eq '"records":[1-9]' "$smoke_dir/gw-faults.jsonl"
+grep -q '^#crc32:' "$smoke_dir/gw-faults.jsonl"
 echo "   gateway chaos ok: $(grep -Eo '"(fault\.injected|gateway\.degraded_responses)":[0-9]+' "$smoke_dir/gw-chaos-metrics.json" | tr '\n' ' ')"
+
+# Replica failover smoke: back every window with 2 replicas and then
+# permanently kill replica 1 of every set (KillAfter on serve.row). The
+# breaker must open and route every request to the surviving replica:
+# clean exit, top1_checksum EQUAL to the healthy 1-shard run (failover
+# moves availability, never bits), zero degraded responses, nonzero
+# gateway.failovers, and a sealed flight dump naming the opened breaker.
+echo "== check: gateway-bench replica failover smoke (--replicas 2 --poison-replica 1) =="
+./target/release/gateway-bench --scale 0.05 --epochs 1 --queries 256 \
+    --batch 32 --k 10 --shards 3 --replicas 2 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/gwr-report.json"
+gwr_sum="$(grep -Eo '"top1_checksum":"[0-9a-f]+"' "$smoke_dir/gwr-report.json")"
+[ -n "$gwr_sum" ] && [ "$gwr_sum" = "$gw1_sum" ] \
+    || { echo "   healthy 2-replica checksum diverged: $gwr_sum vs $gw1_sum"; exit 1; }
+./target/release/gateway-bench --scale 0.05 --epochs 1 --queries 256 \
+    --batch 32 --k 10 --shards 3 --replicas 2 --poison-replica 1 \
+    --checkpoint "$smoke_dir/smoke.wrck" --out "$smoke_dir/gwrk-report.json" \
+    --metrics-out "$smoke_dir/gwrk-metrics.json" --obs-dump-dir "$smoke_dir/obs-replica"
+gwrk_sum="$(grep -Eo '"top1_checksum":"[0-9a-f]+"' "$smoke_dir/gwrk-report.json")"
+[ -n "$gwrk_sum" ] && [ "$gwrk_sum" = "$gw1_sum" ] \
+    || { echo "   kill-one-replica checksum diverged: $gwrk_sum vs $gw1_sum"; exit 1; }
+grep -Eq '"gateway\.failovers":[1-9]' "$smoke_dir/gwrk-metrics.json"
+grep -Eq '"gateway\.breaker_open":[1-9]' "$smoke_dir/gwrk-metrics.json"
+grep -q '"gateway.degraded_responses":0' "$smoke_dir/gwrk-metrics.json"
+test -s "$smoke_dir/obs-replica/flight.dump.jsonl"
+grep -q '"kind":"breaker"' "$smoke_dir/obs-replica/flight.dump.jsonl"
+echo "   replica failover ok: $gwrk_sum == $gw1_sum, $(grep -Eo '"gateway\.(failovers|breaker_open)":[0-9]+' "$smoke_dir/gwrk-metrics.json" | tr '\n' ' ')"
 
 # Live telemetry smoke: chaos replay with the read-only HTTP endpoint up
 # and the flight recorder armed. The binary self-scrapes /metrics and
